@@ -1,0 +1,62 @@
+// Command cprserver serves a CPR-enabled FASTER store over TCP with
+// periodic automatic commits:
+//
+//	cprserver -addr :7070 -dir /var/lib/cprdb -autocommit 500ms
+//
+// Clients (see internal/kvserver.Dial) hold one session per connection; a
+// client reconnecting with its session ID learns its recovered CPR point.
+// Without -dir the store is memory-backed (durable only within the process).
+package main
+
+import (
+	"flag"
+	"log"
+	"path/filepath"
+	"time"
+
+	cpr "repro"
+	"repro/internal/faster"
+	"repro/internal/kvserver"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
+		dir        = flag.String("dir", "", "database directory (empty = in-memory)")
+		autocommit = flag.Duration("autocommit", 500*time.Millisecond, "automatic log-only commit cadence (0 = off)")
+	)
+	flag.Parse()
+
+	cfg := faster.Config{}
+	if *dir != "" {
+		device, err := cpr.OpenFileDevice(filepath.Join(*dir, "hybridlog.dat"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		checkpoints, err := cpr.NewDirCheckpointStore(filepath.Join(*dir, "checkpoints"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Device = device
+		cfg.Checkpoints = checkpoints
+	}
+
+	store, err := faster.Recover(cfg)
+	if err != nil {
+		log.Printf("no previous commit (%v); starting fresh", err)
+		store, err = faster.Open(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		log.Printf("recovered store at version %d", store.Version())
+	}
+	defer store.Close()
+
+	srv := kvserver.NewServer(store)
+	srv.AutoCommit = *autocommit
+	log.Printf("serving on %s (autocommit %v)", *addr, *autocommit)
+	if err := srv.Serve(*addr); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/txdb"
+	"repro/internal/ycsb"
+)
+
+// tinyCfg is a smoke-test configuration: every experiment must run end to
+// end in well under a second of measured time.
+func tinyCfg() Config {
+	return Config{Threads: 2, Seconds: 0.05, Scale: 0.02, TimePoints: 0.05}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure of the paper's evaluation must be registered.
+	want := []string{
+		"fig2",
+		"fig10a", "fig10b", "fig10c", "fig10d", "fig10e",
+		"fig11a", "fig11b", "fig11c", "fig11d", "fig11e",
+		"fig12a", "fig12b", "fig12c", "fig12d",
+		"fig13", "fig14", "fig15",
+		"fig16a", "fig16b", "fig16c", "fig16d", "fig16e",
+		"fig17a", "fig17b", "fig17c", "fig17d", "fig17e",
+		"fig18a", "fig18b", "fig18c", "fig18d",
+		"ablate-incr", "ablate-flush", "ablate-recovery",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke-running every experiment is slow; run without -short")
+	}
+	cfg := tinyCfg()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(cfg, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunTxdbBasics(t *testing.T) {
+	spec := ycsb.TxnSpec{Keys: 1000, TxnSize: 1, ReadFraction: 0.5, Theta: 0.1}
+	res, err := RunTxdb(TxdbParams{
+		Engine: txdb.EngineCPR, Threads: 2, ValueSize: 8, Seconds: 0.1,
+		Records: 1000,
+		Source:  func(w int) TxnSource { return newYCSBSource(spec, 8, uint64(w)+1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mtps <= 0 {
+		t.Fatalf("throughput = %v", res.Mtps)
+	}
+	if res.AvgLatencyUs <= 0 {
+		t.Fatalf("latency = %v", res.AvgLatencyUs)
+	}
+}
+
+func TestRunTxdbWithCommitsAndSeries(t *testing.T) {
+	spec := ycsb.TxnSpec{Keys: 1000, TxnSize: 1, ReadFraction: 0.5, Theta: 0.1}
+	res, err := RunTxdb(TxdbParams{
+		Engine: txdb.EngineCPR, Threads: 2, ValueSize: 8, Seconds: 1.0,
+		Records:     1000,
+		CommitAt:    []float64{0.2, 0.7},
+		SampleEvery: 50 * time.Millisecond,
+		Source:      func(w int) TxnSource { return newYCSBSource(spec, 8, uint64(w)+1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mark is skipped when the previous commit is still in flight, so at
+	// least one of the two well-separated marks must land.
+	if res.CommitCount < 1 {
+		t.Fatalf("commits = %d, want >= 1", res.CommitCount)
+	}
+	if len(res.Series) < 3 {
+		t.Fatalf("series too short: %d", len(res.Series))
+	}
+}
+
+func TestRunFasterBasics(t *testing.T) {
+	sum, err := RunFaster(FasterParams{
+		Threads: 2, Keys: 2000, ValueSize: 8, ReadFrac: 0.5,
+		Seconds: 0.2, CommitAt: []float64{0.1}, WithIndex: true,
+		SampleEvery: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mops <= 0 {
+		t.Fatalf("throughput = %v", sum.Mops)
+	}
+	if len(sum.Commits) != 1 {
+		t.Fatalf("commits completed = %d, want 1", len(sum.Commits))
+	}
+	if len(sum.Series) == 0 {
+		t.Fatal("no time series")
+	}
+}
+
+func TestRunFasterRMWAndTransfers(t *testing.T) {
+	for _, tr := range []faster.VersionTransfer{faster.FineGrained, faster.CoarseGrained} {
+		sum, err := RunFaster(FasterParams{
+			Threads: 2, Keys: 1000, ValueSize: 8, ReadFrac: 0, RMW: true,
+			Zipf: true, Transfer: tr, Seconds: 0.2, CommitAt: []float64{0.1},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", tr, err)
+		}
+		if sum.Mops <= 0 {
+			t.Fatalf("%v: no throughput", tr)
+		}
+		if len(sum.Commits) != 1 {
+			t.Fatalf("%v: commit did not complete", tr)
+		}
+	}
+}
+
+func TestEndToEndRunner(t *testing.T) {
+	cfg := tinyCfg()
+	mops, _, err := runEndToEnd(cfg, 31, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mops <= 0 {
+		t.Fatal("no throughput in end-to-end runner")
+	}
+}
+
+func TestThreadSweep(t *testing.T) {
+	got := threadSweep(8)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("sweep = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep = %v, want %v", got, want)
+		}
+	}
+	if s := threadSweep(6); s[len(s)-1] != 6 {
+		t.Fatalf("sweep(6) = %v must end at 6", s)
+	}
+}
+
+func TestExperimentOutputShape(t *testing.T) {
+	// fig11e must produce one row per transaction size.
+	e, _ := Lookup("fig11e")
+	var buf bytes.Buffer
+	if err := e.Run(tinyCfg(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 { // header + 5 sizes
+		t.Fatalf("fig11e printed %d lines:\n%s", len(lines), buf.String())
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/storage"
+)
+
+// ablate-flush measures commit latency against device write bandwidth,
+// reproducing the flush-bound plateau of Sec. 7.3.1 ("It takes 6 secs to
+// write 14GB of index and log, close to the sequential bandwidth of our
+// SSD"): commit duration should track capture-bytes / bandwidth once the
+// device, not the protocol, is the bottleneck.
+func init() {
+	register(Experiment{
+		ID:    "ablate-flush",
+		Title: "Ablation: commit latency vs device write bandwidth",
+		Paper: "Sec. 7.3.1 flush plateau",
+		Run: func(cfg Config, w io.Writer) error {
+			keys := uint64(scaled(50_000, cfg.Scale*4))
+			fmt.Fprintf(w, "%-16s %12s %14s %14s   (%d keys, full fold-over commit)\n",
+				"bandwidth", "bytes", "commit(ms)", "expected(ms)", keys)
+			for _, mbps := range []int64{0, 512, 128, 32} {
+				dev := storage.NewMemDevice()
+				dev.WriteBandwidth = mbps << 20
+				s, err := faster.Open(faster.Config{
+					IndexBuckets: 1 << 14, PageBits: 18, MemPages: 64, Device: dev,
+				})
+				if err != nil {
+					return err
+				}
+				sess := s.StartSession()
+				var kb, vb [8]byte
+				for i := uint64(0); i < keys; i++ {
+					binary.LittleEndian.PutUint64(kb[:], i)
+					binary.LittleEndian.PutUint64(vb[:], i)
+					if st := sess.Upsert(kb[:], vb[:]); st == faster.Pending {
+						sess.CompletePending(true)
+					}
+				}
+				start := time.Now()
+				token, err := s.Commit(faster.CommitOptions{WithIndex: true})
+				if err != nil {
+					return err
+				}
+				var res faster.CommitResult
+				for {
+					var ok bool
+					if res, ok = s.TryResult(token); ok {
+						break
+					}
+					sess.Refresh()
+				}
+				elapsed := time.Since(start)
+				if res.Err != nil {
+					return res.Err
+				}
+				label := "unlimited"
+				expected := 0.0
+				if mbps > 0 {
+					label = fmt.Sprintf("%d MiB/s", mbps)
+					expected = float64(res.Bytes) / float64(mbps<<20) * 1000
+				}
+				fmt.Fprintf(w, "%-16s %12d %14.1f %14.1f\n",
+					label, res.Bytes, float64(elapsed.Milliseconds()), expected)
+				sess.StopSession()
+				s.Close()
+			}
+			return nil
+		}})
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/storage"
+)
+
+// ablate-recovery measures recovery time with and without a recent fuzzy
+// index checkpoint. Sec. 6.3's stated motivation for checkpointing the index
+// is "to reduce recovery time by replaying a smaller suffix of the
+// HybridLog"; with only an old (or no recent) index, recovery must rescan
+// from that checkpoint's position.
+func init() {
+	register(Experiment{
+		ID:    "ablate-recovery",
+		Title: "Ablation: recovery time with vs without index checkpoint",
+		Paper: "Sec. 6.3 motivation",
+		Run: func(cfg Config, w io.Writer) error {
+			keys := uint64(scaled(50_000, cfg.Scale*4))
+			fmt.Fprintf(w, "%-24s %14s %14s   (%d keys, %d update rounds)\n",
+				"last commit", "scan bytes", "recover(ms)", keys, 4)
+			for _, withIndex := range []bool{true, false} {
+				dev := storage.NewMemDevice()
+				ckpts := storage.NewMemCheckpointStore()
+				open := faster.Config{IndexBuckets: 1 << 14, PageBits: 18,
+					MemPages: 64, Device: dev, Checkpoints: ckpts}
+				s, err := faster.Open(open)
+				if err != nil {
+					return err
+				}
+				sess := s.StartSession()
+				var kb, vb [8]byte
+				load := func(round uint64) {
+					for i := uint64(0); i < keys; i++ {
+						binary.LittleEndian.PutUint64(kb[:], i)
+						binary.LittleEndian.PutUint64(vb[:], i+round)
+						if st := sess.Upsert(kb[:], vb[:]); st == faster.Pending {
+							sess.CompletePending(true)
+						}
+					}
+				}
+				commit := func(idx bool) {
+					token, err := s.Commit(faster.CommitOptions{WithIndex: idx})
+					if err != nil {
+						return
+					}
+					for {
+						if _, ok := s.TryResult(token); ok {
+							return
+						}
+						sess.Refresh()
+					}
+				}
+				// Round 0 always takes a full commit (index baseline), then
+				// three more rounds of updates with log-only commits; the
+				// final commit optionally refreshes the index.
+				load(0)
+				commit(true)
+				for r := uint64(1); r <= 3; r++ {
+					load(r)
+					commit(false)
+				}
+				if withIndex {
+					commit(true)
+				}
+				scanBytes := s.Log().Tail()
+				sess.StopSession()
+				s.Close()
+
+				start := time.Now()
+				r, err := faster.Recover(open)
+				if err != nil {
+					return err
+				}
+				elapsed := time.Since(start)
+				r.Close()
+				label := "log-only (old index)"
+				if withIndex {
+					label = "fresh index checkpoint"
+				}
+				fmt.Fprintf(w, "%-24s %14d %14.1f\n",
+					label, scanBytes, float64(elapsed.Microseconds())/1000)
+			}
+			return nil
+		}})
+}

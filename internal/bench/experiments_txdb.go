@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/tpcc"
+	"repro/internal/txdb"
+	"repro/internal/ycsb"
+)
+
+var engines = []txdb.EngineKind{txdb.EngineCPR, txdb.EngineCALC, txdb.EngineWAL}
+
+// ycsbParams builds TxdbParams for the paper's YCSB-based database workloads.
+func ycsbParams(cfg Config, eng txdb.EngineKind, threads, txnSize int, readFrac, theta float64) TxdbParams {
+	keys := scaled(250_000, cfg.Scale*4) // paper: 250M keys, scaled down
+	spec := ycsb.TxnSpec{Keys: uint64(keys), TxnSize: txnSize,
+		ReadFraction: readFrac, Theta: theta}
+	return TxdbParams{
+		Engine: eng, Threads: threads, ValueSize: 8,
+		Seconds: cfg.Seconds, Records: keys,
+		Source: func(worker int) TxnSource {
+			return newYCSBSource(spec, 8, uint64(worker)*7919+uint64(eng)*3+1)
+		},
+	}
+}
+
+// scalabilityExperiment prints throughput vs threads for the three engines.
+func scalabilityExperiment(id, title, paper string, txnSize int, theta float64) {
+	register(Experiment{ID: id, Title: title, Paper: paper,
+		Run: func(cfg Config, w io.Writer) error {
+			fmt.Fprintf(w, "%-8s %12s %12s %12s   (Mtxns/sec, 50:50, size %d, theta %.2f)\n",
+				"threads", "CPR", "CALC", "WAL", txnSize, theta)
+			for _, t := range threadSweep(cfg.Threads) {
+				fmt.Fprintf(w, "%-8d", t)
+				for _, eng := range engines {
+					res, err := RunTxdb(ycsbParams(cfg, eng, t, txnSize, 0.5, theta))
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, " %12.2f", res.Mtps)
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		}})
+}
+
+// latencyExperiment prints average latency vs threads.
+func latencyExperiment(id, title, paper string, txnSize int, theta float64) {
+	register(Experiment{ID: id, Title: title, Paper: paper,
+		Run: func(cfg Config, w io.Writer) error {
+			fmt.Fprintf(w, "%-8s %12s %12s %12s   (avg latency us, 50:50, size %d, theta %.2f)\n",
+				"threads", "CPR", "CALC", "WAL", txnSize, theta)
+			for _, t := range threadSweep(cfg.Threads) {
+				fmt.Fprintf(w, "%-8d", t)
+				for _, eng := range engines {
+					res, err := RunTxdb(ycsbParams(cfg, eng, t, txnSize, 0.5, theta))
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, " %12.3f", res.AvgLatencyUs)
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		}})
+}
+
+// breakdownExperiment prints the cycle breakdown (Fig. 10e/16e/17e).
+func breakdownExperiment(id, title, paper string, sizes []int, theta float64, tpccMode bool, payFracs []float64) {
+	register(Experiment{ID: id, Title: title, Paper: paper,
+		Run: func(cfg Config, w io.Writer) error {
+			fmt.Fprintf(w, "%-22s %8s %8s %8s %8s   (%% of sampled cycles)\n",
+				"config", "Exec", "Tail", "LogWr", "Abort")
+			run := func(label string, p TxdbParams) error {
+				p.Instrument = true
+				res, err := RunTxdb(p)
+				if err != nil {
+					return err
+				}
+				b := res.Breakdown
+				total := b.ExecNanos + b.TailNanos + b.LogWriteNanos + b.AbortNanos
+				if total == 0 {
+					total = 1
+				}
+				pc := func(x int64) float64 { return 100 * float64(x) / float64(total) }
+				// Exec excludes the separately attributed engine sections.
+				exec := b.ExecNanos - b.TailNanos - b.LogWriteNanos
+				if exec < 0 {
+					exec = 0
+				}
+				fmt.Fprintf(w, "%-22s %8.1f %8.1f %8.1f %8.1f\n",
+					label, pc(exec), pc(b.TailNanos), pc(b.LogWriteNanos), pc(b.AbortNanos))
+				return nil
+			}
+			for _, threads := range []int{1, cfg.Threads} {
+				if tpccMode {
+					for _, pf := range payFracs {
+						for _, eng := range engines {
+							label := fmt.Sprintf("%s pay%.0f%% thr%d", eng, pf*100, threads)
+							if err := run(label, tpccParams(cfg, eng, threads, pf)); err != nil {
+								return err
+							}
+						}
+					}
+					continue
+				}
+				for _, size := range sizes {
+					for _, eng := range engines {
+						label := fmt.Sprintf("%s size%d thr%d", eng, size, threads)
+						if err := run(label, ycsbParams(cfg, eng, threads, size, 0.5, theta)); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		}})
+}
+
+// timeSeriesExperiment prints throughput over time with commits at marks
+// (Fig. 11a/11b/17a).
+func timeSeriesExperiment(id, title, paper string, txnSize int, mixes []float64, tpccMode bool) {
+	register(Experiment{ID: id, Title: title, Paper: paper,
+		Run: func(cfg Config, w io.Writer) error {
+			duration := 4 * cfg.TimePoints // paper's ~120s squeezed
+			for _, readFrac := range mixes {
+				for _, eng := range engines {
+					var p TxdbParams
+					label := ""
+					if tpccMode {
+						p = tpccParams(cfg, eng, cfg.Threads, readFrac)
+						label = fmt.Sprintf("%s pay=%.0f%%", eng, readFrac*100)
+					} else {
+						p = ycsbParams(cfg, eng, cfg.Threads, txnSize, readFrac, 0.1)
+						label = fmt.Sprintf("%s %.0f:%.0f", eng, (1-readFrac)*100, readFrac*100)
+					}
+					p.Seconds = duration
+					p.CommitAt = []float64{0.25, 0.5, 0.75}
+					p.SampleEvery = time.Duration(duration*1000/16) * time.Millisecond
+					res, err := RunTxdb(p)
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, "%-14s", label)
+					for _, sm := range res.Series {
+						fmt.Fprintf(w, " %7.2f", sm.Mtps)
+					}
+					fmt.Fprintf(w, "   (Mtxns/sec per interval; commits at 25/50/75%%)\n")
+				}
+			}
+			return nil
+		}})
+}
+
+// readPctExperiment prints throughput vs read percentage (Fig. 11c/11d).
+func readPctExperiment(id, title, paper string, txnSize int) {
+	register(Experiment{ID: id, Title: title, Paper: paper,
+		Run: func(cfg Config, w io.Writer) error {
+			fmt.Fprintf(w, "%-8s %12s %12s %12s   (Mtxns/sec, size %d, theta 0.1)\n",
+				"read%", "CPR", "CALC", "WAL", txnSize)
+			for _, readPct := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
+				fmt.Fprintf(w, "%-8.0f", readPct*100)
+				for _, eng := range engines {
+					res, err := RunTxdb(ycsbParams(cfg, eng, cfg.Threads, txnSize, readPct, 0.1))
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, " %12.2f", res.Mtps)
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		}})
+}
+
+func tpccParams(cfg Config, eng txdb.EngineKind, threads int, payFraction float64) TxdbParams {
+	warehouses := scaled(256, cfg.Scale)
+	if warehouses < 8 {
+		warehouses = 8
+	}
+	layout := tpcc.NewLayout(warehouses, 10000)
+	return TxdbParams{
+		Engine: eng, Threads: threads, ValueSize: 64,
+		Seconds: cfg.Seconds, Records: int(layout.TotalRecords),
+		Source: func(worker int) TxnSource {
+			return &tpccSource{gen: tpcc.NewGenerator(layout, payFraction, uint64(worker)+1)}
+		},
+	}
+}
+
+type tpccSource struct{ gen *tpcc.Generator }
+
+func (s *tpccSource) Next() *txdb.Txn { t, _ := s.gen.Next(); return t }
+
+func init() {
+	scalabilityExperiment("fig2", "Scalability: CPR vs CALC vs WAL", "Fig. 2", 1, 0.1)
+	scalabilityExperiment("fig10a", "Low-contention scalability, 1-key txns", "Fig. 10a", 1, 0.1)
+	scalabilityExperiment("fig10b", "Low-contention scalability, 10-key txns", "Fig. 10b", 10, 0.1)
+	latencyExperiment("fig10c", "Low-contention latency, 1-key txns", "Fig. 10c", 1, 0.1)
+	latencyExperiment("fig10d", "Low-contention latency, 10-key txns", "Fig. 10d", 10, 0.1)
+	breakdownExperiment("fig10e", "Cycle breakdown, low contention", "Fig. 10e",
+		[]int{1, 10}, 0.1, false, nil)
+
+	timeSeriesExperiment("fig11a", "Throughput during checkpoints, 1-key txns", "Fig. 11a",
+		1, []float64{0.5, 0}, false)
+	timeSeriesExperiment("fig11b", "Throughput during checkpoints, 10-key txns", "Fig. 11b",
+		10, []float64{0.5, 0}, false)
+	readPctExperiment("fig11c", "Throughput vs read%, 1-key txns", "Fig. 11c", 1)
+	readPctExperiment("fig11d", "Throughput vs read%, 10-key txns", "Fig. 11d", 10)
+	register(Experiment{ID: "fig11e", Title: "Throughput vs transaction size",
+		Paper: "Fig. 11e",
+		Run: func(cfg Config, w io.Writer) error {
+			fmt.Fprintf(w, "%-8s %12s %12s %12s   (Mtxns/sec, 50:50, theta 0.1)\n",
+				"size", "CPR", "CALC", "WAL")
+			for _, size := range []int{1, 3, 5, 7, 10} {
+				fmt.Fprintf(w, "%-8d", size)
+				for _, eng := range engines {
+					res, err := RunTxdb(ycsbParams(cfg, eng, cfg.Threads, size, 0.5, 0.1))
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, " %12.2f", res.Mtps)
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		}})
+
+	// Appendix E.1: high contention.
+	scalabilityExperiment("fig16a", "High-contention scalability, 1-key txns", "Fig. 16a", 1, 0.99)
+	scalabilityExperiment("fig16b", "High-contention scalability, 10-key txns", "Fig. 16b", 10, 0.99)
+	latencyExperiment("fig16c", "High-contention latency, 1-key txns", "Fig. 16c", 1, 0.99)
+	latencyExperiment("fig16d", "High-contention latency, 10-key txns", "Fig. 16d", 10, 0.99)
+	breakdownExperiment("fig16e", "Cycle breakdown, high contention", "Fig. 16e",
+		[]int{1, 10}, 0.99, false, nil)
+
+	// Appendix E.2: TPC-C.
+	timeSeriesExperiment("fig17a", "TPC-C throughput during checkpoints (50:50 mix)", "Fig. 17a",
+		0, []float64{0.5}, true)
+	register(Experiment{ID: "fig17b", Title: "TPC-C scalability, mixed 50:50",
+		Paper: "Fig. 17b", Run: tpccScalability(0.5)})
+	register(Experiment{ID: "fig17c", Title: "TPC-C scalability, payments-only",
+		Paper: "Fig. 17c", Run: tpccScalability(1.0)})
+	register(Experiment{ID: "fig17d", Title: "TPC-C latency, mixed 50:50",
+		Paper: "Fig. 17d",
+		Run: func(cfg Config, w io.Writer) error {
+			fmt.Fprintf(w, "%-8s %12s %12s %12s   (avg latency us, TPC-C 50:50)\n",
+				"threads", "CPR", "CALC", "WAL")
+			for _, t := range threadSweep(cfg.Threads) {
+				fmt.Fprintf(w, "%-8d", t)
+				for _, eng := range engines {
+					res, err := RunTxdb(tpccParams(cfg, eng, t, 0.5))
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, " %12.3f", res.AvgLatencyUs)
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		}})
+	breakdownExperiment("fig17e", "TPC-C cycle breakdown", "Fig. 17e",
+		nil, 0, true, []float64{0.5, 1.0})
+}
+
+func tpccScalability(payFrac float64) func(cfg Config, w io.Writer) error {
+	return func(cfg Config, w io.Writer) error {
+		fmt.Fprintf(w, "%-8s %12s %12s %12s   (Mtxns/sec, TPC-C pay=%.0f%%)\n",
+			"threads", "CPR", "CALC", "WAL", payFrac*100)
+		for _, t := range threadSweep(cfg.Threads) {
+			fmt.Fprintf(w, "%-8d", t)
+			for _, eng := range engines {
+				res, err := RunTxdb(tpccParams(cfg, eng, t, payFrac))
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, " %12.2f", res.Mtps)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/txdb"
+	"repro/internal/ycsb"
+)
+
+// TxnSource supplies transactions to one worker thread.
+type TxnSource interface {
+	Next() *txdb.Txn
+}
+
+// ycsbSource adapts a ycsb.Generator to txdb transactions.
+type ycsbSource struct {
+	gen *ycsb.Generator
+	ops []txdb.Op
+	val []byte
+	txn txdb.Txn
+}
+
+func newYCSBSource(spec ycsb.TxnSpec, valueSize int, seed uint64) *ycsbSource {
+	return &ycsbSource{
+		gen: ycsb.NewGenerator(spec, seed),
+		ops: make([]txdb.Op, spec.TxnSize),
+		val: make([]byte, valueSize),
+	}
+}
+
+func (s *ycsbSource) Next() *txdb.Txn {
+	keys, writes := s.gen.NextTxn()
+	for i := range keys {
+		s.ops[i] = txdb.Op{Key: keys[i], Write: writes[i]}
+	}
+	s.txn = txdb.Txn{Ops: s.ops, WriteValue: s.val}
+	return &s.txn
+}
+
+// TxdbParams configures one transactional-database measurement.
+type TxdbParams struct {
+	Engine    txdb.EngineKind
+	Threads   int
+	ValueSize int
+	Seconds   float64
+	// Source builds the per-worker transaction source (YCSB or TPC-C).
+	Source func(worker int) TxnSource
+	// Records is the database size.
+	Records int
+	// Instrument enables the Fig. 10e breakdown sampling.
+	Instrument bool
+	// CommitAt issues commits at these fractions of the run (e.g. paper's
+	// 30/60/90s marks scale to 0.25/0.5/0.75).
+	CommitAt []float64
+	// SampleEvery enables a throughput time series at this interval.
+	SampleEvery time.Duration
+	// Checkpoints / WALDevice override the default in-memory stores.
+	DB *txdb.DB // reuse an open database (pre-loaded); nil = fresh
+}
+
+// TxdbSample is one time-series point.
+type TxdbSample struct {
+	T    float64 // seconds since start
+	Mtps float64 // millions of committed txns/sec in the interval
+}
+
+// TxdbResult aggregates one measurement.
+type TxdbResult struct {
+	Mtps         float64 // committed millions of txns/sec
+	AvgLatencyUs float64
+	AbortFrac    float64
+	Breakdown    txdb.Stats
+	Series       []TxdbSample
+	CommitCount  int
+}
+
+// RunTxdb executes the workload on a txdb instance for the configured
+// duration and reports throughput/latency/breakdown.
+func RunTxdb(p TxdbParams) (TxdbResult, error) {
+	db := p.DB
+	if db == nil {
+		var err error
+		db, err = txdb.Open(txdb.Config{
+			Records: p.Records, ValueSize: p.ValueSize,
+			Engine: p.Engine, Instrument: p.Instrument,
+		})
+		if err != nil {
+			return TxdbResult{}, err
+		}
+		defer db.Close()
+	}
+
+	var stop atomic.Bool
+	var committedTotal atomic.Int64
+	var latSumNs, latCount atomic.Int64
+	var abortsTotal atomic.Int64
+	var wg sync.WaitGroup
+	stats := make([]txdb.Stats, p.Threads)
+
+	for i := 0; i < p.Threads; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := db.NewWorker()
+			defer w.Close()
+			src := p.Source(i)
+			local := int64(0)
+			for n := 0; ; n++ {
+				if n%64 == 0 {
+					if stop.Load() {
+						break
+					}
+					committedTotal.Add(local)
+					local = 0
+				}
+				txn := src.Next()
+				var res txdb.Result
+				if n%256 == 0 {
+					t0 := time.Now()
+					res = w.Execute(txn)
+					latSumNs.Add(time.Since(t0).Nanoseconds())
+					latCount.Add(1)
+				} else {
+					res = w.Execute(txn)
+				}
+				if res == txdb.Committed {
+					local++
+				} else {
+					abortsTotal.Add(1)
+				}
+			}
+			committedTotal.Add(local)
+			// Keep acknowledging until no commit is active so the state
+			// machine can finish.
+			for db.Phase() != txdb.Rest {
+				w.Refresh()
+			}
+			stats[i] = w.Stats()
+		}()
+	}
+
+	// Commit coordinator + sampler.
+	start := time.Now()
+	var series []TxdbSample
+	commits := 0
+	var commitWG sync.WaitGroup
+	commitWG.Add(1)
+	go func() {
+		defer commitWG.Done()
+		marks := make([]float64, len(p.CommitAt))
+		for i, f := range p.CommitAt {
+			marks[i] = f * p.Seconds
+		}
+		tick := p.SampleEvery
+		if tick == 0 {
+			tick = 50 * time.Millisecond
+		}
+		last := int64(0)
+		lastT := 0.0
+		nextMark := 0
+		for {
+			time.Sleep(tick)
+			now := time.Since(start).Seconds()
+			if p.SampleEvery > 0 {
+				cur := committedTotal.Load()
+				series = append(series, TxdbSample{
+					T:    now,
+					Mtps: float64(cur-last) / (now - lastT) / 1e6,
+				})
+				last, lastT = cur, now
+			}
+			for nextMark < len(marks) && now >= marks[nextMark] {
+				if _, err := db.Commit(nil); err == nil {
+					commits++
+				}
+				nextMark++
+			}
+			if now >= p.Seconds {
+				stop.Store(true)
+				return
+			}
+		}
+	}()
+	commitWG.Wait()
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	res := TxdbResult{
+		Mtps:        float64(committedTotal.Load()) / elapsed / 1e6,
+		Series:      series,
+		CommitCount: commits,
+	}
+	if n := latCount.Load(); n > 0 {
+		res.AvgLatencyUs = float64(latSumNs.Load()) / float64(n) / 1e3
+	}
+	total := committedTotal.Load() + abortsTotal.Load()
+	if total > 0 {
+		res.AbortFrac = float64(abortsTotal.Load()) / float64(total)
+	}
+	for _, s := range stats {
+		res.Breakdown.Committed += s.Committed
+		res.Breakdown.Conflicts += s.Conflicts
+		res.Breakdown.CPRAborts += s.CPRAborts
+		res.Breakdown.ExecNanos += s.ExecNanos
+		res.Breakdown.TailNanos += s.TailNanos
+		res.Breakdown.LogWriteNanos += s.LogWriteNanos
+		res.Breakdown.AbortNanos += s.AbortNanos
+		res.Breakdown.Samples += s.Samples
+	}
+	return res, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTransitionsFireInOrderExactlyOnce(t *testing.T) {
+	var order []string
+	c := NewCoordinator[int](
+		func() { order = append(order, "prepared") },
+		func() { order = append(order, "demarcated") },
+	)
+	c.Add(1)
+	c.Add(2)
+	c.Seal()
+	if len(order) != 0 {
+		t.Fatalf("fired before acks: %v", order)
+	}
+	c.AckPrepare(1)
+	if len(order) != 0 {
+		t.Fatal("prepared fired with one ack missing")
+	}
+	c.AckPrepare(2)
+	if len(order) != 1 || order[0] != "prepared" {
+		t.Fatalf("order = %v", order)
+	}
+	c.Demarcate(1, 10)
+	c.Demarcate(2, 20)
+	if len(order) != 2 || order[1] != "demarcated" {
+		t.Fatalf("order = %v", order)
+	}
+	pts := c.Points()
+	if pts[1] != 10 || pts[2] != 20 {
+		t.Fatalf("points = %v", pts)
+	}
+}
+
+func TestZeroParticipantsFiresOnSeal(t *testing.T) {
+	var prepared, demarcated atomic.Bool
+	c := NewCoordinator[int](
+		func() { prepared.Store(true) },
+		func() { demarcated.Store(true) },
+	)
+	c.Seal()
+	if !prepared.Load() || !demarcated.Load() {
+		t.Fatal("empty commit did not complete on Seal")
+	}
+}
+
+func TestDropBeforeDemarcateUsesFallback(t *testing.T) {
+	var demarcated atomic.Bool
+	c := NewCoordinator[int](nil, func() { demarcated.Store(true) })
+	c.Add(1)
+	c.Add(2)
+	c.Seal()
+	c.AckPrepare(1)
+	c.AckPrepare(2)
+	c.Demarcate(1, 5)
+	// Participant 2 leaves after preparing but before demarcating:
+	// everything it issued (fallback 42) belongs to the commit.
+	c.Drop(2, true, false, 42)
+	if !demarcated.Load() {
+		t.Fatal("drop did not complete the demarcation transition")
+	}
+	pts := c.Points()
+	if pts[1] != 5 || pts[2] != 42 {
+		t.Fatalf("points = %v", pts)
+	}
+}
+
+func TestDropBeforePrepareUnblocks(t *testing.T) {
+	var prepared atomic.Bool
+	c := NewCoordinator[int](func() { prepared.Store(true) }, nil)
+	c.Add(1)
+	c.Add(2)
+	c.Seal()
+	c.AckPrepare(1)
+	c.Drop(2, false, false, 0)
+	if !prepared.Load() {
+		t.Fatal("drop of unprepared participant did not unblock prepare")
+	}
+}
+
+func TestDropIdempotent(t *testing.T) {
+	c := NewCoordinator[int](nil, nil)
+	c.Add(1)
+	c.Seal()
+	c.Drop(1, false, false, 7)
+	c.Drop(1, true, true, 9) // already gone; must be a no-op
+	if pts := c.Points(); pts[1] != 7 {
+		t.Fatalf("points = %v", pts)
+	}
+}
+
+func TestCallbacksExactlyOnceUnderConcurrency(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		var prepared, demarcated atomic.Int32
+		c := NewCoordinator[int](
+			func() { prepared.Add(1) },
+			func() { demarcated.Add(1) },
+		)
+		const n = 8
+		for i := 0; i < n; i++ {
+			c.Add(i)
+		}
+		c.Seal()
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.AckPrepare(i)
+				c.Demarcate(i, uint64(i))
+			}()
+		}
+		wg.Wait()
+		if prepared.Load() != 1 || demarcated.Load() != 1 {
+			t.Fatalf("iter %d: prepared=%d demarcated=%d, want 1/1",
+				iter, prepared.Load(), demarcated.Load())
+		}
+	}
+}
+
+func TestDemarcationNeverBeforePrepareCompletes(t *testing.T) {
+	// The prepare callback sets a flag; the demarcation callback asserts it.
+	for iter := 0; iter < 100; iter++ {
+		var preparedDone atomic.Bool
+		violation := atomic.Bool{}
+		c := NewCoordinator[int](
+			func() { preparedDone.Store(true) },
+			func() {
+				if !preparedDone.Load() {
+					violation.Store(true)
+				}
+			},
+		)
+		c.Add(1)
+		c.Add(2)
+		c.Seal()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); c.AckPrepare(1); c.Demarcate(1, 1) }()
+		go func() { defer wg.Done(); c.AckPrepare(2); c.Drop(2, true, false, 2) }()
+		wg.Wait()
+		if violation.Load() {
+			t.Fatal("demarcation callback ran before prepare callback completed")
+		}
+	}
+}

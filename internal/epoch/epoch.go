@@ -1,0 +1,186 @@
+// Package epoch implements the epoch-protection framework of Sec. 3 of the
+// CPR paper (Prasaad et al., SIGMOD 2019), the loose-synchronization building
+// block used by every CPR commit protocol in this repository.
+//
+// A Manager maintains a shared atomic counter E (the current epoch). Every
+// participating thread T owns an entry in a shared epoch table holding its
+// thread-local copy E_T, refreshed periodically. An epoch c is safe when all
+// registered threads have a strictly higher local epoch. Threads may register
+// trigger actions with BumpEpoch: the action fires exactly once, after the
+// bumped epoch becomes safe — i.e. after every registered thread has
+// refreshed and therefore observed any global state written before the bump.
+package epoch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxThreads is the capacity of the epoch table. Each registered Guard
+// occupies one entry until released.
+const MaxThreads = 512
+
+const cacheLine = 64
+
+// entry is one slot of the shared epoch table. Entries are padded to a cache
+// line so refreshes by different threads do not false-share.
+type entry struct {
+	local atomic.Uint64 // thread-local epoch; 0 means the slot is free
+	_     [cacheLine - 8]byte
+}
+
+// action is a registered trigger: fn runs once epoch is safe.
+type action struct {
+	epoch uint64
+	fn    func()
+}
+
+// Manager is a shared epoch table plus a drain list of trigger actions.
+// The zero value is not usable; call New.
+type Manager struct {
+	current atomic.Uint64 // E
+	safe    atomic.Uint64 // E_s, largest known-safe epoch
+
+	table [MaxThreads]entry
+
+	drainCount atomic.Int32 // fast-path check: non-zero iff drain may be non-empty
+	drainMu    sync.Mutex
+	drain      []action
+}
+
+// New returns a Manager with the current epoch initialized to 1 so that a
+// zero local-epoch value can mean "slot free".
+func New() *Manager {
+	m := &Manager{}
+	m.current.Store(1)
+	return m
+}
+
+// Guard is a registered thread's handle into the epoch table. A Guard is not
+// safe for concurrent use; it belongs to the goroutine that acquired it.
+type Guard struct {
+	m    *Manager
+	slot int
+}
+
+// Acquire registers the calling goroutine in the epoch table and returns its
+// Guard. It panics if the table is full, which indicates a configuration
+// error (more concurrent sessions than MaxThreads).
+func (m *Manager) Acquire() *Guard {
+	e := m.current.Load()
+	for i := range m.table {
+		if m.table[i].local.Load() == 0 && m.table[i].local.CompareAndSwap(0, e) {
+			return &Guard{m: m, slot: i}
+		}
+	}
+	panic("epoch: table full; raise MaxThreads or release unused guards")
+}
+
+// Refresh copies the current epoch into the guard's table entry, recomputes
+// the maximal safe epoch, and runs any trigger actions that became ready.
+func (g *Guard) Refresh() {
+	g.m.table[g.slot].local.Store(g.m.current.Load())
+	g.m.computeSafeAndDrain()
+}
+
+// Release removes the guard from the epoch table. Any actions that become
+// ready as a result are triggered. The guard must not be used afterwards.
+func (g *Guard) Release() {
+	g.m.table[g.slot].local.Store(0)
+	g.m.computeSafeAndDrain()
+	g.m = nil
+}
+
+// Current returns the current global epoch E.
+func (m *Manager) Current() uint64 { return m.current.Load() }
+
+// Safe returns the most recently computed maximal safe epoch E_s.
+func (m *Manager) Safe() uint64 { return m.safe.Load() }
+
+// BumpEpoch increments the current epoch from e to e+1 and registers fn to
+// run after epoch e becomes safe — that is, after every registered thread has
+// refreshed its local epoch to at least e+1 and has therefore observed any
+// global state stored before this call. If no threads are registered, fn runs
+// immediately. fn may itself call BumpEpoch.
+func (m *Manager) BumpEpoch(fn func()) {
+	prev := m.current.Add(1) - 1
+	if fn == nil {
+		return
+	}
+	m.drainMu.Lock()
+	m.drain = append(m.drain, action{epoch: prev, fn: fn})
+	m.drainMu.Unlock()
+	m.drainCount.Add(1)
+	m.computeSafeAndDrain()
+}
+
+// Bump increments the current epoch without registering an action.
+func (m *Manager) Bump() { m.BumpEpoch(nil) }
+
+// computeSafeAndDrain recomputes E_s by scanning the table and fires every
+// drain-list action whose epoch is now safe. Actions are removed under the
+// lock (so each runs exactly once) but invoked outside it (so an action may
+// bump the epoch and register further actions).
+func (m *Manager) computeSafeAndDrain() {
+	cur := m.current.Load()
+	minLocal := cur
+	for i := range m.table {
+		if v := m.table[i].local.Load(); v != 0 && v < minLocal {
+			minLocal = v
+		}
+	}
+	safe := minLocal - 1
+	// Monotonically advance the published safe epoch.
+	for {
+		old := m.safe.Load()
+		if safe <= old || m.safe.CompareAndSwap(old, safe) {
+			break
+		}
+	}
+	if m.drainCount.Load() == 0 {
+		return
+	}
+	var ready []action
+	m.drainMu.Lock()
+	kept := m.drain[:0]
+	for _, a := range m.drain {
+		if a.epoch <= m.safe.Load() {
+			ready = append(ready, a)
+		} else {
+			kept = append(kept, a)
+		}
+	}
+	m.drain = kept
+	m.drainMu.Unlock()
+	if len(ready) > 0 {
+		m.drainCount.Add(int32(-len(ready)))
+		for _, a := range ready {
+			a.fn()
+		}
+	}
+}
+
+// SpinUntil refreshes the guard and yields until cond returns true. It is
+// used by threads that must wait for a global transition (e.g. a page frame
+// becoming available) without stalling epoch progress.
+func (g *Guard) SpinUntil(cond func() bool) {
+	for i := 0; !cond(); i++ {
+		g.Refresh()
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Registered reports how many guards are currently registered. Intended for
+// tests and diagnostics.
+func (m *Manager) Registered() int {
+	n := 0
+	for i := range m.table {
+		if m.table[i].local.Load() != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,211 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestAcquireRefreshRelease(t *testing.T) {
+	m := New()
+	if got := m.Current(); got != 1 {
+		t.Fatalf("initial epoch = %d, want 1", got)
+	}
+	g := m.Acquire()
+	if m.Registered() != 1 {
+		t.Fatalf("registered = %d, want 1", m.Registered())
+	}
+	m.Bump()
+	g.Refresh()
+	if m.Safe() != m.Current()-1 {
+		t.Fatalf("safe = %d, want %d", m.Safe(), m.Current()-1)
+	}
+	g.Release()
+	if m.Registered() != 0 {
+		t.Fatalf("registered after release = %d, want 0", m.Registered())
+	}
+}
+
+func TestBumpEpochNoThreadsFiresImmediately(t *testing.T) {
+	m := New()
+	fired := false
+	m.BumpEpoch(func() { fired = true })
+	if !fired {
+		t.Fatal("action did not fire with empty epoch table")
+	}
+}
+
+func TestBumpEpochWaitsForAllThreads(t *testing.T) {
+	m := New()
+	g1 := m.Acquire()
+	g2 := m.Acquire()
+	var fired atomic.Bool
+	m.BumpEpoch(func() { fired.Store(true) })
+	if fired.Load() {
+		t.Fatal("action fired before any thread refreshed")
+	}
+	g1.Refresh()
+	if fired.Load() {
+		t.Fatal("action fired before second thread refreshed")
+	}
+	g2.Refresh()
+	if !fired.Load() {
+		t.Fatal("action did not fire after all threads refreshed")
+	}
+	g1.Release()
+	g2.Release()
+}
+
+func TestReleaseTriggersDrain(t *testing.T) {
+	m := New()
+	g1 := m.Acquire()
+	g2 := m.Acquire()
+	var fired atomic.Bool
+	m.BumpEpoch(func() { fired.Store(true) })
+	g1.Refresh()
+	// g2 never refreshes; releasing it must unblock the action.
+	g2.Release()
+	if !fired.Load() {
+		t.Fatal("action did not fire after blocking thread released")
+	}
+	g1.Release()
+}
+
+func TestActionFiresExactlyOnce(t *testing.T) {
+	m := New()
+	g := m.Acquire()
+	var count atomic.Int32
+	m.BumpEpoch(func() { count.Add(1) })
+	for i := 0; i < 10; i++ {
+		g.Refresh()
+	}
+	if got := count.Load(); got != 1 {
+		t.Fatalf("action fired %d times, want 1", got)
+	}
+	g.Release()
+}
+
+func TestChainedBumps(t *testing.T) {
+	m := New()
+	g := m.Acquire()
+	var order []int
+	m.BumpEpoch(func() {
+		order = append(order, 1)
+		m.BumpEpoch(func() { order = append(order, 2) })
+	})
+	g.Refresh() // fires 1, registers 2
+	g.Refresh() // fires 2
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+	g.Release()
+}
+
+func TestSafeInvariant(t *testing.T) {
+	// Invariant from Sec. 3: forall T: E_s < E_T <= E.
+	m := New()
+	guards := make([]*Guard, 8)
+	for i := range guards {
+		guards[i] = m.Acquire()
+	}
+	for step := 0; step < 100; step++ {
+		m.Bump()
+		guards[step%len(guards)].Refresh()
+		es, e := m.Safe(), m.Current()
+		if es >= e {
+			t.Fatalf("step %d: E_s=%d >= E=%d", step, es, e)
+		}
+		for i, g := range guards {
+			et := m.table[g.slot].local.Load()
+			if !(es < et && et <= e) {
+				t.Fatalf("step %d guard %d: violated E_s(%d) < E_T(%d) <= E(%d)", step, i, es, et, e)
+			}
+		}
+	}
+	for _, g := range guards {
+		g.Release()
+	}
+}
+
+func TestConcurrentRefreshAndBump(t *testing.T) {
+	m := New()
+	const threads = 8
+	const actions = 200
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := m.Acquire()
+			defer g.Release()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					g.Refresh()
+				}
+			}
+		}()
+	}
+	for i := 0; i < actions; i++ {
+		m.BumpEpoch(func() { fired.Add(1) })
+	}
+	close(stop)
+	wg.Wait()
+	// All guards released; any remaining actions must have drained.
+	m.computeSafeAndDrain()
+	if got := fired.Load(); got != actions {
+		t.Fatalf("fired %d actions, want %d", got, actions)
+	}
+}
+
+func TestSpinUntil(t *testing.T) {
+	m := New()
+	g := m.Acquire()
+	defer g.Release()
+	var flag atomic.Bool
+	go func() { flag.Store(true) }()
+	g.SpinUntil(flag.Load)
+	if !flag.Load() {
+		t.Fatal("SpinUntil returned before condition held")
+	}
+}
+
+func TestQuickSafeNeverExceedsCurrent(t *testing.T) {
+	// Property: under any interleaving of bumps and refreshes, Safe < Current.
+	f := func(ops []bool) bool {
+		m := New()
+		g := m.Acquire()
+		defer g.Release()
+		for _, bump := range ops {
+			if bump {
+				m.Bump()
+			} else {
+				g.Refresh()
+			}
+			if m.Safe() >= m.Current() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardSlotReuse(t *testing.T) {
+	m := New()
+	g1 := m.Acquire()
+	slot := g1.slot
+	g1.Release()
+	g2 := m.Acquire()
+	if g2.slot != slot {
+		t.Fatalf("freed slot %d not reused, got %d", slot, g2.slot)
+	}
+	g2.Release()
+}

@@ -1,0 +1,103 @@
+package faster
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/ycsb"
+)
+
+// Microbenchmarks for the store's hot paths (rest phase, in-memory working
+// set — the regime the paper's 150M+ ops/sec headline numbers measure).
+
+func benchStore(b *testing.B, keys uint64) (*Store, *Session) {
+	b.Helper()
+	s, err := Open(Config{IndexBuckets: 1 << 14, PageBits: 18, MemPages: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := s.StartSession()
+	var kb, vb [8]byte
+	for i := uint64(0); i < keys; i++ {
+		binary.LittleEndian.PutUint64(kb[:], i)
+		binary.LittleEndian.PutUint64(vb[:], i)
+		if st := sess.Upsert(kb[:], vb[:]); st == Pending {
+			sess.CompletePending(true)
+		}
+	}
+	b.Cleanup(func() { sess.StopSession(); s.Close() })
+	return s, sess
+}
+
+func BenchmarkUpsertInPlace(b *testing.B) {
+	_, sess := benchStore(b, 1<<14)
+	var kb, vb [8]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(kb[:], uint64(i)&(1<<14-1))
+		binary.LittleEndian.PutUint64(vb[:], uint64(i))
+		sess.Upsert(kb[:], vb[:])
+	}
+}
+
+func BenchmarkReadHot(b *testing.B) {
+	_, sess := benchStore(b, 1<<14)
+	var kb [8]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(kb[:], uint64(i)&(1<<14-1))
+		sess.Read(kb[:], nil)
+	}
+}
+
+func BenchmarkRMWInPlace(b *testing.B) {
+	_, sess := benchStore(b, 1<<14)
+	var kb, db_ [8]byte
+	binary.LittleEndian.PutUint64(db_[:], 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(kb[:], uint64(i)&(1<<14-1))
+		sess.RMW(kb[:], db_[:])
+	}
+}
+
+func BenchmarkYCSBZipf5050(b *testing.B) {
+	_, sess := benchStore(b, 1<<14)
+	gen := ycsb.NewGenerator(ycsb.TxnSpec{Keys: 1 << 14, TxnSize: 1,
+		ReadFraction: 0.5, Theta: 0.99}, 7)
+	var kb, vb [8]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(kb[:], gen.NextKey())
+		if gen.IsWrite() {
+			binary.LittleEndian.PutUint64(vb[:], uint64(i))
+			sess.Upsert(kb[:], vb[:])
+		} else {
+			sess.Read(kb[:], nil)
+		}
+	}
+}
+
+func BenchmarkCommitLogOnly(b *testing.B) {
+	s, sess := benchStore(b, 1<<12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		token, err := s.Commit(CommitOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, ok := s.TryResult(token); ok {
+				break
+			}
+			sess.Refresh()
+		}
+		// Touch a few keys so the next commit has fresh work.
+		var kb, vb [8]byte
+		for k := 0; k < 16; k++ {
+			binary.LittleEndian.PutUint64(kb[:], uint64(k))
+			binary.LittleEndian.PutUint64(vb[:], uint64(i))
+			sess.Upsert(kb[:], vb[:])
+		}
+	}
+}

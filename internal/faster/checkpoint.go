@@ -1,0 +1,339 @@
+package faster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// CommitOptions configures a single CPR commit.
+type CommitOptions struct {
+	// WithIndex also takes a fuzzy checkpoint of the hash index (a "full"
+	// commit, Sec. 7.3.1). Log-only commits recover by replaying a longer
+	// log suffix from the most recent index checkpoint.
+	WithIndex bool
+	// Kind overrides the store's default commit kind when non-nil.
+	Kind *CommitKind
+	// OnDone, if set, is invoked (from the checkpoint goroutine) when the
+	// commit becomes durable, with the per-session CPR points.
+	OnDone func(res CommitResult)
+}
+
+// CommitResult describes a completed CPR commit.
+type CommitResult struct {
+	Token   string
+	Version uint32
+	Kind    CommitKind
+	// Serials maps each participating session ID to its CPR point: every
+	// operation with serial <= Serials[id] is durable, none after.
+	Serials map[string]uint64
+	// Bytes is the volume written for this commit (log + snapshot + index).
+	Bytes int64
+	Err   error
+}
+
+// checkpointCtx tracks one in-flight CPR commit.
+type checkpointCtx struct {
+	store   *Store
+	version uint32
+	kind    CommitKind
+	opts    CommitOptions
+	token   string
+
+	// coord collects the per-session acknowledgments that drive the first
+	// two transitions of Fig. 9a and the sessions' CPR points.
+	coord *core.Coordinator[*Session]
+
+	pendingV atomic.Int64
+	flushing atomic.Bool
+
+	lhs, lhe      uint64
+	lis, lie      uint64
+	snapshotStart uint64
+
+	done chan struct{}
+	res  CommitResult
+}
+
+// metadata is the persisted commit descriptor.
+type metadata struct {
+	Token         string            `json:"token"`
+	Version       uint32            `json:"version"`
+	Kind          string            `json:"kind"`
+	Lhs           uint64            `json:"log_start"`
+	Lhe           uint64            `json:"log_end"`
+	Lis           uint64            `json:"index_start"`
+	Lie           uint64            `json:"index_end"`
+	SnapshotStart uint64            `json:"snapshot_start"`
+	HasIndex      bool              `json:"has_index"`
+	IndexToken    string            `json:"index_token"`
+	Serials       map[string]uint64 `json:"serials"`
+}
+
+// ErrCommitInProgress is returned when Commit is called while another commit
+// has not yet completed.
+var ErrCommitInProgress = fmt.Errorf("faster: a CPR commit is already in progress")
+
+// Commit starts an asynchronous CPR commit (Sec. 6.2) and returns its token
+// immediately. The commit proceeds through prepare, in-progress,
+// wait-pending and wait-flush as sessions refresh; opts.OnDone fires when
+// the checkpoint is durable. Use WaitForCommit to block.
+func (s *Store) Commit(opts CommitOptions) (string, error) {
+	s.sessionMu.Lock()
+	s.ckptMu.Lock()
+	if s.ckpt != nil {
+		s.ckptMu.Unlock()
+		s.sessionMu.Unlock()
+		return "", ErrCommitInProgress
+	}
+	if p, _ := unpackState(s.state.Load()); p != Rest {
+		s.ckptMu.Unlock()
+		s.sessionMu.Unlock()
+		return "", ErrCommitInProgress
+	}
+	kind := s.cfg.Kind
+	if opts.Kind != nil {
+		kind = *opts.Kind
+	}
+	ck := &checkpointCtx{
+		store:   s,
+		version: s.Version(),
+		kind:    kind,
+		opts:    opts,
+		token:   fmt.Sprintf("ckpt-%06d", s.commitSeq.Add(1)),
+		done:    make(chan struct{}),
+	}
+	ck.coord = core.NewCoordinator[*Session](ck.advanceToInProgress, ck.advanceToWaitPending)
+	for _, sess := range s.sessions {
+		ck.coord.Add(sess)
+	}
+	ck.lhs = s.log.Tail()
+	s.ckpt = ck
+	// Publish the prepare phase; sessions observe it on refresh.
+	s.state.Store(packState(Prepare, ck.version))
+	s.epochs.Bump()
+	s.ckptMu.Unlock()
+	s.sessionMu.Unlock()
+	// With zero participants the seal completes both transitions at once.
+	ck.coord.Seal()
+	return ck.token, nil
+}
+
+// WaitForCommit blocks until the commit identified by token completes and
+// returns its result. It must not be called from a session's own goroutine
+// unless other sessions keep refreshing (the commit needs every session to
+// acknowledge the version shift).
+func (s *Store) WaitForCommit(token string) CommitResult {
+	s.ckptMu.Lock()
+	ck := s.ckpt
+	if ck == nil || ck.token != token {
+		res, ok := s.results[token]
+		s.ckptMu.Unlock()
+		if ok {
+			return res
+		}
+		return CommitResult{Token: token, Err: fmt.Errorf("faster: unknown commit %q", token)}
+	}
+	s.ckptMu.Unlock()
+	<-ck.done
+	return ck.res
+}
+
+// TryResult returns the result of a completed commit without blocking. ok is
+// false while the commit is still in flight (or the token is unknown).
+func (s *Store) TryResult(token string) (CommitResult, bool) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	res, ok := s.results[token]
+	return res, ok
+}
+
+// ackPrepare records that one participant finished its prepare-entry work;
+// the last acknowledgment advances the machine to in-progress (transition 2
+// of Fig. 9a).
+func (ck *checkpointCtx) ackPrepare(sess *Session) {
+	ck.coord.AckPrepare(sess)
+}
+
+func (ck *checkpointCtx) advanceToInProgress() {
+	ck.store.state.Store(packState(InProgress, ck.version))
+	ck.store.epochs.Bump()
+}
+
+// ackInProgress records a session's CPR point (transition 3 of Fig. 9a).
+func (ck *checkpointCtx) ackInProgress(sess *Session, cprSerial uint64) {
+	ck.coord.Demarcate(sess, cprSerial)
+}
+
+func (ck *checkpointCtx) advanceToWaitPending() {
+	ck.store.state.Store(packState(WaitPending, ck.version))
+	ck.checkPendingDone()
+}
+
+// dropParticipant removes a stopping session from the commit; a session that
+// leaves before demarcating contributes everything it issued (it can issue
+// nothing further).
+func (ck *checkpointCtx) dropParticipant(sess *Session) {
+	sameVersion := sess.version == ck.version
+	ck.coord.Drop(sess,
+		sameVersion && sess.phase >= Prepare,
+		sameVersion && sess.phase >= InProgress,
+		sess.serial)
+}
+
+// serialsByID converts the coordinator's per-session commit points to the
+// session-ID keyed map persisted in commit metadata.
+func (ck *checkpointCtx) serialsByID() map[string]uint64 {
+	points := ck.coord.Points()
+	out := make(map[string]uint64, len(points))
+	for sess, pt := range points {
+		out[sess.id] = pt
+	}
+	return out
+}
+
+// checkPendingDone advances wait-pending → wait-flush once every pending
+// version-v request has completed (transition 4 of Fig. 9a).
+func (ck *checkpointCtx) checkPendingDone() {
+	if p, _ := unpackState(ck.store.state.Load()); p != WaitPending {
+		return
+	}
+	if ck.pendingV.Load() != 0 {
+		return
+	}
+	if ck.flushing.Swap(true) {
+		return
+	}
+	ck.store.state.Store(packState(WaitFlush, ck.version))
+	go ck.waitFlush()
+}
+
+// waitFlush captures version v durably (transition 5 of Fig. 9a): fold-over
+// shifts the read-only offset to the tail and waits for the flush; snapshot
+// writes the volatile log region to a separate artifact. Then the metadata
+// (including per-session CPR points) is persisted and the store returns to
+// rest at version v+1.
+func (ck *checkpointCtx) waitFlush() {
+	s := ck.store
+	var bytes int64
+	var err error
+
+	// Record the commit's log end, then take the fuzzy index checkpoint (if
+	// requested) before capturing the log: the capture is extended to cover
+	// [Lhe, Lie) so that recovery's Alg. 3 scan range max(Lie, Lhe) is fully
+	// on the device and v+1 records referenced by fuzzy index entries can be
+	// invalidated and chased back to their committed predecessors.
+	ck.lhe = s.log.Tail()
+	indexToken := ""
+	if ck.opts.WithIndex {
+		ck.lis = s.log.Tail()
+		indexToken = ck.token
+		w, cerr := s.cfg.Checkpoints.Create("index-" + ck.token)
+		err = cerr
+		if err == nil {
+			cw := &countingWriter{w: w}
+			err = s.index.writeTo(cw)
+			if cerr := w.Close(); err == nil {
+				err = cerr
+			}
+			bytes += cw.n
+		}
+		ck.lie = s.log.Tail()
+	} else {
+		// Carry the most recent index checkpoint forward so log-only
+		// commits can recover by replaying from it (Sec. 6.3).
+		indexToken, ck.lis, ck.lie = s.lastIndexToken, s.lastLis, s.lastLie
+	}
+	captureEnd := ck.lhe
+	if ck.opts.WithIndex && ck.lie > captureEnd {
+		captureEnd = ck.lie
+	}
+
+	if err == nil {
+		switch ck.kind {
+		case FoldOver:
+			s.log.ShiftReadOnlyTo(captureEnd)
+			// Drive epoch progress ourselves so the shift's trigger action
+			// and flush run even if every session is momentarily idle.
+			g := s.epochs.Acquire()
+			for s.log.Durable() < captureEnd {
+				g.Refresh()
+				time.Sleep(50 * time.Microsecond)
+			}
+			g.Release()
+			bytes += int64(captureEnd - ck.lhs)
+		case Snapshot:
+			ck.snapshotStart = s.log.Durable()
+			data := s.log.SnapshotRange(ck.snapshotStart, captureEnd)
+			err = ck.writeArtifact("snapshot-"+ck.token, data)
+			bytes += int64(len(data))
+		}
+	}
+
+	serials := ck.serialsByID()
+	if err == nil {
+		meta := metadata{
+			Token: ck.token, Version: ck.version, Kind: ck.kind.String(),
+			Lhs: ck.lhs, Lhe: ck.lhe, Lis: ck.lis, Lie: ck.lie,
+			SnapshotStart: ck.snapshotStart,
+			HasIndex:      ck.opts.WithIndex, IndexToken: indexToken,
+			Serials: serials,
+		}
+		var buf []byte
+		buf, err = json.Marshal(meta)
+		if err == nil {
+			err = ck.writeArtifact("meta-"+ck.token, buf)
+		}
+		if err == nil {
+			err = ck.writeArtifact("latest", []byte(ck.token))
+		}
+		if err == nil && ck.opts.WithIndex {
+			s.lastIndexToken, s.lastLis, s.lastLie = indexToken, ck.lis, ck.lie
+		}
+	}
+
+	ck.res = CommitResult{
+		Token: ck.token, Version: ck.version, Kind: ck.kind,
+		Serials: serials, Bytes: bytes, Err: err,
+	}
+	// Return to rest at version v+1 and detach the context.
+	s.ckptMu.Lock()
+	s.ckpt = nil
+	if s.results == nil {
+		s.results = make(map[string]CommitResult)
+	}
+	s.results[ck.token] = ck.res
+	s.state.Store(packState(Rest, ck.version+1))
+	s.ckptMu.Unlock()
+	s.epochs.Bump()
+	close(ck.done)
+	if ck.opts.OnDone != nil {
+		ck.opts.OnDone(ck.res)
+	}
+}
+
+func (ck *checkpointCtx) writeArtifact(name string, data []byte) error {
+	w, err := ck.store.cfg.Checkpoints.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+type countingWriter struct {
+	w interface{ Write([]byte) (int, error) }
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,122 @@
+package faster
+
+import (
+	"fmt"
+
+	"repro/internal/hashfn"
+	"repro/internal/hlog"
+)
+
+// CompactLog reclaims the log prefix [Begin, until): every record in it that
+// is still live — reachable as the first match for its key from the hash
+// index — is copied to the tail, then the begin address advances so chain
+// walks treat the prefix as gone. This is the log-trimming role of FASTER's
+// garbage collection referenced in the paper's setup (Sec. 7.1); dead
+// versions, overwritten values and tombstoned keys are dropped.
+//
+// Compaction runs concurrently with normal operations but not with a CPR
+// commit: it must be called in the rest phase and fails with
+// ErrCommitInProgress otherwise (copied records would straddle the version
+// shift). until is clamped to the safe-read-only offset — only the immutable
+// region compacts.
+// CompactLog runs on a session so the compaction work shares the session's
+// epoch entry: the scan refreshes it continuously, keeping global progress
+// (offset shifts, flushes) alive even when this is the only session.
+func (sess *Session) CompactLog(until uint64) error {
+	s := sess.store
+	if p, _ := unpackState(s.state.Load()); p != Rest {
+		return ErrCommitInProgress
+	}
+	if sro := s.log.SafeReadOnly(); until > sro {
+		until = sro
+	}
+	begin := s.log.Begin()
+	if until <= begin {
+		return nil
+	}
+	g := sess.guard
+	_, version := unpackState(s.state.Load())
+
+	var keyBuf, valBuf []byte
+	count := 0
+	err := s.log.Scan(begin, until, func(addr uint64, rec hlog.RecordRef) bool {
+		if count++; count%64 == 0 {
+			g.Refresh()
+		}
+		if rec.Invalid() {
+			return true
+		}
+		keyBuf = rec.Key(keyBuf[:0])
+		h := hashfn.Hash64(keyBuf)
+		for {
+			slot := s.index.findSlot(h)
+			if slot == nil {
+				return true // key no longer indexed
+			}
+			liveAddr, ok := s.chainFirstMatch(slot, keyBuf)
+			if !ok || liveAddr != addr {
+				return true // a newer version supersedes this record
+			}
+			if rec.Tombstone() {
+				// A live tombstone at the chain position: if it is the chain
+				// head, the key can be dropped from the index entirely;
+				// otherwise leave it (the walk ends at begin afterwards).
+				if entryAddr(slot.Load()) == addr {
+					old := slot.Load()
+					slot.CompareAndSwap(old, 0) //nolint:errcheck
+				}
+				return true
+			}
+			// Copy the live record to the tail, linked ahead of the chain.
+			valBuf = rec.Value(valBuf[:0])
+			valCap := len(valBuf)
+			if valCap < 8 {
+				valCap = 8
+			}
+			size := hlog.RecordSize(len(keyBuf), valCap)
+			newAddr := s.log.Allocate(g, size)
+			oldEntry := slot.Load()
+			if err := s.log.WriteRecord(newAddr, entryAddr(oldEntry),
+				recVersion(version), keyBuf, valBuf, valCap); err != nil {
+				panic(fmt.Sprintf("faster: compact write: %v", err))
+			}
+			if slot.CompareAndSwap(oldEntry, oldEntry&^entryAddrMask|newAddr) {
+				return true
+			}
+			// A concurrent update moved the chain head; orphan our copy and
+			// re-check liveness (the update may have superseded this record).
+			s.log.Record(newAddr).SetInvalid()
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("faster: compact scan: %w", err)
+	}
+	s.log.ShiftBegin(until)
+	return nil
+}
+
+// chainFirstMatch walks a slot's chain and returns the address of the first
+// record matching key. Cold records are read synchronously (compaction is a
+// maintenance path).
+func (s *Store) chainFirstMatch(slot interface{ Load() uint64 }, key []byte) (uint64, bool) {
+	addr := entryAddr(slot.Load())
+	head := s.log.Head()
+	begin := s.log.Begin()
+	for addr >= begin && addr >= hlog.FirstAddress {
+		var rec hlog.RecordRef
+		if addr >= head {
+			rec = s.log.Record(addr)
+		} else {
+			r, err := s.log.ReadRecordSync(addr)
+			if err != nil {
+				return 0, false
+			}
+			rec = r
+		}
+		if !rec.Invalid() && rec.KeyEquals(key) {
+			return addr, true
+		}
+		addr = rec.Prev()
+	}
+	return 0, false
+}

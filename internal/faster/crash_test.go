@@ -1,0 +1,168 @@
+package faster
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/ycsb"
+)
+
+// TestCrashAtRandomPoints is the crash-consistency stress test: sessions run
+// a continuous workload while commits fire; at random instants the "disk"
+// (checkpoint store first, then the log device — matching write-ordering) is
+// cloned, modelling a hard crash. Recovery from each clone must satisfy the
+// CPR contract exactly: for every session, all operations up to its
+// recovered CPR point present, none after.
+//
+// The workload makes the check self-describing: session i's operation n
+// upserts key (i, n%keysPer) = n, so from the recovered point alone the
+// expected value of every key is computable.
+func TestCrashAtRandomPoints(t *testing.T) {
+	const sessions = 3
+	const keysPer = 32
+	const crashes = 6
+
+	dev := storage.NewMemDevice()
+	ckpts := storage.NewMemCheckpointStore()
+	cfg := Config{IndexBuckets: 1 << 8, PageBits: 13, MemPages: 8,
+		Device: dev, Checkpoints: ckpts}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := make([]string, sessions)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		i := i
+		sess := s.StartSession()
+		ids[i] = sess.ID()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := ycsb.NewRNG(uint64(i) + 77)
+			var kb, vb [8]byte
+			for n := uint64(1); ; n++ {
+				if n%64 == 0 && stop.Load() {
+					break
+				}
+				binary.LittleEndian.PutUint64(kb[:], uint64(i)<<32|n%keysPer)
+				binary.LittleEndian.PutUint64(vb[:], n)
+				if st := sess.Upsert(kb[:], vb[:]); st == Pending {
+					sess.CompletePending(true)
+				}
+				if rng.Intn(997) == 0 {
+					sess.CompletePending(false)
+				}
+			}
+			sess.CompletePending(true)
+			for s.Phase() != Rest {
+				sess.Refresh()
+				sess.CompletePending(false)
+			}
+			sess.StopSession()
+		}()
+	}
+
+	// Commit continuously while taking crash snapshots at random moments.
+	type snapshot struct {
+		dev   *storage.MemDevice
+		ckpts *storage.MemCheckpointStore
+	}
+	var snaps []snapshot
+	// Crash order: checkpoint store first, then the device (metadata is
+	// only written after its log data is durable, so this order never
+	// captures metadata whose data is missing).
+	crash := func() {
+		ck := ckpts.Clone()
+		dv := dev.Clone()
+		snaps = append(snaps, snapshot{dev: dv, ckpts: ck})
+	}
+	rng := ycsb.NewRNG(99)
+	for c := 0; c < crashes; c++ {
+		kind := FoldOver
+		if rng.Intn(2) == 1 {
+			kind = Snapshot
+		}
+		token, err := s.Commit(CommitOptions{WithIndex: rng.Intn(2) == 0, Kind: &kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One crash mid-commit (recovery must land on the previous commit)...
+		time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+		crash()
+		// ...and one after the commit completed, mid-workload.
+		for {
+			if _, ok := s.TryResult(token); ok {
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		time.Sleep(time.Duration(1+rng.Intn(10)) * time.Millisecond)
+		crash()
+	}
+	stop.Store(true)
+	wg.Wait()
+	s.Close()
+
+	recoveredAny := false
+	for ci, snap := range snaps {
+		r, err := Recover(Config{IndexBuckets: 1 << 8, PageBits: 13, MemPages: 8,
+			Device: snap.dev, Checkpoints: snap.ckpts})
+		if err != nil {
+			// No commit had completed by this crash point; that is a legal
+			// outcome for the earliest snapshots.
+			continue
+		}
+		recoveredAny = true
+		for i := 0; i < sessions; i++ {
+			rs, point := r.ContinueSession(ids[i])
+			// Expected value of key k: the largest n <= point with
+			// n % keysPer == k (0 if none).
+			for k := uint64(0); k < keysPer; k++ {
+				var want uint64
+				if point > 0 {
+					n := point - (point+keysPer-k)%keysPer
+					want = n
+				}
+				var kb [8]byte
+				binary.LittleEndian.PutUint64(kb[:], uint64(i)<<32|k)
+				var got uint64
+				var found, done bool
+				_, st := rs.Read(kb[:], func(v []byte, s2 Status) {
+					done = true
+					if s2 == Ok {
+						got, found = binary.LittleEndian.Uint64(v), true
+					}
+				})
+				if st == Pending {
+					rs.CompletePending(true)
+				}
+				if !done {
+					t.Fatalf("crash %d session %d key %d: read never completed", ci, i, k)
+				}
+				if want == 0 {
+					if found {
+						t.Fatalf("crash %d session %d key %d: phantom value %d (point %d)",
+							ci, i, k, got, point)
+					}
+					continue
+				}
+				if !found || got != want {
+					t.Fatalf("crash %d session %d key %d: got (%d,%v), want %d (point %d)",
+						ci, i, k, got, found, want, point)
+				}
+			}
+			rs.StopSession()
+		}
+		r.Close()
+	}
+	if !recoveredAny {
+		t.Fatal("no crash snapshot contained a completed commit; slow host or broken commits")
+	}
+}

@@ -1,0 +1,400 @@
+package faster
+
+import "repro/internal/hlog"
+
+// This file implements the per-operation CPR logic of Algs. 4 and 5 (App. B)
+// plus the coarse-grained variant of App. C:
+//
+//   - rest:        normal FASTER processing, records carry the rest version.
+//   - prepare:     operations belong to commit version v; encountering a
+//                  v+1 record or a failed shared-latch acquisition means the
+//                  CPR shift has begun (the op aborts to v+1 and the session
+//                  refreshes immediately).
+//   - in-progress / wait-pending / wait-flush: fresh operations belong to
+//                  v+1 and must never update a version-≤v record in place;
+//                  the hand-off is guarded by bucket latches (fine-grained)
+//                  or the safe-read-only marker (coarse-grained).
+//   - v-completions: pending version-v operations (async I/O, fuzzy-region
+//                  parks) complete as version v during later phases, holding
+//                  their shared latches until done.
+
+// statusRetry is an internal sentinel: re-run the dispatch loop.
+const statusRetry Status = 255
+
+// doOp drives one operation to a terminal status or Pending.
+func (sess *Session) doOp(op *pendingOp) Status {
+	if op.ioErr != nil {
+		sess.finish(op)
+		if op.readCB != nil {
+			op.readCB(nil, Error)
+		}
+		return Error
+	}
+	for {
+		st := sess.dispatch(op)
+		if st == statusRetry {
+			continue
+		}
+		if st != Pending {
+			sess.finish(op)
+			if op.kind == opRead && op.readCB != nil {
+				if st == Ok {
+					op.readCB(op.input, Ok)
+				} else {
+					op.readCB(nil, st)
+				}
+			}
+		}
+		return st
+	}
+}
+
+func (sess *Session) dispatch(op *pendingOp) Status {
+	if op.version < sess.version {
+		// The commit this op belonged to has fully completed (its pending
+		// work drained before wait-flush); treat it as current-version work.
+		op.version = sess.version
+	}
+	switch {
+	case sess.phase == Rest || op.version > sess.version:
+		if op.version > sess.version {
+			return sess.processFuture(op)
+		}
+		return sess.processNormal(op)
+	case sess.phase == Prepare && !op.counted:
+		return sess.processPrepare(op)
+	default:
+		// A version-v operation completing while the commit is past prepare
+		// (or a counted pending op retried during prepare).
+		return sess.processVCompletion(op)
+	}
+}
+
+// initialValue computes the value a missing-key update writes.
+func (sess *Session) initialValue(op *pendingOp) []byte {
+	if op.kind == opRMW {
+		return sess.store.cfg.RMW.Initial(op.input)
+	}
+	return op.input
+}
+
+// updatedValue computes the RCU value from an existing record.
+func (sess *Session) updatedValue(op *pendingOp, rec hlog.RecordRef) []byte {
+	if op.kind == opUpsert {
+		return op.input
+	}
+	if rec.Tombstone() {
+		return sess.initialValue(op)
+	}
+	return sess.store.cfg.RMW.Update(rec.Value(nil), op.input)
+}
+
+// processNormal is the rest-phase path: in-place updates in the mutable
+// region, read-copy-update below the safe-read-only offset, pending parks in
+// the fuzzy region, async I/O below the head offset (Sec. 5.1).
+func (sess *Session) processNormal(op *pendingOp) Status {
+	r := sess.find(op, op.kind != opRead, false)
+	if op.kind == opRead {
+		return sess.finishRead(op, r)
+	}
+	switch r.reg {
+	case regNone:
+		if op.kind == opDelete {
+			return NotFound
+		}
+		if !sess.rcu(op, r.slot, op.version, sess.initialValue(op), false) {
+			return statusRetry
+		}
+		return Ok
+	case regMutable:
+		if st, ok := sess.tryInPlace(op, r); ok {
+			return st
+		}
+		fallthrough // capacity exceeded or tombstoned: read-copy-update
+	case regSafeRO:
+		return sess.rcuFrom(op, r, op.version)
+	case regFuzzy:
+		return Pending
+	case regDisk:
+		if r.rec.Valid() {
+			return sess.rcuFrom(op, r, op.version)
+		}
+		if op.kind == opUpsert || op.kind == opDelete {
+			// Blind update: no need to fetch the old record.
+			return sess.rcuFrom(op, r, op.version)
+		}
+		return sess.issueIO(op, r.addr)
+	}
+	return statusRetry
+}
+
+// tryInPlace performs an in-place mutable-region update; ok=false means the
+// caller must fall back to read-copy-update.
+func (sess *Session) tryInPlace(op *pendingOp, r findResult) (Status, bool) {
+	switch op.kind {
+	case opDelete:
+		r.rec.SetTombstone()
+		return Ok, true
+	case opUpsert:
+		if r.rec.Tombstone() {
+			return Error, false
+		}
+		if r.rec.SetValue(op.input) {
+			return Ok, true
+		}
+		return Error, false
+	case opRMW:
+		if r.rec.Tombstone() {
+			return Error, false
+		}
+		rmw := sess.store.cfg.RMW
+		if r.rec.UpdateValue(func(cur []byte) []byte { return rmw.Update(cur, op.input) }) {
+			return Ok, true
+		}
+		return Error, false
+	}
+	return Error, false
+}
+
+// rcuFrom performs a read-copy-update: the new record's value derives from
+// the found record (or the initial value for tombstones/blind paths).
+func (sess *Session) rcuFrom(op *pendingOp, r findResult, version uint32) Status {
+	var val []byte
+	tombstone := op.kind == opDelete
+	switch {
+	case tombstone:
+		val = nil
+	case r.rec.Valid():
+		val = sess.updatedValue(op, r.rec)
+	default:
+		val = sess.initialValue(op)
+	}
+	if !sess.rcu(op, r.slot, version, val, tombstone) {
+		return statusRetry
+	}
+	return Ok
+}
+
+// processPrepare handles a fresh version-v operation in the prepare phase
+// (Alg. 4). Fine-grained transfer takes a shared bucket latch around the
+// whole operation; detecting the shift (latch failure or a v+1 record)
+// aborts the op to v+1 and refreshes immediately.
+func (sess *Session) processPrepare(op *pendingOp) Status {
+	st := sess.store
+	fine := st.cfg.Transfer == FineGrained
+	if fine && !op.latched {
+		if !st.index.trySharedLatch(op.hash) {
+			return sess.shiftDetected(op)
+		}
+		op.latched = true
+	}
+	r := sess.find(op, op.kind != opRead, false)
+	if r.rec.Valid() && isFutureVersion(r.rec.Version(), sess.version) {
+		return sess.shiftDetected(op)
+	}
+	if op.kind == opRead {
+		s := sess.finishRead(op, r)
+		if s == Pending {
+			sess.markCounted(op)
+		}
+		return s
+	}
+	switch r.reg {
+	case regNone:
+		if op.kind == opDelete {
+			return NotFound
+		}
+		if !sess.rcu(op, r.slot, op.version, sess.initialValue(op), false) {
+			return statusRetry
+		}
+		return Ok
+	case regMutable:
+		if s, ok := sess.tryInPlace(op, r); ok {
+			return s
+		}
+		fallthrough
+	case regSafeRO:
+		return sess.rcuFrom(op, r, op.version)
+	case regFuzzy:
+		sess.markCounted(op)
+		return Pending
+	case regDisk:
+		if r.rec.Valid() || op.kind == opUpsert || op.kind == opDelete {
+			return sess.rcuFrom(op, r, op.version)
+		}
+		sess.markCounted(op)
+		return sess.issueIO(op, r.addr)
+	}
+	return statusRetry
+}
+
+// markCounted registers op in the active commit's pending-v tally; such
+// operations must complete before the commit's wait-flush phase.
+func (sess *Session) markCounted(op *pendingOp) {
+	if op.counted {
+		return
+	}
+	ck := sess.currentCkpt()
+	if ck == nil || ck.version != op.version {
+		return
+	}
+	op.counted = true
+	ck.pendingV.Add(1)
+}
+
+func (sess *Session) currentCkpt() *checkpointCtx {
+	st := sess.store
+	st.ckptMu.Lock()
+	ck := st.ckpt
+	st.ckptMu.Unlock()
+	return ck
+}
+
+// shiftDetected implements the CPR_SHIFT_DETECTED path of Alg. 4: release
+// any latch, remember that this serial belongs to v+1, refresh (entering
+// in-progress), and retry the op as a v+1 operation.
+func (sess *Session) shiftDetected(op *pendingOp) Status {
+	if op.latched {
+		sess.store.index.releaseSharedLatch(op.hash)
+		op.latched = false
+	}
+	sess.abortedSerial = op.serial
+	sess.Refresh()
+	op.version = sess.targetVersion()
+	return statusRetry
+}
+
+// processVCompletion completes a version-v operation during or after the
+// version shift (wait-pending semantics, Sec. 6.2.3). The walk skips v+1
+// records — they are not part of this op's commit — and new records are
+// written with version v. The op's shared latch (fine-grained) is released
+// by finish() when the op leaves the pending list.
+func (sess *Session) processVCompletion(op *pendingOp) Status {
+	r := sess.find(op, op.kind != opRead, true)
+	if op.kind == opRead {
+		return sess.finishRead(op, r)
+	}
+	switch r.reg {
+	case regNone:
+		if op.kind == opDelete {
+			return NotFound
+		}
+		if !sess.rcu(op, r.slot, op.version, sess.initialValue(op), false) {
+			return statusRetry
+		}
+		return Ok
+	case regMutable:
+		// Still version-v work: the in-place update is part of the commit.
+		// Fine-grained: our shared latch excludes v+1 copies on this bucket.
+		// Coarse-grained: a shadowing v+1 record cannot exist (v+1 copies
+		// happen only below the safe-read-only offset; this record is above).
+		if s, ok := sess.tryInPlace(op, r); ok {
+			return s
+		}
+		fallthrough
+	case regSafeRO:
+		return sess.rcuFrom(op, r, op.version)
+	case regFuzzy:
+		return Pending
+	case regDisk:
+		if r.rec.Valid() || op.kind == opUpsert || op.kind == opDelete {
+			return sess.rcuFrom(op, r, op.version)
+		}
+		return sess.issueIO(op, r.addr)
+	}
+	return statusRetry
+}
+
+// processFuture handles a v+1 operation during in-progress, wait-pending, or
+// wait-flush (Alg. 5). Updates to version-≤v records are handed off via
+// read-copy-update, guarded by the exclusive bucket latch (fine-grained) or
+// the safe-read-only marker (coarse-grained) so no v+1 record is installed
+// while a pending v operation on the bucket could still complete.
+func (sess *Session) processFuture(op *pendingOp) Status {
+	st := sess.store
+	r := sess.find(op, op.kind != opRead, false)
+	if op.kind == opRead {
+		return sess.finishRead(op, r)
+	}
+	if r.reg == regNone {
+		if op.kind == opDelete {
+			return NotFound
+		}
+		if !sess.rcu(op, r.slot, op.version, sess.initialValue(op), false) {
+			return statusRetry
+		}
+		return Ok
+	}
+	if r.rec.Valid() && isFutureVersion(r.rec.Version(), sess.version) {
+		// Already a v+1 record: process by region, as in rest.
+		switch r.reg {
+		case regMutable:
+			if s, ok := sess.tryInPlace(op, r); ok {
+				return s
+			}
+			return sess.rcuFrom(op, r, op.version)
+		case regFuzzy:
+			return Pending
+		default: // safe read-only or disk copy in hand
+			return sess.rcuFrom(op, r, op.version)
+		}
+	}
+	// Version-≤v record (or cold record of unknown version): hand-off.
+	if r.reg == regDisk && !r.rec.Valid() {
+		if op.kind == opRMW {
+			return sess.issueIO(op, r.addr)
+		}
+		// Blind updates still respect the hand-off gates below, with no
+		// record value needed.
+	}
+	if st.cfg.Transfer == FineGrained {
+		switch sess.phase {
+		case InProgress:
+			if !st.index.tryExclusiveLatch(op.hash) {
+				return Pending
+			}
+			s := sess.rcuFrom(op, r, op.version)
+			st.index.releaseExclusiveLatch(op.hash)
+			return s
+		case WaitPending:
+			if st.index.sharedCount(op.hash) != 0 {
+				return Pending
+			}
+			return sess.rcuFrom(op, r, op.version)
+		default: // WaitFlush or stale view after commit completion
+			return sess.rcuFrom(op, r, op.version)
+		}
+	}
+	// Coarse-grained (App. C): copy only records already below the
+	// safe-read-only marker; for cold records, wait until no pending v
+	// operation can exist (wait-flush or later).
+	switch r.reg {
+	case regSafeRO:
+		return sess.rcuFrom(op, r, op.version)
+	case regDisk:
+		if sess.phase >= WaitFlush {
+			return sess.rcuFrom(op, r, op.version)
+		}
+		return Pending
+	default: // mutable or fuzzy v record
+		return Pending
+	}
+}
+
+// finishRead resolves a read against a find result, delivering the value via
+// op.input (and, for previously pending reads, the registered callback).
+func (sess *Session) finishRead(op *pendingOp, r findResult) Status {
+	switch r.reg {
+	case regNone:
+		return NotFound
+	case regDisk:
+		if !r.rec.Valid() {
+			return sess.issueIO(op, r.addr)
+		}
+	}
+	if r.rec.Tombstone() {
+		return NotFound
+	}
+	op.input = r.rec.Value(op.input[:0])
+	return Ok
+}

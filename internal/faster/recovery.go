@@ -1,0 +1,180 @@
+package faster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/hashfn"
+	"repro/internal/hlog"
+)
+
+// Recover rebuilds a Store from its most recent CPR commit (Sec. 6.4). The
+// Config must reference the same Device contents and CheckpointStore the
+// failed instance used. The recovered store is CPR-consistent: for every
+// session, exactly the operations up to its recovered CPR point are present;
+// clients learn those points via ContinueSession.
+func Recover(cfg Config) (*Store, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	meta, err := loadLatestMetadata(cfg.Checkpoints)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Snapshot commits keep the captured volatile region in a separate
+	// artifact; slot it back into the log's address space first (App. D).
+	if meta.Kind == Snapshot.String() {
+		data, err := readArtifact(cfg.Checkpoints, "snapshot-"+meta.Token)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("faster: recover snapshot: %w", err)
+		}
+		if err := s.log.RestoreRange(meta.SnapshotStart, data); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+
+	// The checkpoint extended the log capture to cover the fuzzy index
+	// window, so max(Lie, Lhe) is always on the device when the index was
+	// taken by this commit; carried-forward indexes lie below Lhe entirely.
+	end := meta.Lhe
+	if meta.HasIndex && meta.Lie > end {
+		end = meta.Lie
+	}
+	if err := s.log.RecoverTo(end); err != nil {
+		s.Close()
+		return nil, err
+	}
+
+	// Load the most recent fuzzy index checkpoint, or start empty and
+	// replay the whole log.
+	scanStart := uint64(hlog.FirstAddress)
+	if meta.IndexToken != "" {
+		r, err := cfg.Checkpoints.Open("index-" + meta.IndexToken)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("faster: recover index: %w", err)
+		}
+		idx, err := readIndex(r)
+		r.Close()
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.index = idx
+		scanStart = meta.Lis
+		if meta.Lhs < scanStart {
+			scanStart = meta.Lhs
+		}
+	}
+
+	if err := s.replayLog(scanStart, end, meta.Version); err != nil {
+		s.Close()
+		return nil, err
+	}
+
+	// Clamp any index entry still pointing at or beyond the recovered end
+	// (fuzzy capture of addresses whose records were lost in the crash).
+	s.clampIndex(end)
+
+	s.state.Store(packState(Rest, meta.Version+1))
+	s.lastIndexToken, s.lastLis, s.lastLie = meta.IndexToken, meta.Lis, meta.Lie
+	s.sessionMu.Lock()
+	for id, serial := range meta.Serials {
+		s.recoveredSerials[id] = serial
+	}
+	s.sessionMu.Unlock()
+	return s, nil
+}
+
+// replayLog implements Alg. 3: records of version <= v re-point their index
+// slots; records of version v+1 are invalidated, and any slot referencing
+// them (or a later address) is unwound to their predecessor.
+func (s *Store) replayLog(start, end uint64, v uint32) error {
+	var keyBuf []byte
+	return s.log.Scan(start, end, func(addr uint64, rec hlog.RecordRef) bool {
+		keyBuf = rec.Key(keyBuf[:0])
+		h := hashfn.Hash64(keyBuf)
+		slot := s.index.findOrCreateSlot(h)
+		if !isFutureVersion(rec.Version(), v) {
+			slot.Store(tagOf(h) | addr)
+			return true
+		}
+		if err := s.log.PersistInvalid(addr); err != nil {
+			// Recovery is single-threaded; surface the first error by
+			// stopping the scan (the outer call re-checks consistency).
+			panic(fmt.Sprintf("faster: invalidate %d: %v", addr, err))
+		}
+		if entryAddr(slot.Load()) >= addr {
+			prev := rec.Prev()
+			if prev >= hlog.FirstAddress {
+				slot.Store(tagOf(h) | prev)
+			} else {
+				slot.Store(0)
+			}
+		}
+		return true
+	})
+}
+
+// clampIndex clears index entries that reference addresses at or beyond the
+// recovered log end (unreachable records lost in the crash).
+func (s *Store) clampIndex(end uint64) {
+	clampBuckets := func(bs []bucket) {
+		for i := range bs {
+			for j := range bs[i].entries {
+				e := bs[i].entries[j].Load()
+				if e != 0 && entryAddr(e) >= end {
+					bs[i].entries[j].Store(0)
+				}
+			}
+		}
+	}
+	clampBuckets(s.index.buckets)
+	used := s.index.overflowNext.Load() - 1
+	for n := uint64(1); n <= used; n++ {
+		b := s.index.overflowBucket(n)
+		for j := range b.entries {
+			e := b.entries[j].Load()
+			if e != 0 && entryAddr(e) >= end {
+				b.entries[j].Store(0)
+			}
+		}
+	}
+}
+
+func loadLatestMetadata(store interface {
+	Open(string) (io.ReadCloser, error)
+}) (*metadata, error) {
+	tok, err := readArtifact(store, "latest")
+	if err != nil {
+		return nil, fmt.Errorf("faster: no commit to recover from: %w", err)
+	}
+	buf, err := readArtifact(store, "meta-"+string(tok))
+	if err != nil {
+		return nil, fmt.Errorf("faster: commit metadata: %w", err)
+	}
+	var meta metadata
+	if err := json.Unmarshal(buf, &meta); err != nil {
+		return nil, fmt.Errorf("faster: commit metadata: %w", err)
+	}
+	return &meta, nil
+}
+
+func readArtifact(store interface {
+	Open(string) (io.ReadCloser, error)
+}, name string) ([]byte, error) {
+	r, err := store.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}

@@ -1,0 +1,544 @@
+package faster
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+	"repro/internal/hashfn"
+	"repro/internal/hlog"
+)
+
+// Status is the result of a session operation.
+type Status uint8
+
+// Operation results.
+const (
+	// Ok: the operation completed.
+	Ok Status = iota
+	// NotFound: a read or delete found no live record for the key.
+	NotFound
+	// Pending: the operation was queued (async I/O or CPR hand-off); it
+	// completes during a later CompletePending call.
+	Pending
+	// Error: the operation failed (I/O error); see the callback's error.
+	Error
+)
+
+// String implements fmt.Stringer.
+func (st Status) String() string {
+	switch st {
+	case Ok:
+		return "ok"
+	case NotFound:
+		return "not-found"
+	case Pending:
+		return "pending"
+	}
+	return "error"
+}
+
+type opKind uint8
+
+const (
+	opRead opKind = iota
+	opUpsert
+	opRMW
+	opDelete
+)
+
+// pendingOp carries an in-flight operation: either awaiting async I/O for a
+// cold record or parked by the CPR protocol (fuzzy region, latch conflict,
+// version hand-off).
+type pendingOp struct {
+	kind    opKind
+	key     []byte
+	input   []byte // upsert value or RMW input
+	hash    uint64
+	version uint32 // CPR version this operation belongss to
+	serial  uint64
+
+	latched bool // holds a shared latch on the key's bucket (fine-grained)
+	counted bool // counted in the active checkpoint's pending-v tally
+
+	awaitingIO bool
+	ioAddr     uint64
+	ioRec      hlog.RecordRef
+	ioErr      error
+	// diskResume, when non-zero, is the next unexamined chain address on
+	// storage: everything above it on this key's chain has already been
+	// checked (the on-storage part of a chain is immutable, so the check
+	// history stays valid across retries).
+	diskResume uint64
+
+	readCB func(val []byte, st Status)
+}
+
+// Session is a client session (Sec. 5.2): a single-goroutine handle issuing
+// operations with strictly increasing serial numbers. CPR commits announce,
+// per session, the serial up to which operations are durable.
+type Session struct {
+	store *Store
+	id    string
+	guard *epoch.Guard
+
+	serial  uint64 // serial of the most recently issued operation
+	phase   Phase  // local view of the global phase
+	version uint32 // local view of the global version
+
+	pending []*pendingOp
+	// compMu guards completed: async I/O completions are appended by pool
+	// workers and drained by CompletePending. A slice (not a channel) so a
+	// slow session can never block the shared I/O pool — that would deadlock
+	// sessions submitting new requests into a jammed pool.
+	compMu        sync.Mutex
+	completed     []*pendingOp
+	outstandingIO atomic.Int64
+
+	opsSinceRefresh int
+	// abortedSerial, when non-zero, is the serial of an operation that
+	// detected the CPR shift mid-execution and therefore belongs to v+1.
+	abortedSerial uint64
+
+	closed bool
+}
+
+// refreshInterval is how many operations a session performs between epoch
+// refreshes (the paper's "k times" in Alg. 1).
+const refreshInterval = 64
+
+func newGUID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("faster: guid: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// StartSession registers a new client session. If a CPR commit is in flight,
+// the call waits for it to finish so the commit's participant set stays
+// fixed.
+func (s *Store) StartSession() *Session {
+	return s.startSession(newGUID(), 0)
+}
+
+// ContinueSession re-establishes a session after failure (Sec. 5.2). It
+// returns the session and the serial number of its recovered CPR point: all
+// operations up to that serial are durable; the client replays the rest.
+func (s *Store) ContinueSession(id string) (*Session, uint64) {
+	s.sessionMu.Lock()
+	serial := s.recoveredSerials[id]
+	s.sessionMu.Unlock()
+	return s.startSession(id, serial), serial
+}
+
+func (s *Store) startSession(id string, serial uint64) *Session {
+	for {
+		s.sessionMu.Lock()
+		s.ckptMu.Lock()
+		active := s.ckpt != nil
+		if !active {
+			sess := &Session{
+				store:  s,
+				id:     id,
+				serial: serial,
+			}
+			sess.guard = s.epochs.Acquire()
+			sess.phase, sess.version = unpackState(s.state.Load())
+			s.sessions[id] = sess
+			s.ckptMu.Unlock()
+			s.sessionMu.Unlock()
+			return sess
+		}
+		s.ckptMu.Unlock()
+		s.sessionMu.Unlock()
+		// A commit is running; its participant set was snapshotted. Spin
+		// until it finishes (commits are short relative to session setup).
+		s.waitForRest()
+	}
+}
+
+func (s *Store) waitForRest() {
+	for {
+		if p, _ := unpackState(s.state.Load()); p == Rest {
+			return
+		}
+		// Drive epoch progress so the commit can advance even if all other
+		// sessions are idle.
+		g := s.epochs.Acquire()
+		g.Refresh()
+		g.Release()
+	}
+}
+
+// ID returns the session's GUID.
+func (sess *Session) ID() string { return sess.id }
+
+// Serial returns the serial number of the most recently issued operation.
+func (sess *Session) Serial() uint64 { return sess.serial }
+
+// StopSession completes pending work and unregisters the session.
+func (sess *Session) StopSession() {
+	if sess.closed {
+		return
+	}
+	sess.CompletePending(true)
+	st := sess.store
+	st.sessionMu.Lock()
+	delete(st.sessions, sess.id)
+	st.sessionMu.Unlock()
+	st.ckptMu.Lock()
+	ck := st.ckpt
+	st.ckptMu.Unlock()
+	if ck != nil {
+		ck.dropParticipant(sess)
+	}
+	sess.guard.Release()
+	sess.closed = true
+}
+
+// Refresh updates the session's epoch entry and synchronizes its local view
+// of the CPR state machine, performing phase-entry work (Sec. 6.2): latching
+// pending requests on prepare entry and demarcating the CPR point on
+// in-progress entry.
+func (sess *Session) Refresh() {
+	st := sess.store
+	gp, gv := unpackState(st.state.Load())
+	if gv != sess.version {
+		// The previous commit completed since our last refresh (and a new
+		// one may already be active): reset to rest of the new version, then
+		// process any phase entries of the active commit below — skipping
+		// them would lose this session's acknowledgments.
+		sess.version = gv
+		sess.phase = Rest
+	}
+	if sess.phase == Rest && gp >= Prepare {
+		sess.enterPrepare()
+	}
+	if sess.phase == Prepare && gp >= InProgress {
+		sess.enterInProgress()
+	}
+	if gp > sess.phase {
+		sess.phase = gp
+	}
+	sess.guard.Refresh()
+	sess.opsSinceRefresh = 0
+}
+
+// enterPrepare performs prepare-entry work: every outstanding pending
+// request of the commit version acquires a shared latch on its bucket
+// (fine-grained transfer) and is counted toward the commit's pending tally.
+func (sess *Session) enterPrepare() {
+	st := sess.store
+	st.ckptMu.Lock()
+	ck := st.ckpt
+	st.ckptMu.Unlock()
+	if ck == nil || ck.version != sess.version {
+		sess.phase = Prepare
+		return
+	}
+	for _, op := range sess.pending {
+		if op.version != sess.version || op.counted {
+			continue
+		}
+		if st.cfg.Transfer == FineGrained && !op.latched {
+			// No exclusive latches can exist yet (they appear only in
+			// in-progress, which requires every session to have passed
+			// prepare), so this acquisition succeeds.
+			for !st.index.trySharedLatch(op.hash) {
+			}
+			op.latched = true
+		}
+		op.counted = true
+		ck.pendingV.Add(1)
+	}
+	sess.phase = Prepare
+	ck.ackPrepare(sess)
+}
+
+// enterInProgress demarcates the session's CPR point: all operations with
+// serial <= the recorded value are part of the commit, none after.
+func (sess *Session) enterInProgress() {
+	st := sess.store
+	st.ckptMu.Lock()
+	ck := st.ckpt
+	st.ckptMu.Unlock()
+	sess.phase = InProgress
+	if ck == nil || ck.version != sess.version {
+		return
+	}
+	cpr := sess.serial
+	if sess.abortedSerial != 0 && sess.abortedSerial <= cpr {
+		// The operation that detected the shift belongs to v+1.
+		cpr = sess.abortedSerial - 1
+	}
+	sess.abortedSerial = 0
+	ck.ackInProgress(sess, cpr)
+}
+
+func (sess *Session) maybeRefresh() {
+	sess.opsSinceRefresh++
+	if sess.opsSinceRefresh >= refreshInterval {
+		sess.Refresh()
+	}
+}
+
+// targetVersion returns the CPR version new work by this session belongs to.
+func (sess *Session) targetVersion() uint32 {
+	if sess.phase >= InProgress {
+		return sess.version + 1
+	}
+	return sess.version
+}
+
+// --- public operations ---
+
+// Upsert blindly writes value for key.
+func (sess *Session) Upsert(key, value []byte) Status {
+	sess.maybeRefresh()
+	sess.serial++
+	op := &pendingOp{kind: opUpsert, key: append([]byte(nil), key...),
+		input: append([]byte(nil), value...), hash: hashfn.Hash64(key),
+		serial: sess.serial, version: sess.targetVersion()}
+	return sess.run(op)
+}
+
+// RMW applies the store's RMWOps with input to key's value.
+func (sess *Session) RMW(key, input []byte) Status {
+	sess.maybeRefresh()
+	sess.serial++
+	op := &pendingOp{kind: opRMW, key: append([]byte(nil), key...),
+		input: append([]byte(nil), input...), hash: hashfn.Hash64(key),
+		serial: sess.serial, version: sess.targetVersion()}
+	return sess.run(op)
+}
+
+// Delete removes key (writes a tombstone).
+func (sess *Session) Delete(key []byte) Status {
+	sess.maybeRefresh()
+	sess.serial++
+	op := &pendingOp{kind: opDelete, key: append([]byte(nil), key...),
+		hash: hashfn.Hash64(key), serial: sess.serial, version: sess.targetVersion()}
+	return sess.run(op)
+}
+
+// Read returns the value for key. If the record is cold (on storage) the
+// read goes pending: the value is delivered to cb (which may be nil) during
+// a later CompletePending.
+func (sess *Session) Read(key []byte, cb func(val []byte, st Status)) ([]byte, Status) {
+	sess.maybeRefresh()
+	sess.serial++
+	op := &pendingOp{kind: opRead, key: append([]byte(nil), key...),
+		hash: hashfn.Hash64(key), serial: sess.serial,
+		version: sess.targetVersion(), readCB: cb}
+	st := sess.run(op)
+	if st == Ok {
+		return op.input, Ok // run stores the read value in op.input
+	}
+	return nil, st
+}
+
+// maxPendingSoft is the pending-list size beyond which run drains
+// completions before issuing new work, bounding in-flight state (the paper's
+// clients bound their in-flight buffers similarly, Sec. 7.3.4).
+const maxPendingSoft = 4096
+
+// run executes a fresh operation, parking it on the pending list if needed.
+func (sess *Session) run(op *pendingOp) Status {
+	if len(sess.pending) >= maxPendingSoft {
+		sess.CompletePending(false)
+	}
+	st := sess.doOp(op)
+	if st == Pending {
+		sess.pending = append(sess.pending, op)
+	}
+	return st
+}
+
+// CompletePending drains async I/O completions and retries parked
+// operations. With wait=true it loops until no operation remains pending
+// (refreshing epochs while waiting so global progress continues).
+func (sess *Session) CompletePending(wait bool) {
+	for {
+		// Drain I/O completions.
+		sess.compMu.Lock()
+		done := sess.completed
+		sess.completed = nil
+		sess.compMu.Unlock()
+		for _, op := range done {
+			op.awaitingIO = false
+		}
+		sess.outstandingIO.Add(int64(-len(done)))
+		// Retry every parked op that is not awaiting I/O.
+		kept := sess.pending[:0]
+		for _, op := range sess.pending {
+			if op.awaitingIO {
+				kept = append(kept, op)
+				continue
+			}
+			if st := sess.doOp(op); st == Pending {
+				kept = append(kept, op)
+			}
+		}
+		// Zero dropped slots so finished ops are collectable.
+		for i := len(kept); i < len(sess.pending); i++ {
+			sess.pending[i] = nil
+		}
+		sess.pending = kept
+		if !wait || len(sess.pending) == 0 {
+			return
+		}
+		sess.Refresh()
+	}
+}
+
+// PendingCount reports the number of parked operations (diagnostics).
+func (sess *Session) PendingCount() int { return len(sess.pending) }
+
+// finish releases CPR resources held by a completed pending op.
+func (sess *Session) finish(op *pendingOp) {
+	st := sess.store
+	if op.latched {
+		st.index.releaseSharedLatch(op.hash)
+		op.latched = false
+	}
+	if op.counted {
+		op.counted = false
+		st.ckptMu.Lock()
+		ck := st.ckpt
+		st.ckptMu.Unlock()
+		if ck != nil {
+			if ck.pendingV.Add(-1) == 0 {
+				ck.checkPendingDone()
+			}
+		}
+	}
+}
+
+// regions of the HybridLog relative to a record address.
+type region uint8
+
+const (
+	regNone region = iota
+	regMutable
+	regFuzzy
+	regSafeRO
+	regDisk
+)
+
+// findResult is the outcome of a hash-chain traversal.
+type findResult struct {
+	slot *atomic.Uint64
+	rec  hlog.RecordRef
+	addr uint64
+	reg  region
+}
+
+// find walks the hash chain for op's key. With skipFuture set, records of
+// version op.version+1 are skipped: a version-v operation completing during
+// the shift must not observe v+1 state (Sec. 6.2.3). When the walk reaches
+// storage, the result region is regDisk: if the op already fetched that
+// exact address, its private copy is attached; otherwise the caller must
+// issue I/O for result.addr.
+func (sess *Session) find(op *pendingOp, create, skipFuture bool) findResult {
+	st := sess.store
+	var slot *atomic.Uint64
+	if create {
+		slot = st.index.findOrCreateSlot(op.hash)
+	} else {
+		slot = st.index.findSlot(op.hash)
+		if slot == nil {
+			return findResult{reg: regNone}
+		}
+	}
+	head := st.log.Head()
+	ro := st.log.ReadOnly()
+	sro := st.log.SafeReadOnly()
+	begin := st.log.Begin()
+	addr := entryAddr(slot.Load())
+	for addr >= begin && addr >= hlog.FirstAddress {
+		if addr < head {
+			if op.ioRec.Valid() && op.ioAddr == addr {
+				rec := op.ioRec
+				if !rec.Invalid() &&
+					!(skipFuture && isFutureVersion(rec.Version(), op.version)) &&
+					rec.KeyEquals(op.key) {
+					return findResult{slot: slot, rec: rec, addr: addr, reg: regDisk}
+				}
+				addr = rec.Prev()
+				op.ioRec = hlog.RecordRef{}
+				op.diskResume = addr // chain above addr fully examined
+				continue
+			}
+			if op.diskResume != 0 && addr > op.diskResume {
+				// Skip the already-examined immutable prefix of the chain.
+				addr = op.diskResume
+				continue
+			}
+			return findResult{slot: slot, addr: addr, reg: regDisk}
+		}
+		rec := st.log.Record(addr)
+		if !rec.Invalid() &&
+			!(skipFuture && isFutureVersion(rec.Version(), op.version)) &&
+			rec.KeyEquals(op.key) {
+			reg := regSafeRO
+			switch {
+			case addr >= ro:
+				reg = regMutable
+			case addr >= sro:
+				reg = regFuzzy
+			}
+			return findResult{slot: slot, rec: rec, addr: addr, reg: reg}
+		}
+		addr = rec.Prev()
+	}
+	return findResult{slot: slot, reg: regNone}
+}
+
+// issueIO starts an async read for the record at addr and parks the op.
+func (sess *Session) issueIO(op *pendingOp, addr uint64) Status {
+	op.awaitingIO = true
+	op.ioAddr = addr
+	sess.outstandingIO.Add(1)
+	sess.store.log.AsyncRead(addr, func(rec hlog.RecordRef, err error) {
+		op.ioRec, op.ioErr = rec, err
+		sess.compMu.Lock()
+		sess.completed = append(sess.completed, op)
+		sess.compMu.Unlock()
+	})
+	return Pending
+}
+
+// rcu installs a new record for op at the log tail with the given version,
+// linking the entire previous chain behind it. It retries the slot CAS until
+// it wins or the caller's view is stale (returns false, caller re-runs).
+func (sess *Session) rcu(op *pendingOp, slot *atomic.Uint64, version uint32, value []byte, tombstone bool) bool {
+	st := sess.store
+	valCap := len(value)
+	if valCap < 8 {
+		valCap = 8 // keep small values in-place updatable
+	}
+	size := hlog.RecordSize(len(op.key), valCap)
+	addr := st.log.Allocate(sess.guard, size)
+	oldEntry := slot.Load()
+	if err := st.log.WriteRecord(addr, entryAddr(oldEntry), recVersion(version), op.key, value, valCap); err != nil {
+		panic(fmt.Sprintf("faster: write record: %v", err))
+	}
+	rec := st.log.Record(addr)
+	if tombstone {
+		rec.SetTombstone()
+	}
+	newEntry := oldEntry&^entryAddrMask | addr
+	if newEntry == 0 {
+		newEntry = tagOf(op.hash) | addr
+	}
+	if slot.CompareAndSwap(oldEntry, newEntry) {
+		return true
+	}
+	// Lost the race: orphan the record and let the caller retry.
+	rec.SetInvalid()
+	return false
+}

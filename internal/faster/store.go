@@ -1,0 +1,246 @@
+package faster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+	"repro/internal/hlog"
+	"repro/internal/storage"
+)
+
+// Phase is a state of the CPR commit state machine (Fig. 9a).
+type Phase uint8
+
+// The five phases of a FASTER CPR commit.
+const (
+	Rest Phase = iota
+	Prepare
+	InProgress
+	WaitPending
+	WaitFlush
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case Rest:
+		return "rest"
+	case Prepare:
+		return "prepare"
+	case InProgress:
+		return "in-progress"
+	case WaitPending:
+		return "wait-pending"
+	case WaitFlush:
+		return "wait-flush"
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// CommitKind selects how a checkpoint captures volatile records (App. D).
+type CommitKind uint8
+
+const (
+	// FoldOver shifts the read-only offset to the tail: fully incremental,
+	// but post-commit updates pay read-copy-update until the working set
+	// migrates back to the mutable region.
+	FoldOver CommitKind = iota
+	// Snapshot writes the volatile log region to a separate artifact and
+	// re-opens the region for in-place updates immediately after.
+	Snapshot
+)
+
+// String implements fmt.Stringer.
+func (k CommitKind) String() string {
+	if k == Snapshot {
+		return "snapshot"
+	}
+	return "fold-over"
+}
+
+// VersionTransfer selects how prepare→in-progress hand-off of records is
+// coordinated (Sec. 6.5 / App. C).
+type VersionTransfer uint8
+
+const (
+	// FineGrained uses bucket-level shared/exclusive latches (Alg. 4/5).
+	FineGrained VersionTransfer = iota
+	// CoarseGrained uses the safe-read-only offset as the eligibility
+	// marker; conflicting operations go pending instead of latching.
+	CoarseGrained
+)
+
+// String implements fmt.Stringer.
+func (v VersionTransfer) String() string {
+	if v == CoarseGrained {
+		return "coarse"
+	}
+	return "fine"
+}
+
+// RMWOps defines read-modify-write semantics for a store (the paper's
+// running per-key "sum" is AddUint64).
+type RMWOps interface {
+	// Initial returns the value for an RMW on a missing key.
+	Initial(input []byte) []byte
+	// Update computes the new value from the current one. It must not retain
+	// cur or input.
+	Update(cur, input []byte) []byte
+}
+
+// AddUint64 implements RMWOps over little-endian 8-byte counters, matching
+// the paper's RMW workload (increment by an input array entry).
+type AddUint64 struct{}
+
+// Initial implements RMWOps.
+func (AddUint64) Initial(input []byte) []byte {
+	out := make([]byte, 8)
+	copy(out, input)
+	return out
+}
+
+// Update implements RMWOps.
+func (AddUint64) Update(cur, input []byte) []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, binary.LittleEndian.Uint64(cur)+binary.LittleEndian.Uint64(input))
+	return out
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// IndexBuckets is the number of main hash buckets (power of two). The
+	// paper's default is #keys/2 with 7 entries per bucket.
+	IndexBuckets int
+	// PageBits, MemPages, MutableFraction configure the HybridLog.
+	PageBits        uint
+	MemPages        int
+	MutableFraction float64
+	// Device backs the HybridLog. Defaults to an in-memory device.
+	Device storage.Device
+	// Checkpoints stores commit artifacts. Defaults to an in-memory store.
+	Checkpoints storage.CheckpointStore
+	// RMW supplies read-modify-write semantics. Defaults to AddUint64.
+	RMW RMWOps
+	// Kind selects fold-over or snapshot commits.
+	Kind CommitKind
+	// Transfer selects fine- or coarse-grained version transfer.
+	Transfer VersionTransfer
+	// IOWorkers sizes the async I/O pool.
+	IOWorkers int
+}
+
+func (c *Config) fill() error {
+	if c.IndexBuckets == 0 {
+		c.IndexBuckets = 1 << 16
+	}
+	if c.IndexBuckets&(c.IndexBuckets-1) != 0 {
+		return fmt.Errorf("faster: IndexBuckets %d must be a power of two", c.IndexBuckets)
+	}
+	if c.Device == nil {
+		c.Device = storage.NewMemDevice()
+	}
+	if c.Checkpoints == nil {
+		c.Checkpoints = storage.NewMemCheckpointStore()
+	}
+	if c.RMW == nil {
+		c.RMW = AddUint64{}
+	}
+	return nil
+}
+
+// Store is a FASTER instance with CPR durability. All operations happen
+// through Sessions (Sec. 5.2); Commit triggers an asynchronous CPR
+// checkpoint; Recover rebuilds a store from its latest commit.
+type Store struct {
+	cfg    Config
+	epochs *epoch.Manager
+	log    *hlog.Log
+	index  *index
+
+	// state packs the global phase (high 8 bits) and version (low 32 bits).
+	state atomic.Uint64
+
+	ckptMu sync.Mutex
+	ckpt   *checkpointCtx // non-nil while a commit is active
+
+	sessionMu sync.Mutex
+	sessions  map[string]*Session
+	// recoveredSerials maps session IDs to their recovered CPR points.
+	recoveredSerials map[string]uint64
+
+	commitSeq atomic.Uint64 // token counter
+
+	// lastIndexToken/lastLis/lastLie identify the most recent fuzzy index
+	// checkpoint, carried into log-only commit metadata (Sec. 6.3). Written
+	// only from the single active checkpoint goroutine.
+	lastIndexToken   string
+	lastLis, lastLie uint64
+
+	// results retains completed commit results by token (guarded by ckptMu).
+	results map[string]CommitResult
+}
+
+func packState(p Phase, v uint32) uint64   { return uint64(p)<<32 | uint64(v) }
+func unpackState(s uint64) (Phase, uint32) { return Phase(s >> 32), uint32(s) }
+
+// Open creates a Store ready for use at version 1.
+func Open(cfg Config) (*Store, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	em := epoch.New()
+	l, err := hlog.New(hlog.Config{
+		PageBits:        cfg.PageBits,
+		MemPages:        cfg.MemPages,
+		MutableFraction: cfg.MutableFraction,
+		Device:          cfg.Device,
+		Epochs:          em,
+		IOWorkers:       cfg.IOWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx, err := newIndex(cfg.IndexBuckets, 0)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	s := &Store{
+		cfg:              cfg,
+		epochs:           em,
+		log:              l,
+		index:            idx,
+		sessions:         make(map[string]*Session),
+		recoveredSerials: make(map[string]uint64),
+	}
+	s.state.Store(packState(Rest, 1))
+	return s, nil
+}
+
+// Close shuts down background I/O. Outstanding sessions become invalid.
+func (s *Store) Close() { s.log.Close() }
+
+// Phase returns the current global phase.
+func (s *Store) Phase() Phase { p, _ := unpackState(s.state.Load()); return p }
+
+// Version returns the current CPR version.
+func (s *Store) Version() uint32 { _, v := unpackState(s.state.Load()); return v }
+
+// Log exposes the underlying HybridLog (diagnostics and experiments).
+func (s *Store) Log() *hlog.Log { return s.log }
+
+// Epochs exposes the store's epoch manager (shared with helper goroutines).
+func (s *Store) Epochs() *epoch.Manager { return s.epochs }
+
+// recVersion returns the 13-bit on-record version for store version v.
+func recVersion(v uint32) uint16 { return uint16(v) & hlog.MaxVersion }
+
+// isFutureVersion reports whether a record version corresponds to v+1
+// relative to commit version v (wraparound-safe: during a checkpoint only
+// versions v and earlier, plus v+1, can appear).
+func isFutureVersion(recVer uint16, v uint32) bool {
+	return recVer == recVersion(v+1)
+}

@@ -1,0 +1,57 @@
+// Package hashfn provides the deterministic 64-bit key hash used by the
+// FASTER hash index. Unlike hash/maphash it is stable across process
+// restarts, which recovery requires: the index checkpoint stores bucket
+// positions derived from this hash.
+package hashfn
+
+import "encoding/binary"
+
+const (
+	prime1 = 0x9E3779B185EBCA87
+	prime2 = 0xC2B2AE3D27D4EB4F
+	prime3 = 0x165667B19E3779F9
+)
+
+// Hash64 returns a 64-bit hash of b. The construction is a small
+// xxhash-style mix: 8-byte lanes folded with multiply-rotate, finished with
+// an avalanche, giving good bucket and tag distribution for the index.
+func Hash64(b []byte) uint64 {
+	h := uint64(prime3) ^ uint64(len(b))*prime1
+	for len(b) >= 8 {
+		k := binary.LittleEndian.Uint64(b)
+		h ^= mix(k)
+		h = rotl(h, 27)*prime1 + prime2
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b)) * prime1
+		h = rotl(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime3
+		h = rotl(h, 11) * prime1
+	}
+	return avalanche(h)
+}
+
+// Uint64 hashes an 8-byte integer key without allocating.
+func Uint64(k uint64) uint64 { return avalanche(mix(k + prime3)) }
+
+func mix(k uint64) uint64 {
+	k *= prime2
+	k = rotl(k, 31)
+	k *= prime1
+	return k
+}
+
+func rotl(x uint64, r uint) uint64 { return x<<r | x>>(64-r) }
+
+func avalanche(h uint64) uint64 {
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}

@@ -1,0 +1,89 @@
+package hashfn
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	b := []byte("hello, cpr")
+	if Hash64(b) != Hash64(b) {
+		t.Fatal("Hash64 not deterministic")
+	}
+}
+
+func TestUint64MatchesByteForm(t *testing.T) {
+	// Uint64 must be usable interchangeably as a fast path only if callers
+	// are consistent; here we just pin its determinism and non-triviality.
+	if Uint64(1) == Uint64(2) {
+		t.Fatal("trivial collision between 1 and 2")
+	}
+	if Uint64(0) == 0 {
+		t.Fatal("hash of 0 should not be 0 (index reserves 0)")
+	}
+}
+
+func TestDistributionBuckets(t *testing.T) {
+	const n = 1 << 16
+	const buckets = 1 << 8
+	counts := make([]int, buckets)
+	var k [8]byte
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(k[:], uint64(i))
+		counts[Hash64(k[:])&(buckets-1)]++
+	}
+	want := n / buckets
+	for i, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("bucket %d holds %d keys, expected near %d", i, c, want)
+		}
+	}
+}
+
+func TestQuickNoLengthExtensionCollision(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if string(a) == string(b) {
+			return true
+		}
+		return Hash64(a) != Hash64(b) || len(a) == len(b)
+		// Different-length inputs must essentially never collide; equal-length
+		// collisions are possible but astronomically unlikely for quick's
+		// small corpus — treat any observed one as suspicious but allowed.
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvalancheSingleBitFlip(t *testing.T) {
+	var k [8]byte
+	binary.LittleEndian.PutUint64(k[:], 0xDEADBEEF)
+	h0 := Hash64(k[:])
+	for bit := 0; bit < 64; bit++ {
+		var k2 [8]byte
+		binary.LittleEndian.PutUint64(k2[:], 0xDEADBEEF^(1<<bit))
+		h1 := Hash64(k2[:])
+		diff := popcount(h0 ^ h1)
+		if diff < 10 {
+			t.Fatalf("bit %d flip changed only %d output bits", bit, diff)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func BenchmarkHash64_8B(b *testing.B) {
+	var k [8]byte
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(k[:], uint64(i))
+		_ = Hash64(k[:])
+	}
+}

@@ -1,0 +1,721 @@
+package hlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+	"repro/internal/storage"
+)
+
+// Config parameterizes a HybridLog.
+type Config struct {
+	// PageBits sets the page size to 1<<PageBits bytes (default 20 = 1 MiB).
+	PageBits uint
+	// MemPages is the number of in-memory page frames (default 16).
+	MemPages int
+	// MutableFraction is the fraction of in-memory pages kept mutable
+	// (default 0.9, as in the paper's setup).
+	MutableFraction float64
+	// Device stores flushed/evicted pages. Required.
+	Device storage.Device
+	// Epochs is the shared epoch manager. Required.
+	Epochs *epoch.Manager
+	// IOWorkers sizes the async I/O pool (default 4).
+	IOWorkers int
+}
+
+func (c *Config) fill() error {
+	if c.PageBits == 0 {
+		c.PageBits = 20
+	}
+	if c.PageBits < 12 || c.PageBits > 30 {
+		return fmt.Errorf("hlog: PageBits %d out of range [12,30]", c.PageBits)
+	}
+	if c.MemPages == 0 {
+		c.MemPages = 16
+	}
+	if c.MemPages < 4 {
+		return fmt.Errorf("hlog: MemPages %d too small (min 4)", c.MemPages)
+	}
+	if c.MutableFraction == 0 {
+		c.MutableFraction = 0.9
+	}
+	if c.MutableFraction <= 0 || c.MutableFraction >= 1 {
+		return fmt.Errorf("hlog: MutableFraction %v out of (0,1)", c.MutableFraction)
+	}
+	if c.Device == nil {
+		return fmt.Errorf("hlog: Device is required")
+	}
+	if c.Epochs == nil {
+		return fmt.Errorf("hlog: Epochs is required")
+	}
+	if c.IOWorkers == 0 {
+		c.IOWorkers = 4
+	}
+	return nil
+}
+
+// flushSegment tracks one async page write so the durable watermark advances
+// in address order even when device completions reorder.
+type flushSegment struct {
+	from, to uint64
+	done     bool
+}
+
+// Log is a HybridLog instance. See the package comment for the region
+// structure. All public methods are safe for concurrent use; methods taking
+// an *epoch.Guard must be called under that goroutine's epoch protection.
+type Log struct {
+	cfg      Config
+	pageSize uint64
+	pageMask uint64
+	roLag    uint64 // readOnly trails tail by this many bytes
+	headLag  uint64 // head trails tail-page start by this many bytes
+
+	frames     [][]uint64
+	frameOwner []atomic.Uint64 // page number + 1; 0 = unowned
+
+	tail         atomic.Uint64
+	readOnly     atomic.Uint64 // latest read-only offset
+	safeReadOnly atomic.Uint64 // read-only offset seen by all threads
+	head         atomic.Uint64 // published head: addresses below may be evicted
+	begin        atomic.Uint64 // first live address; advanced by compaction
+
+	pool *storage.Pool
+
+	flushMu     sync.Mutex
+	flushIssued uint64
+	segments    []*flushSegment
+
+	durable     atomic.Uint64
+	durableMu   sync.Mutex
+	durableCond *sync.Cond
+
+	closed atomic.Bool
+}
+
+// New creates a HybridLog whose first record lands at FirstAddress.
+func New(cfg Config) (*Log, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	l := &Log{
+		cfg:      cfg,
+		pageSize: 1 << cfg.PageBits,
+		pageMask: 1<<cfg.PageBits - 1,
+	}
+	l.begin.Store(FirstAddress)
+	mutablePages := int(float64(cfg.MemPages) * cfg.MutableFraction)
+	if mutablePages < 1 {
+		mutablePages = 1
+	}
+	if mutablePages > cfg.MemPages-2 {
+		mutablePages = cfg.MemPages - 2
+	}
+	l.roLag = uint64(mutablePages) * l.pageSize
+	l.headLag = uint64(cfg.MemPages-1) * l.pageSize
+	l.frames = make([][]uint64, cfg.MemPages)
+	l.frameOwner = make([]atomic.Uint64, cfg.MemPages)
+	l.frames[0] = make([]uint64, l.pageSize/8)
+	l.frameOwner[0].Store(1) // page 0 claimed
+	l.tail.Store(FirstAddress)
+	l.readOnly.Store(FirstAddress)
+	l.safeReadOnly.Store(FirstAddress)
+	l.head.Store(FirstAddress)
+	l.flushIssued = FirstAddress
+	l.durable.Store(FirstAddress)
+	l.durableCond = sync.NewCond(&l.durableMu)
+	l.pool = storage.NewPool(cfg.IOWorkers, 256)
+	return l, nil
+}
+
+// Close drains outstanding I/O. The log must not be used afterwards.
+func (l *Log) Close() {
+	if l.closed.Swap(true) {
+		return
+	}
+	l.pool.Close()
+}
+
+// PageSize returns the page size in bytes.
+func (l *Log) PageSize() uint64 { return l.pageSize }
+
+// Tail returns the next free logical address.
+func (l *Log) Tail() uint64 { return l.tail.Load() }
+
+// ReadOnly returns the current read-only offset.
+func (l *Log) ReadOnly() uint64 { return l.readOnly.Load() }
+
+// SafeReadOnly returns the read-only offset guaranteed visible to every
+// thread; addresses below it are immutable and flushable.
+func (l *Log) SafeReadOnly() uint64 { return l.safeReadOnly.Load() }
+
+// Head returns the smallest in-memory address.
+func (l *Log) Head() uint64 { return l.head.Load() }
+
+// Begin returns the first live address of the log; chain walks treat
+// addresses below it as end-of-chain (their records were compacted away).
+func (l *Log) Begin() uint64 { return l.begin.Load() }
+
+// ShiftBegin advances the begin address after compaction copied every live
+// record below target to the tail. Physical space reclamation (truncating
+// the device prefix) is then possible out of band.
+func (l *Log) ShiftBegin(target uint64) {
+	for {
+		old := l.begin.Load()
+		if target <= old || l.begin.CompareAndSwap(old, target) {
+			return
+		}
+	}
+}
+
+// Durable returns the address below which all log data is on the device.
+func (l *Log) Durable() uint64 { return l.durable.Load() }
+
+// InMemory reports whether addr currently resides in a page frame.
+func (l *Log) InMemory(addr uint64) bool { return addr >= l.head.Load() }
+
+func (l *Log) page(addr uint64) uint64   { return addr >> l.cfg.PageBits }
+func (l *Log) offset(addr uint64) uint64 { return addr & l.pageMask }
+
+func (l *Log) frameFor(page uint64) []uint64 {
+	return l.frames[page%uint64(len(l.frames))]
+}
+
+// Allocate reserves size bytes (8-aligned, must fit one page) and returns the
+// record's logical address. It never fails; when crossing a page boundary it
+// closes the current page (triggering read-only/head shifts and flushes) and
+// spins — refreshing g — until the next page's frame is reclaimable.
+func (l *Log) Allocate(g *epoch.Guard, size uint32) uint64 {
+	if size == 0 || uint64(size) > l.pageSize {
+		panic(fmt.Sprintf("hlog: allocation size %d out of range (page %d)", size, l.pageSize))
+	}
+	if size%8 != 0 {
+		panic("hlog: allocation size must be 8-byte aligned")
+	}
+	for {
+		old := l.tail.Load()
+		off := l.offset(old)
+		if off+uint64(size) <= l.pageSize {
+			if l.tail.CompareAndSwap(old, old+uint64(size)) {
+				if off == 0 {
+					// First allocation on this page: the previous page was
+					// sealed exactly at its boundary, so page setup falls to
+					// this thread.
+					l.onPageClosed(g, l.page(old)-1, old)
+				} else {
+					l.waitFrameReady(g, l.page(old))
+				}
+				return old
+			}
+			continue
+		}
+		// Crossing: move tail to the start of the next page and take the
+		// first slot there. The winner of this CAS owns page setup.
+		next := (l.page(old) + 1) << l.cfg.PageBits
+		if l.tail.CompareAndSwap(old, next+uint64(size)) {
+			l.onPageClosed(g, l.page(old), next)
+			return next
+		}
+	}
+}
+
+// waitFrameReady spins until page p's frame has been claimed by the thread
+// that sealed the previous page. Writing into the frame before the claim
+// would race with eviction's zeroing.
+func (l *Log) waitFrameReady(g *epoch.Guard, p uint64) {
+	idx := p % uint64(len(l.frames))
+	for spins := 0; l.frameOwner[idx].Load() != p+1; spins++ {
+		if g != nil {
+			g.Refresh()
+		}
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// onPageClosed runs on the thread that sealed page p and moved the tail into
+// page p+1: it advances the read-only and head targets and claims the new
+// page's frame, evicting the old occupant once flushed and epoch-safe.
+func (l *Log) onPageClosed(g *epoch.Guard, p, newTailStart uint64) {
+	if target := int64(newTailStart) - int64(l.roLag); target > int64(FirstAddress) {
+		l.ShiftReadOnlyTo(uint64(target))
+	}
+	if target := int64(newTailStart) - int64(l.headLag); target > int64(FirstAddress) {
+		l.shiftHeadTo(uint64(target))
+	}
+	l.ensureFrame(g, p+1)
+}
+
+// ShiftReadOnlyTo advances the read-only offset to target (monotonic; clamped
+// to the tail) and registers an epoch action that, once every thread has
+// observed the new offset, publishes it as safe-read-only and flushes the
+// newly immutable region to the device. This is also the fold-over commit
+// primitive (Sec. 6.2.4 / App. D).
+func (l *Log) ShiftReadOnlyTo(target uint64) {
+	if t := l.tail.Load(); target > t {
+		target = t
+	}
+	for {
+		old := l.readOnly.Load()
+		if target <= old {
+			return
+		}
+		if l.readOnly.CompareAndSwap(old, target) {
+			break
+		}
+	}
+	l.cfg.Epochs.BumpEpoch(func() {
+		for {
+			old := l.safeReadOnly.Load()
+			if target <= old {
+				return
+			}
+			if l.safeReadOnly.CompareAndSwap(old, target) {
+				break
+			}
+		}
+		l.issueFlushUntil(target)
+	})
+}
+
+// shiftHeadTo publishes a new head after epoch-safety; frames below it become
+// evictable once their data is durable.
+func (l *Log) shiftHeadTo(target uint64) {
+	// Never evict unflushed data: head may not pass the read-only target
+	// (flushes are issued only below safe-read-only).
+	if ro := l.readOnly.Load(); target > ro {
+		target = ro
+	}
+	l.cfg.Epochs.BumpEpoch(func() {
+		for {
+			old := l.head.Load()
+			if target <= old {
+				return
+			}
+			if l.head.CompareAndSwap(old, target) {
+				return
+			}
+		}
+	})
+}
+
+// ensureFrame claims the frame for page p, spinning (with epoch refreshes,
+// so pending shift actions can fire) until the previous occupant is evictable.
+func (l *Log) ensureFrame(g *epoch.Guard, p uint64) {
+	idx := p % uint64(len(l.frames))
+	for spins := 0; ; spins++ {
+		owner := l.frameOwner[idx].Load()
+		if owner == p+1 {
+			return
+		}
+		if owner == 0 {
+			// Allocate storage before publishing ownership: waiters write
+			// into the frame as soon as they observe the claim.
+			l.frames[idx] = make([]uint64, l.pageSize/8)
+			if l.frameOwner[idx].CompareAndSwap(0, p+1) {
+				return
+			}
+			continue
+		}
+		oldPage := owner - 1
+		evictEnd := (oldPage + 1) << l.cfg.PageBits
+		if l.head.Load() >= evictEnd && l.durable.Load() >= evictEnd {
+			// Reclaim in two steps: publish "in transition" (owner 0) before
+			// zeroing, so unprotected readers (snapshot capture) that
+			// validate the owner after copying detect the reuse and fall
+			// back to the device. Epoch-safety of the head shift guarantees
+			// no session thread still holds references. Only the thread that
+			// sealed page p-1 claims page p, so claimers do not race.
+			if l.frameOwner[idx].CompareAndSwap(owner, 0) {
+				clear(l.frames[idx])
+				l.frameOwner[idx].Store(p + 1)
+				return
+			}
+			continue
+		}
+		if g != nil {
+			g.Refresh()
+		}
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// WriteRecord fills a freshly allocated region at addr with a record. The
+// caller must have obtained addr from Allocate with RecordSize(len(key),
+// valCap) bytes and must not have published addr yet.
+func (l *Log) WriteRecord(addr uint64, prev uint64, version uint16, key, value []byte, valCap int) error {
+	if valCap < len(value) {
+		valCap = len(value)
+	}
+	if err := validateKV(key, value, valCap); err != nil {
+		return err
+	}
+	rec := l.Record(addr)
+	initRecord(rec.words, prev, version, key, value, valCap)
+	return nil
+}
+
+// Record returns a view over the in-memory record at addr. The caller must
+// hold epoch protection and addr must be in memory (>= Head()).
+func (l *Log) Record(addr uint64) RecordRef {
+	frame := l.frameFor(l.page(addr))
+	off := l.offset(addr) / 8
+	return RecordRef{words: frame[off:]}
+}
+
+// recordAt bounds a RecordRef to the record's own words (used by scans).
+func (l *Log) recordAt(addr uint64) (RecordRef, uint32) {
+	r := l.Record(addr)
+	if atomic.LoadUint64(r.hdr()) == 0 {
+		return RecordRef{}, 0
+	}
+	size := r.Size()
+	return RecordRef{words: r.words[:size/8]}, size
+}
+
+// issueFlushUntil writes log data in [flushIssued, target) to the device as
+// one request per page chunk. Must only be called with target <=
+// safeReadOnly (the region must be immutable).
+func (l *Log) issueFlushUntil(target uint64) {
+	l.flushMu.Lock()
+	from := l.flushIssued
+	if target <= from {
+		l.flushMu.Unlock()
+		return
+	}
+	l.flushIssued = target
+	var segs []*flushSegment
+	for from < target {
+		end := (l.page(from) + 1) << l.cfg.PageBits
+		if end > target {
+			end = target
+		}
+		segs = append(segs, &flushSegment{from: from, to: end})
+		from = end
+	}
+	l.durableMu.Lock()
+	l.segments = append(l.segments, segs...)
+	l.durableMu.Unlock()
+	l.flushMu.Unlock()
+
+	for _, seg := range segs {
+		seg := seg
+		buf := l.serializeRange(seg.from, seg.to)
+		l.pool.Submit(storage.IORequest{
+			Dev: l.cfg.Device, Buf: buf, Off: int64(seg.from), Write: true,
+			Done: func(_ int, err error) {
+				if err != nil {
+					// A failed flush is fatal for durability guarantees;
+					// surface loudly rather than silently losing a commit.
+					panic(fmt.Sprintf("hlog: flush [%d,%d) failed: %v", seg.from, seg.to, err))
+				}
+				l.completeSegment(seg)
+			},
+		})
+	}
+}
+
+// completeSegment marks seg done and advances the durable watermark across
+// every leading completed segment, waking waiters.
+func (l *Log) completeSegment(seg *flushSegment) {
+	l.durableMu.Lock()
+	seg.done = true
+	advanced := false
+	for len(l.segments) > 0 && l.segments[0].done {
+		l.durable.Store(l.segments[0].to)
+		l.segments = l.segments[1:]
+		advanced = true
+	}
+	l.durableMu.Unlock()
+	if advanced {
+		l.durableCond.Broadcast()
+	}
+}
+
+// WaitDurable blocks until all log data below target is durable on the
+// device. The caller must previously have caused a flush covering target
+// (e.g. via ShiftReadOnlyTo) or it will block forever.
+func (l *Log) WaitDurable(target uint64) {
+	l.durableMu.Lock()
+	for l.durable.Load() < target {
+		l.durableCond.Wait()
+	}
+	l.durableMu.Unlock()
+}
+
+// serializeRange copies log words in [from, to) into a byte buffer using
+// atomic loads (the range is immutable but may share cache lines with live
+// headers being scanned).
+func (l *Log) serializeRange(from, to uint64) []byte {
+	buf := make([]byte, to-from)
+	for addr := from; addr < to; addr += 8 {
+		w := atomic.LoadUint64(&l.frameFor(l.page(addr))[l.offset(addr)/8])
+		binary.LittleEndian.PutUint64(buf[addr-from:], w)
+	}
+	return buf
+}
+
+// AsyncRead fetches the record at addr from the device and invokes done from
+// an I/O worker with a private copy of the record (or an error). It models
+// FASTER's asynchronous retrieval of cold records.
+func (l *Log) AsyncRead(addr uint64, done func(rec RecordRef, err error)) {
+	hdr := make([]byte, 16)
+	l.pool.Submit(storage.IORequest{
+		Dev: l.cfg.Device, Buf: hdr, Off: int64(addr),
+		Done: func(_ int, err error) {
+			if err != nil {
+				done(RecordRef{}, err)
+				return
+			}
+			lens := binary.LittleEndian.Uint64(hdr[8:])
+			k, _, c := splitLens(lens)
+			size := RecordSize(k, c)
+			buf := make([]byte, size)
+			copy(buf, hdr)
+			l.pool.Submit(storage.IORequest{
+				Dev: l.cfg.Device, Buf: buf[16:], Off: int64(addr) + 16,
+				Done: func(_ int, err error) {
+					if err != nil {
+						done(RecordRef{}, err)
+						return
+					}
+					done(bytesToRecord(buf), nil)
+				},
+			})
+		},
+	})
+}
+
+// ReadRecordSync synchronously reads a record from the device (recovery path).
+func (l *Log) ReadRecordSync(addr uint64) (RecordRef, error) {
+	hdr := make([]byte, 16)
+	if _, err := l.cfg.Device.ReadAt(hdr, int64(addr)); err != nil {
+		return RecordRef{}, err
+	}
+	lens := binary.LittleEndian.Uint64(hdr[8:])
+	k, _, c := splitLens(lens)
+	size := RecordSize(k, c)
+	buf := make([]byte, size)
+	copy(buf, hdr)
+	if size > 16 {
+		if _, err := l.cfg.Device.ReadAt(buf[16:], int64(addr)+16); err != nil {
+			return RecordRef{}, err
+		}
+	}
+	return bytesToRecord(buf), nil
+}
+
+func bytesToRecord(b []byte) RecordRef {
+	words := make([]uint64, len(b)/8)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return RecordRef{words: words}
+}
+
+// Scan iterates records in [from, to) in address order, calling fn with each
+// record's address and a private copy of its contents. Copies from resident
+// frames are validated against the frame owner (as in snapshot capture) with
+// a device fallback, so scanning is safe against concurrent eviction — the
+// range must be immutable (below the safe-read-only offset) or the log
+// offline, as for recovery. fn returning false stops the scan.
+func (l *Log) Scan(from, to uint64, fn func(addr uint64, rec RecordRef) bool) error {
+	addr := from
+	for addr < to {
+		if l.offset(addr)+16 > l.pageSize {
+			addr = (l.page(addr) + 1) << l.cfg.PageBits
+			continue
+		}
+		rec, err := l.readRecordCopy(addr)
+		if err != nil {
+			return fmt.Errorf("hlog: scan read at %d: %w", addr, err)
+		}
+		if rec.Header() == 0 {
+			addr = (l.page(addr) + 1) << l.cfg.PageBits
+			continue
+		}
+		if !fn(addr, rec) {
+			return nil
+		}
+		addr += uint64(rec.Size())
+	}
+	return nil
+}
+
+// readRecordCopy returns a private copy of the record at addr: from its page
+// frame when resident (validated against the frame owner before and after
+// the copy), otherwise from the device (an evicted page is durable by
+// construction).
+func (l *Log) readRecordCopy(addr uint64) (RecordRef, error) {
+	page := l.page(addr)
+	idx := page % uint64(len(l.frames))
+	for spins := 0; ; spins++ {
+		if l.frameOwner[idx].Load() == page+1 {
+			frame := l.frames[idx]
+			base := l.offset(addr) / 8
+			hdr := atomic.LoadUint64(&frame[base])
+			lens := atomic.LoadUint64(&frame[base+1])
+			var words []uint64
+			if hdr == 0 {
+				words = []uint64{0, 0}
+			} else {
+				k, _, c := splitLens(lens)
+				size := RecordSize(k, c)
+				words = make([]uint64, size/8)
+				for i := range words {
+					words[i] = atomic.LoadUint64(&frame[base+uint64(i)])
+				}
+			}
+			if l.frameOwner[idx].Load() == page+1 {
+				return RecordRef{words: words}, nil
+			}
+			continue // reclaimed mid-copy; fall through to the device
+		}
+		if addr < l.durable.Load() {
+			return l.ReadRecordSync(addr)
+		}
+		// The page's frame is mid-transition (claim in progress); retry.
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// SnapshotRange copies raw log words in [from, to) into a byte slice (the
+// snapshot-commit capture primitive, App. D). Unlike flushing, the caller is
+// not epoch-protected, so pages may be evicted mid-copy: each page is read
+// from its frame with an owner check before and after the copy, falling back
+// to the device when the frame was reclaimed (an evicted page is durable by
+// construction).
+func (l *Log) SnapshotRange(from, to uint64) []byte {
+	buf := make([]byte, to-from)
+	for addr := from; addr < to; {
+		end := (l.page(addr) + 1) << l.cfg.PageBits
+		if end > to {
+			end = to
+		}
+		l.snapshotPage(addr, end, buf[addr-from:end-from])
+		addr = end
+	}
+	return buf
+}
+
+// snapshotPage copies [from, to) (within one page) into out.
+func (l *Log) snapshotPage(from, to uint64, out []byte) {
+	page := l.page(from)
+	idx := page % uint64(len(l.frames))
+	if l.frameOwner[idx].Load() == page+1 {
+		frame := l.frames[idx]
+		for a := from; a < to; a += 8 {
+			binary.LittleEndian.PutUint64(out[a-from:], atomic.LoadUint64(&frame[l.offset(a)/8]))
+		}
+		if l.frameOwner[idx].Load() == page+1 {
+			return // frame stayed owned throughout the copy
+		}
+	}
+	// Evicted (or reclaimed mid-copy): the page is durable on the device.
+	if to <= l.durable.Load() {
+		if _, err := l.cfg.Device.ReadAt(out, int64(from)); err != nil {
+			panic(fmt.Sprintf("hlog: snapshot read [%d,%d) from device: %v", from, to, err))
+		}
+		return
+	}
+	// Not owned and not durable: this is the log's tail page before its
+	// frame claim completed. Only unpublished post-commit allocations can
+	// live here — none of them belong to the capture (recovery invalidates
+	// v+1 records and treats zero headers as end-of-page) — so zeros are a
+	// correct capture of this chunk.
+	clear(out)
+}
+
+// RestoreRange writes raw log bytes at their logical offsets into the device
+// (used when recovering a snapshot commit: the snapshot file's contents slot
+// back into the main log address space).
+func (l *Log) RestoreRange(from uint64, data []byte) error {
+	_, err := l.cfg.Device.WriteAt(data, int64(from))
+	return err
+}
+
+// RecoverTo reinitializes the in-memory state of a freshly created Log from
+// the device: the tail is set to end, the head is placed so the trailing
+// portion of the log is resident, and those pages are loaded from the device.
+// Offsets are set so the entire recovered prefix is immutable (post-commit
+// updates go through read-copy-update, matching fold-over semantics).
+func (l *Log) RecoverTo(end uint64) error {
+	if end < FirstAddress {
+		end = FirstAddress
+	}
+	head := uint64(FirstAddress)
+	endPage := l.page(end)
+	if endPage+1 > uint64(len(l.frames)-1) {
+		head = (endPage + 1 - uint64(len(l.frames)-1)) << l.cfg.PageBits
+	}
+	for p := l.page(head); p <= endPage; p++ {
+		idx := p % uint64(len(l.frames))
+		l.frames[idx] = make([]uint64, l.pageSize/8)
+		l.frameOwner[idx].Store(p + 1)
+		start := p << l.cfg.PageBits
+		if start < FirstAddress {
+			start = FirstAddress
+		}
+		stop := (p + 1) << l.cfg.PageBits
+		if stop > end {
+			stop = end
+		}
+		if stop <= start {
+			continue
+		}
+		buf := make([]byte, stop-start)
+		if _, err := l.cfg.Device.ReadAt(buf, int64(start)); err != nil {
+			return fmt.Errorf("hlog: recover page %d: %w", p, err)
+		}
+		frame := l.frames[idx]
+		for i := uint64(0); i < uint64(len(buf)); i += 8 {
+			frame[(l.offset(start)+i)/8] = binary.LittleEndian.Uint64(buf[i:])
+		}
+	}
+	l.tail.Store(end)
+	l.readOnly.Store(end)
+	l.safeReadOnly.Store(end)
+	l.head.Store(head)
+	l.flushMu.Lock()
+	l.flushIssued = end
+	l.flushMu.Unlock()
+	l.durable.Store(end)
+	return nil
+}
+
+// FlushedSize reports the device footprint of the log (for the log-growth
+// experiments, Fig. 12d/18d).
+func (l *Log) FlushedSize() int64 { return l.cfg.Device.Size() }
+
+// PersistInvalid sets the invalid bit on the record at addr both in memory
+// (when resident) and on the device, so post-CPR-point records stay dead
+// across later evictions and re-reads. Used only by single-threaded
+// recovery; the record must already be on the device (addr < Durable()).
+func (l *Log) PersistInvalid(addr uint64) error {
+	var hdr uint64
+	if l.InMemory(addr) {
+		rec := l.Record(addr)
+		rec.SetInvalid()
+		hdr = rec.Header()
+	} else {
+		var buf [8]byte
+		if _, err := l.cfg.Device.ReadAt(buf[:], int64(addr)); err != nil {
+			return err
+		}
+		hdr = binary.LittleEndian.Uint64(buf[:]) | invalidBit
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], hdr)
+	_, err := l.cfg.Device.WriteAt(buf[:], int64(addr))
+	return err
+}

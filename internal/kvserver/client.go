@@ -1,0 +1,166 @@
+package kvserver
+
+import (
+	"fmt"
+	"net"
+)
+
+// Client is a synchronous client for one server session. It is not safe for
+// concurrent use (a session is a single logical thread); open one Client per
+// goroutine, as the paper opens one session per thread.
+type Client struct {
+	conn     net.Conn
+	id       string
+	cprPoint uint64
+}
+
+// Dial connects and performs the Hello handshake. A non-empty clientID
+// resumes that session after a server restart; the returned CPRPoint is the
+// serial up to which the session's operations are durable (0 for new
+// sessions). An empty clientID starts a fresh session whose server-assigned
+// ID is available via ID.
+func Dial(addr, clientID string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn}
+	payload := appendString(nil, []byte(clientID))
+	if err := writeFrame(conn, OpHello, payload); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	op, resp, err := readFrame(conn)
+	if err != nil || op != OpHello || len(resp) < 1 || resp[0] != StatusOK {
+		conn.Close()
+		return nil, fmt.Errorf("kvserver: handshake failed: %v", err)
+	}
+	point, rest, err := takeU64(resp[1:])
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	id, _, err := takeString(rest)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.id = string(id)
+	c.cprPoint = point
+	return c, nil
+}
+
+// ID returns the session ID (use it to resume after reconnecting).
+func (c *Client) ID() string { return c.id }
+
+// CPRPoint returns the recovered commit point from the handshake.
+func (c *Client) CPRPoint() uint64 { return c.cprPoint }
+
+// Close closes the connection (the server stops the session).
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(op byte, payload []byte) (byte, []byte, error) {
+	if err := writeFrame(c.conn, op, payload); err != nil {
+		return 0, nil, err
+	}
+	rop, resp, err := readFrame(c.conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	if rop != op {
+		return 0, nil, fmt.Errorf("kvserver: response opcode %d for request %d", rop, op)
+	}
+	if len(resp) < 1 {
+		return 0, nil, fmt.Errorf("kvserver: empty response")
+	}
+	return resp[0], resp[1:], nil
+}
+
+// Get reads key. found is false when the key does not exist.
+func (c *Client) Get(key []byte) (val []byte, found bool, err error) {
+	status, resp, err := c.call(OpGet, appendString(nil, key))
+	if err != nil {
+		return nil, false, err
+	}
+	switch status {
+	case StatusNotFound:
+		return nil, false, nil
+	case StatusOK:
+		v, _, err := takeValue(resp)
+		if err != nil {
+			return nil, false, err
+		}
+		return append([]byte(nil), v...), true, nil
+	}
+	return nil, false, fmt.Errorf("kvserver: get failed")
+}
+
+// Set blindly writes key=val and returns the operation's serial number.
+func (c *Client) Set(key, val []byte) (uint64, error) {
+	return c.mutate(OpSet, key, val)
+}
+
+// RMW applies the store's read-modify-write with input to key.
+func (c *Client) RMW(key, input []byte) (uint64, error) {
+	return c.mutate(OpRMW, key, input)
+}
+
+func (c *Client) mutate(op byte, key, val []byte) (uint64, error) {
+	payload := appendValue(appendString(nil, key), val)
+	status, resp, err := c.call(op, payload)
+	if err != nil {
+		return 0, err
+	}
+	if status != StatusOK {
+		return 0, fmt.Errorf("kvserver: op %d failed (status %d)", op, status)
+	}
+	serial, _, err := takeU64(resp)
+	return serial, err
+}
+
+// Delete removes key. found is false when the key did not exist.
+func (c *Client) Delete(key []byte) (found bool, err error) {
+	status, _, err := c.call(OpDelete, appendString(nil, key))
+	if err != nil {
+		return false, err
+	}
+	switch status {
+	case StatusOK:
+		return true, nil
+	case StatusNotFound:
+		return false, nil
+	}
+	return false, fmt.Errorf("kvserver: delete failed")
+}
+
+// Commit requests a CPR commit (withIndex takes a full checkpoint) and
+// blocks until it is durable, returning this session's CPR point: all of
+// this client's operations with serial <= point survived.
+func (c *Client) Commit(withIndex bool) (uint64, error) {
+	flags := []byte{0}
+	if withIndex {
+		flags[0] = 1
+	}
+	status, resp, err := c.call(OpCommit, flags)
+	if err != nil {
+		return 0, err
+	}
+	if status != StatusOK {
+		return 0, fmt.Errorf("kvserver: commit failed")
+	}
+	point, _, err := takeU64(resp)
+	return point, err
+}
+
+// Stats returns a human-readable server status line.
+func (c *Client) Stats() (string, error) {
+	status, resp, err := c.call(OpStats, nil)
+	if err != nil {
+		return "", err
+	}
+	if status != StatusOK {
+		return "", fmt.Errorf("kvserver: stats failed")
+	}
+	v, _, err := takeValue(resp)
+	return string(v), err
+}

@@ -1,0 +1,310 @@
+package kvserver
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/storage"
+)
+
+func startServer(t *testing.T, cfg faster.Config) (*Server, string, *faster.Store) {
+	t.Helper()
+	store, err := faster.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	ready := make(chan struct{})
+	go func() {
+		ln, err := serveAsync(srv, "127.0.0.1:0")
+		if err != nil {
+			t.Error(err)
+		}
+		_ = ln
+		close(ready)
+	}()
+	<-ready
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	t.Cleanup(func() { srv.Close(); store.Close() })
+	return srv, srv.Addr().String(), store
+}
+
+// serveAsync starts Serve in a goroutine and waits for the listener.
+func serveAsync(srv *Server, addr string) (struct{}, error) {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(addr) }()
+	for srv.Addr() == nil {
+		select {
+		case err := <-errCh:
+			return struct{}{}, err
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return struct{}{}, nil
+}
+
+func smallCfg() faster.Config {
+	return faster.Config{IndexBuckets: 1 << 8, PageBits: 14, MemPages: 8}
+}
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func TestSetGetDelete(t *testing.T) {
+	_, addr, _ := startServer(t, smallCfg())
+	c, err := Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	serial, err := c.Set([]byte("name"), []byte("faster"))
+	if err != nil || serial != 1 {
+		t.Fatalf("set: serial=%d err=%v", serial, err)
+	}
+	val, found, err := c.Get([]byte("name"))
+	if err != nil || !found || string(val) != "faster" {
+		t.Fatalf("get: %q %v %v", val, found, err)
+	}
+	if _, found, _ = c.Get([]byte("missing")); found {
+		t.Fatal("missing key found")
+	}
+	if _, err := c.Delete([]byte("name")); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ = c.Get([]byte("name")); found {
+		t.Fatal("deleted key still found")
+	}
+}
+
+func TestRMWOverNetwork(t *testing.T) {
+	_, addr, _ := startServer(t, smallCfg())
+	c, err := Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := c.RMW([]byte("ctr"), u64(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	val, found, err := c.Get([]byte("ctr"))
+	if err != nil || !found {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(val); got != 30 {
+		t.Fatalf("counter = %d, want 30", got)
+	}
+}
+
+func TestCommitReturnsCPRPoint(t *testing.T) {
+	_, addr, _ := startServer(t, smallCfg())
+	c, err := Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 25; i++ {
+		if _, err := c.Set(u64(uint64(i)), u64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	point, err := c.Commit(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point != 25 {
+		t.Fatalf("CPR point = %d, want 25", point)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr, _ := startServer(t, smallCfg())
+	const clients = 4
+	const ops = 200
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr, "")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for n := 0; n < ops; n++ {
+				key := u64(uint64(i)<<32 | uint64(n))
+				if _, err := c.Set(key, u64(uint64(n))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			// Verify own writes.
+			for n := 0; n < ops; n += 17 {
+				key := u64(uint64(i)<<32 | uint64(n))
+				val, found, err := c.Get(key)
+				if err != nil || !found || binary.LittleEndian.Uint64(val) != uint64(n) {
+					t.Errorf("client %d key %d: %v %v %v", i, n, val, found, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestServerRestartResumeSession(t *testing.T) {
+	dev := storage.NewMemDevice()
+	ckpts := storage.NewMemCheckpointStore()
+	cfg := smallCfg()
+	cfg.Device = dev
+	cfg.Checkpoints = ckpts
+
+	srv, addr, store := startServer(t, cfg)
+	c, err := Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := c.ID()
+	for i := 0; i < 50; i++ {
+		if _, err := c.Set(u64(uint64(i)), u64(uint64(i)+7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	point, err := c.Commit(true)
+	if err != nil || point != 50 {
+		t.Fatalf("commit: point=%d err=%v", point, err)
+	}
+	// Uncommitted operations, then crash the server.
+	for i := 0; i < 10; i++ {
+		c.Set(u64(uint64(i)), u64(9999)) //nolint:errcheck
+	}
+	c.Close()
+	srv.Close()
+	store.Close()
+
+	// Restart: recover the store, serve again, reconnect with the same ID.
+	store2, err := faster.Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(store2)
+	if _, err := serveAsync(srv2, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv2.Close(); store2.Close() }()
+
+	c2, err := Dial(srv2.Addr().String(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.CPRPoint() != 50 {
+		t.Fatalf("recovered CPR point = %d, want 50", c2.CPRPoint())
+	}
+	val, found, err := c2.Get(u64(3))
+	if err != nil || !found {
+		t.Fatalf("get after restart: %v %v", found, err)
+	}
+	if got := binary.LittleEndian.Uint64(val); got != 10 {
+		t.Fatalf("key 3 = %d, want 10 (uncommitted 9999 must be gone)", got)
+	}
+}
+
+func TestAutoCommit(t *testing.T) {
+	store, err := faster.Open(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	srv.AutoCommit = 30 * time.Millisecond
+	if _, err := serveAsync(srv, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { srv.Close(); store.Close() }()
+
+	c, err := Dial(srv.Addr().String(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Set([]byte("k"), []byte("v")) //nolint:errcheck
+	// The idle-connection refresh must let auto-commits finish: version
+	// should advance within a few intervals.
+	deadline := time.Now().Add(3 * time.Second)
+	for store.Version() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("auto-commit stalled at version %d", store.Version())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, addr, _ := startServer(t, smallCfg())
+	c, err := Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(stats), []byte("version=")) {
+		t.Fatalf("stats = %q", stats)
+	}
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := appendValue(appendString(nil, []byte("key")), []byte("value"))
+	if err := writeFrame(&buf, OpSet, payload); err != nil {
+		t.Fatal(err)
+	}
+	op, got, err := readFrame(&buf)
+	if err != nil || op != OpSet {
+		t.Fatalf("op=%d err=%v", op, err)
+	}
+	k, rest, err := takeString(got)
+	if err != nil || string(k) != "key" {
+		t.Fatalf("key=%q err=%v", k, err)
+	}
+	v, _, err := takeValue(rest)
+	if err != nil || string(v) != "value" {
+		t.Fatalf("val=%q err=%v", v, err)
+	}
+}
+
+func TestProtocolTruncation(t *testing.T) {
+	if _, _, err := takeString([]byte{5}); err == nil {
+		t.Fatal("short string header accepted")
+	}
+	if _, _, err := takeString([]byte{5, 0, 'a'}); err == nil {
+		t.Fatal("truncated string body accepted")
+	}
+	if _, _, err := takeValue([]byte{1, 2}); err == nil {
+		t.Fatal("short value header accepted")
+	}
+	if _, _, err := takeU64([]byte{1}); err == nil {
+		t.Fatal("short u64 accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // zero-length frame
+	if _, _, err := readFrame(&buf); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Package kvserver provides a TCP server and client for a CPR-enabled
+// FASTER store. Each connection owns one store session, so the paper's
+// session model maps directly onto the network: a client reconnecting with
+// its client ID resumes via ContinueSession and learns its recovered CPR
+// point — the offset from which to replay its input.
+//
+// Wire format: length-prefixed binary frames, stdlib only.
+//
+//	frame  := u32 length | u8 opcode | payload
+//	string := u16 len | bytes
+//	value  := u32 len | bytes
+//
+// Requests carry an opcode from the Op* set; responses echo a status byte
+// followed by an opcode-specific payload.
+package kvserver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Opcodes.
+const (
+	OpHello  byte = 1 // payload: clientID string  -> resp: u64 CPR point
+	OpGet    byte = 2 // payload: key string       -> resp: value
+	OpSet    byte = 3 // payload: key string, value -> resp: u64 serial
+	OpRMW    byte = 4 // payload: key string, value -> resp: u64 serial
+	OpDelete byte = 5 // payload: key string       -> resp: u64 serial
+	OpCommit byte = 6 // payload: u8 withIndex     -> resp: u64 CPR point
+	OpStats  byte = 7 // payload: none             -> resp: stats string
+)
+
+// Response status bytes.
+const (
+	StatusOK       byte = 0
+	StatusNotFound byte = 1
+	StatusError    byte = 2
+)
+
+// maxFrame bounds a frame to keep a malicious peer from forcing huge
+// allocations.
+const maxFrame = 16 << 20
+
+// writeFrame sends opcode+payload as one frame.
+func writeFrame(w io.Writer, opcode byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = opcode
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, returning its opcode and payload.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("kvserver: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+func appendString(dst []byte, s []byte) []byte {
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
+	return append(append(dst, l[:]...), s...)
+}
+
+func takeString(b []byte) ([]byte, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("kvserver: truncated string")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+n {
+		return nil, nil, fmt.Errorf("kvserver: truncated string body")
+	}
+	return b[2 : 2+n], b[2+n:], nil
+}
+
+func appendValue(dst []byte, v []byte) []byte {
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(v)))
+	return append(append(dst, l[:]...), v...)
+}
+
+func takeValue(b []byte) ([]byte, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("kvserver: truncated value")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if len(b) < 4+n {
+		return nil, nil, fmt.Errorf("kvserver: truncated value body")
+	}
+	return b[4 : 4+n], b[4+n:], nil
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func takeU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("kvserver: truncated u64")
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}

@@ -1,0 +1,304 @@
+package kvserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/faster"
+)
+
+// Server serves a CPR-enabled FASTER store over TCP. Each accepted
+// connection runs a handler goroutine that owns one store session; idle
+// connections still refresh their epoch entries periodically so in-flight
+// commits can complete.
+type Server struct {
+	store *faster.Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+
+	// AutoCommit, when positive, triggers a log-only commit at this cadence.
+	AutoCommit time.Duration
+	// Logger receives connection errors; defaults to the standard logger.
+	Logger *log.Logger
+
+	stopAuto chan struct{}
+}
+
+// NewServer wraps an open store.
+func NewServer(store *faster.Store) *Server {
+	return &Server{
+		store:    store,
+		conns:    make(map[net.Conn]bool),
+		Logger:   log.New(os.Stderr, "kvserver: ", log.LstdFlags),
+		stopAuto: make(chan struct{}),
+	}
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:0") and blocks accepting
+// connections until Close. It returns the bound address via Addr.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	if s.AutoCommit > 0 {
+		s.wg.Add(1)
+		go s.autoCommitter()
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// Addr returns the bound listen address (after Serve started).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	close(s.stopAuto)
+	s.wg.Wait()
+}
+
+func (s *Server) autoCommitter() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.AutoCommit)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopAuto:
+			return
+		case <-t.C:
+			// Log-only fold-over commits at the configured cadence; skipped
+			// while another commit is still in flight.
+			s.store.Commit(faster.CommitOptions{}) //nolint:errcheck
+		}
+	}
+}
+
+// idlePoll is how often an idle connection refreshes its session's epoch.
+const idlePoll = 20 * time.Millisecond
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	// The first frame must be Hello, binding the connection to a session.
+	op, payload, err := readFrame(conn)
+	if err != nil || op != OpHello {
+		return
+	}
+	clientID, _, err := takeString(payload)
+	if err != nil {
+		return
+	}
+	var sess *faster.Session
+	var cprPoint uint64
+	if len(clientID) > 0 {
+		sess, cprPoint = s.store.ContinueSession(string(clientID))
+	} else {
+		sess = s.store.StartSession()
+	}
+	defer sess.StopSession()
+	resp := appendU64([]byte{StatusOK}, cprPoint)
+	resp = appendString(resp, []byte(sess.ID()))
+	if err := writeFrame(conn, OpHello, resp); err != nil {
+		return
+	}
+
+	br := bufio.NewReader(conn)
+	for {
+		// Bounded wait for the first byte of a frame so idle connections
+		// keep refreshing their epoch entry — otherwise an idle client
+		// would stall every commit. The deadline only ever gates the peek
+		// (which consumes nothing on timeout); the frame itself is read
+		// with a generous deadline so it is never cut in half.
+		conn.SetReadDeadline(time.Now().Add(idlePoll)) //nolint:errcheck
+		if _, err := br.Peek(1); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				sess.Refresh()
+				sess.CompletePending(false)
+				continue
+			}
+			return // connection closed
+		}
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+		op, payload, err = readFrame(br)
+		if err != nil {
+			return // connection closed or protocol error
+		}
+		if err := s.dispatch(conn, sess, op, payload); err != nil {
+			s.Logger.Printf("conn %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+	switch op {
+	case OpGet:
+		key, _, err := takeString(payload)
+		if err != nil {
+			return err
+		}
+		var out []byte
+		var status byte
+		done := false
+		val, st := sess.Read(key, func(v []byte, s2 faster.Status) {
+			done = true
+			if s2 == faster.Ok {
+				out = append(out[:0], v...)
+				status = StatusOK
+			} else if s2 == faster.NotFound {
+				status = StatusNotFound
+			} else {
+				status = StatusError
+			}
+		})
+		switch st {
+		case faster.Ok:
+			out, status, done = append(out[:0], val...), StatusOK, true
+		case faster.NotFound:
+			status, done = StatusNotFound, true
+		case faster.Pending:
+			sess.CompletePending(true)
+		}
+		if !done {
+			status = StatusError
+		}
+		return writeFrame(conn, OpGet, appendValue([]byte{status}, out))
+
+	case OpSet, OpRMW:
+		key, rest, err := takeString(payload)
+		if err != nil {
+			return err
+		}
+		val, _, err := takeValue(rest)
+		if err != nil {
+			return err
+		}
+		var st faster.Status
+		if op == OpSet {
+			st = sess.Upsert(key, val)
+		} else {
+			st = sess.RMW(key, val)
+		}
+		if st == faster.Pending {
+			sess.CompletePending(true)
+			st = faster.Ok
+		}
+		status := StatusOK
+		if st != faster.Ok {
+			status = StatusError
+		}
+		return writeFrame(conn, op, appendU64([]byte{status}, sess.Serial()))
+
+	case OpDelete:
+		key, _, err := takeString(payload)
+		if err != nil {
+			return err
+		}
+		st := sess.Delete(key)
+		if st == faster.Pending {
+			sess.CompletePending(true)
+			st = faster.Ok
+		}
+		status := StatusOK
+		if st == faster.Error {
+			status = StatusError
+		} else if st == faster.NotFound {
+			status = StatusNotFound
+		}
+		return writeFrame(conn, OpDelete, appendU64([]byte{status}, sess.Serial()))
+
+	case OpCommit:
+		if len(payload) < 1 {
+			return fmt.Errorf("commit: missing flags")
+		}
+		withIndex := payload[0] != 0
+		token, err := s.store.Commit(faster.CommitOptions{WithIndex: withIndex})
+		if err == faster.ErrCommitInProgress {
+			// Piggyback on the commit already in flight.
+			token = ""
+		} else if err != nil {
+			return writeFrame(conn, OpCommit, appendU64([]byte{StatusError}, 0))
+		}
+		// Drive until some commit completes and this session is at rest.
+		for {
+			if token != "" {
+				if res, ok := s.store.TryResult(token); ok {
+					point := res.Serials[sess.ID()]
+					status := StatusOK
+					if res.Err != nil {
+						status = StatusError
+					}
+					return writeFrame(conn, OpCommit, appendU64([]byte{status}, point))
+				}
+			} else if s.store.Phase() == faster.Rest {
+				return writeFrame(conn, OpCommit, appendU64([]byte{StatusOK}, sess.Serial()))
+			}
+			sess.Refresh()
+			sess.CompletePending(false)
+		}
+
+	case OpStats:
+		lg := s.store.Log()
+		stats := fmt.Sprintf("version=%d phase=%v tail=%d durable=%d head=%d",
+			s.store.Version(), s.store.Phase(), lg.Tail(), lg.Durable(), lg.Head())
+		return writeFrame(conn, OpStats, appendValue([]byte{StatusOK}, []byte(stats)))
+	}
+	return fmt.Errorf("unknown opcode %d", op)
+}

@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// IORequest is one asynchronous device operation. Exactly one of the read or
+// write semantics applies: if Write is true, Buf is written at Off; otherwise
+// Buf is filled by reading at Off. Done is invoked from a pool worker with
+// the operation result; it may submit follow-up requests (e.g. a record-body
+// read chained after its header read) but must not block for long.
+type IORequest struct {
+	Dev   Device
+	Buf   []byte
+	Off   int64
+	Write bool
+	Done  func(n int, err error)
+}
+
+// Pool is a fixed set of worker goroutines servicing IORequests, modelling
+// FASTER's background async I/O: the requesting thread continues processing
+// while the operation completes.
+//
+// The queue is unbounded: Submit never blocks. This is load-bearing for
+// deadlock freedom — completion callbacks run on pool workers and may chain
+// further Submits; a bounded queue would let workers block on themselves.
+// Callers bound their own in-flight work (sessions cap their pending lists).
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []IORequest
+	closed bool
+
+	drained bool
+
+	wg       sync.WaitGroup
+	inFlight atomic.Int64
+}
+
+// NewPool starts a pool with the given number of workers (minimum 1). The
+// depth argument is retained for call-site compatibility and ignored (the
+// queue is unbounded; see the type comment).
+func NewPool(workers, depth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		req := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		var n int
+		var err error
+		if req.Write {
+			n, err = req.Dev.WriteAt(req.Buf, req.Off)
+		} else {
+			n, err = req.Dev.ReadAt(req.Buf, req.Off)
+		}
+		if req.Done != nil {
+			req.Done(n, err)
+		}
+		p.inFlight.Add(-1)
+	}
+}
+
+// Submit enqueues req without blocking. Chained submissions during Close's
+// drain are still serviced; submissions after the drain completes are
+// dropped with an error delivered to Done.
+func (p *Pool) Submit(req IORequest) {
+	p.mu.Lock()
+	if p.closed && p.drained {
+		p.mu.Unlock()
+		if req.Done != nil {
+			req.Done(0, ErrClosed)
+		}
+		return
+	}
+	p.inFlight.Add(1)
+	p.queue = append(p.queue, req)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// InFlight reports the number of submitted-but-incomplete requests.
+func (p *Pool) InFlight() int64 { return p.inFlight.Load() }
+
+// Close stops accepting new external requests and waits until the queue —
+// including requests chained by completion callbacks — drains.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+	p.mu.Lock()
+	p.drained = true
+	p.mu.Unlock()
+}

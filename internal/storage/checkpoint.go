@@ -1,0 +1,168 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// CheckpointStore is a flat namespace of named checkpoint artifacts
+// (metadata, index pages, log snapshots). Both the transactional database
+// and FASTER persist their CPR commits through this interface, so every
+// experiment can run against RAM or a real directory interchangeably.
+type CheckpointStore interface {
+	// Create opens a named artifact for writing, truncating any previous one.
+	Create(name string) (io.WriteCloser, error)
+	// Open opens a named artifact for reading.
+	Open(name string) (io.ReadCloser, error)
+	// List returns all artifact names, sorted.
+	List() ([]string, error)
+	// Remove deletes an artifact; removing a missing artifact is an error.
+	Remove(name string) error
+}
+
+// MemCheckpointStore keeps artifacts in process memory. It is the default
+// store for benchmarks (the paper's checkpoints-to-SSD become
+// checkpoints-to-RAM; shape of results is unaffected, see DESIGN.md).
+type MemCheckpointStore struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// NewMemCheckpointStore returns an empty in-memory store.
+func NewMemCheckpointStore() *MemCheckpointStore {
+	return &MemCheckpointStore{files: make(map[string][]byte)}
+}
+
+type memWriter struct {
+	buf   bytes.Buffer
+	store *MemCheckpointStore
+	name  string
+}
+
+func (w *memWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+
+func (w *memWriter) Close() error {
+	w.store.mu.Lock()
+	w.store.files[w.name] = w.buf.Bytes()
+	w.store.mu.Unlock()
+	return nil
+}
+
+// Create implements CheckpointStore.
+func (s *MemCheckpointStore) Create(name string) (io.WriteCloser, error) {
+	return &memWriter{store: s, name: name}, nil
+}
+
+// Open implements CheckpointStore.
+func (s *MemCheckpointStore) Open(name string) (io.ReadCloser, error) {
+	s.mu.RLock()
+	data, ok := s.files[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: checkpoint artifact %q not found", name)
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+// List implements CheckpointStore.
+func (s *MemCheckpointStore) List() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.files))
+	for n := range s.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements CheckpointStore.
+func (s *MemCheckpointStore) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[name]; !ok {
+		return fmt.Errorf("storage: checkpoint artifact %q not found", name)
+	}
+	delete(s.files, name)
+	return nil
+}
+
+// Clone returns an independent copy of the store's current artifacts (see
+// MemDevice.Clone; clone the checkpoint store BEFORE the device so cloned
+// metadata never references log data missing from the cloned device).
+func (s *MemCheckpointStore) Clone() *MemCheckpointStore {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := NewMemCheckpointStore()
+	for name, data := range s.files {
+		c.files[name] = append([]byte(nil), data...)
+	}
+	return c
+}
+
+// Size returns the total bytes held by the store (diagnostics).
+func (s *MemCheckpointStore) Size() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, b := range s.files {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// DirCheckpointStore persists artifacts as files under a directory. Artifact
+// names may contain '/' which map to subdirectories.
+type DirCheckpointStore struct {
+	dir string
+}
+
+// NewDirCheckpointStore creates (if needed) and wraps a directory.
+func NewDirCheckpointStore(dir string) (*DirCheckpointStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir %s: %w", dir, err)
+	}
+	return &DirCheckpointStore{dir: dir}, nil
+}
+
+// Create implements CheckpointStore.
+func (s *DirCheckpointStore) Create(name string) (io.WriteCloser, error) {
+	path := filepath.Join(s.dir, filepath.FromSlash(name))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	return os.Create(path)
+}
+
+// Open implements CheckpointStore.
+func (s *DirCheckpointStore) Open(name string) (io.ReadCloser, error) {
+	return os.Open(filepath.Join(s.dir, filepath.FromSlash(name)))
+}
+
+// List implements CheckpointStore.
+func (s *DirCheckpointStore) List() ([]string, error) {
+	var names []string
+	err := filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(s.dir, path)
+		if err != nil {
+			return err
+		}
+		names = append(names, filepath.ToSlash(rel))
+		return nil
+	})
+	sort.Strings(names)
+	return names, err
+}
+
+// Remove implements CheckpointStore.
+func (s *DirCheckpointStore) Remove(name string) error {
+	return os.Remove(filepath.Join(s.dir, filepath.FromSlash(name)))
+}

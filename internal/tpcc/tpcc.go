@@ -1,0 +1,160 @@
+// Package tpcc generates the TPC-C-derived workload of App. E.2: a mix of
+// Payment and New-Order transactions over the txdb key space. Inputs follow
+// the standard TPC-C distributions (uniform warehouse/district, NURand
+// customer and item selection). Payment is a short transaction writing 3
+// records; New-Order is longer, accessing ~23 records on average.
+package tpcc
+
+import (
+	"repro/internal/txdb"
+	"repro/internal/ycsb"
+)
+
+// Layout maps TPC-C entities into a flat key space:
+//
+//	warehouse w            -> w
+//	district (w, d)        -> W + w*10 + d
+//	customer (w, d, c)     -> W + W*10 + (w*10+d)*3000 + c
+//	stock (w, i)           -> base + w*Items + i
+//	order line (running)   -> a per-worker rotating region (insert-modelled)
+type Layout struct {
+	Warehouses int
+	Items      int
+	// key-space section offsets, computed by NewLayout.
+	districtBase uint64
+	customerBase uint64
+	stockBase    uint64
+	orderBase    uint64
+	orderKeys    uint64
+	TotalRecords uint64
+}
+
+// Districts per warehouse and customers per district, per the TPC-C spec.
+const (
+	districtsPerWH  = 10
+	customersPerDis = 3000
+)
+
+// NewLayout computes the key-space layout for a warehouse count. The paper
+// uses 256 warehouses to reduce contention (App. E.2); Items defaults to a
+// scaled-down 10000.
+func NewLayout(warehouses, items int) Layout {
+	if items <= 0 {
+		items = 10000
+	}
+	l := Layout{Warehouses: warehouses, Items: items}
+	w := uint64(warehouses)
+	l.districtBase = w
+	l.customerBase = l.districtBase + w*districtsPerWH
+	l.stockBase = l.customerBase + w*districtsPerWH*customersPerDis
+	l.orderBase = l.stockBase + w*uint64(items)
+	l.orderKeys = w * districtsPerWH * 1024 // rotating order-line region
+	l.TotalRecords = l.orderBase + l.orderKeys
+	return l
+}
+
+func (l Layout) warehouseKey(w int) uint64 { return uint64(w) }
+
+func (l Layout) districtKey(w, d int) uint64 {
+	return l.districtBase + uint64(w)*districtsPerWH + uint64(d)
+}
+
+func (l Layout) customerKey(w, d, c int) uint64 {
+	return l.customerBase + (uint64(w)*districtsPerWH+uint64(d))*customersPerDis + uint64(c)
+}
+
+func (l Layout) stockKey(w, i int) uint64 {
+	return l.stockBase + uint64(w)*uint64(l.Items) + uint64(i)
+}
+
+// Generator produces TPC-C transactions for one worker.
+type Generator struct {
+	layout   Layout
+	rng      *ycsb.RNG
+	payFrac  float64 // fraction of Payment txns (rest New-Order)
+	cA1021   uint64  // NURand C constants, fixed per generator
+	cA8191   uint64
+	nextOL   uint64 // rotating order-line cursor
+	workerID uint64
+	ops      []txdb.Op
+	val      []byte
+}
+
+// NewGenerator creates a per-worker generator. payFraction 0.5 is the
+// paper's mixed workload; 1.0 is payments-only.
+func NewGenerator(layout Layout, payFraction float64, workerID uint64) *Generator {
+	rng := ycsb.NewRNG(workerID*2654435761 + 99991)
+	return &Generator{
+		layout:   layout,
+		rng:      rng,
+		payFrac:  payFraction,
+		cA1021:   rng.Intn(1024),
+		cA8191:   rng.Intn(8192),
+		workerID: workerID,
+		val:      make([]byte, 8),
+	}
+}
+
+// nuRand is the TPC-C non-uniform random function NURand(A, x, y).
+func (g *Generator) nuRand(a, c, x, y uint64) uint64 {
+	return ((g.rng.Intn(a+1)|(x+g.rng.Intn(y-x+1)))+c)%(y-x+1) + x
+}
+
+// Next builds the next transaction in the generator's scratch space. The
+// returned Txn is valid until the following call.
+func (g *Generator) Next() (*txdb.Txn, bool) {
+	if g.rng.Float64() < g.payFrac {
+		return g.payment(), true
+	}
+	return g.newOrder(), false
+}
+
+// payment writes the warehouse YTD, district YTD, and customer balance
+// (3 writes), per the spec's Payment profile.
+func (g *Generator) payment() *txdb.Txn {
+	l := g.layout
+	w := int(g.rng.Intn(uint64(l.Warehouses)))
+	d := int(g.rng.Intn(districtsPerWH))
+	c := int(g.nuRand(1023, g.cA1021, 0, customersPerDis-1))
+	g.ops = append(g.ops[:0],
+		txdb.Op{Key: l.warehouseKey(w), Write: true},
+		txdb.Op{Key: l.districtKey(w, d), Write: true},
+		txdb.Op{Key: l.customerKey(w, d, c), Write: true},
+	)
+	return &txdb.Txn{Ops: g.ops, WriteValue: g.val}
+}
+
+// newOrder reads the warehouse tax and customer, updates the district
+// next-order id, and for ~10 items reads the item info and updates stock,
+// plus inserts order lines — about 23 accesses on average, as in App. E.2.
+func (g *Generator) newOrder() *txdb.Txn {
+	l := g.layout
+	w := int(g.rng.Intn(uint64(l.Warehouses)))
+	d := int(g.rng.Intn(districtsPerWH))
+	c := int(g.nuRand(1023, g.cA1021, 0, customersPerDis-1))
+	nItems := 5 + int(g.rng.Intn(11)) // ol_cnt uniform in [5,15]
+
+	g.ops = append(g.ops[:0],
+		txdb.Op{Key: l.warehouseKey(w)},                // read tax
+		txdb.Op{Key: l.customerKey(w, d, c)},           // read customer
+		txdb.Op{Key: l.districtKey(w, d), Write: true}, // next-o-id
+	)
+	seen := map[uint64]bool{}
+	for i := 0; i < nItems; i++ {
+		item := int(g.nuRand(8191, g.cA8191, 0, uint64(l.Items)-1))
+		sk := l.stockKey(w, item)
+		if seen[sk] {
+			continue // spec allows duplicate items; txdb needs distinct keys
+		}
+		seen[sk] = true
+		g.ops = append(g.ops, txdb.Op{Key: sk, Write: true}) // stock update
+		// Order-line insert, modelled as a write to a rotating slot.
+		ol := l.orderBase + (g.workerID*7919+g.nextOL)%l.orderKeys
+		g.nextOL++
+		if !seen[ol] {
+			seen[ol] = true
+			g.ops = append(g.ops, txdb.Op{Key: ol, Write: true})
+		}
+	}
+	return &txdb.Txn{Ops: g.ops, WriteValue: g.val}
+}

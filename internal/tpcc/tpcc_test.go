@@ -1,0 +1,123 @@
+package tpcc
+
+import (
+	"testing"
+
+	"repro/internal/txdb"
+)
+
+func TestLayoutDisjointSections(t *testing.T) {
+	l := NewLayout(16, 1000)
+	// Section boundaries must be ordered and disjoint.
+	if !(l.districtBase < l.customerBase && l.customerBase < l.stockBase &&
+		l.stockBase < l.orderBase && l.orderBase < l.TotalRecords) {
+		t.Fatalf("layout sections out of order: %+v", l)
+	}
+	// Spot-check keys fall inside their sections.
+	if k := l.warehouseKey(15); k >= l.districtBase {
+		t.Fatalf("warehouse key %d in district section", k)
+	}
+	if k := l.districtKey(15, 9); !(k >= l.districtBase && k < l.customerBase) {
+		t.Fatalf("district key %d outside section", k)
+	}
+	if k := l.customerKey(15, 9, 2999); !(k >= l.customerBase && k < l.stockBase) {
+		t.Fatalf("customer key %d outside section", k)
+	}
+	if k := l.stockKey(15, 999); !(k >= l.stockBase && k < l.orderBase) {
+		t.Fatalf("stock key %d outside section", k)
+	}
+}
+
+func TestPaymentShape(t *testing.T) {
+	g := NewGenerator(NewLayout(16, 1000), 1.0, 1)
+	for i := 0; i < 100; i++ {
+		txn, isPayment := g.Next()
+		if !isPayment {
+			t.Fatal("payFraction=1.0 produced a New-Order")
+		}
+		if len(txn.Ops) != 3 {
+			t.Fatalf("payment has %d ops, want 3", len(txn.Ops))
+		}
+		for _, op := range txn.Ops {
+			if !op.Write {
+				t.Fatal("payment op is not a write")
+			}
+		}
+	}
+}
+
+func TestNewOrderShape(t *testing.T) {
+	l := NewLayout(16, 1000)
+	g := NewGenerator(l, 0.0, 2)
+	totalOps := 0
+	const txns = 200
+	for i := 0; i < txns; i++ {
+		txn, isPayment := g.Next()
+		if isPayment {
+			t.Fatal("payFraction=0 produced a Payment")
+		}
+		if len(txn.Ops) < 5 {
+			t.Fatalf("new-order has only %d ops", len(txn.Ops))
+		}
+		reads := 0
+		seen := map[uint64]bool{}
+		for _, op := range txn.Ops {
+			if !op.Write {
+				reads++
+			}
+			if op.Key >= l.TotalRecords {
+				t.Fatalf("key %d outside key space %d", op.Key, l.TotalRecords)
+			}
+			if seen[op.Key] {
+				t.Fatalf("duplicate key %d in txn", op.Key)
+			}
+			seen[op.Key] = true
+		}
+		if reads != 2 {
+			t.Fatalf("new-order has %d reads, want 2 (warehouse + customer)", reads)
+		}
+		totalOps += len(txn.Ops)
+	}
+	avg := float64(totalOps) / txns
+	// App. E.2: ~23 accesses on average.
+	if avg < 15 || avg > 30 {
+		t.Fatalf("avg new-order size = %.1f, want ~23", avg)
+	}
+}
+
+func TestMixFraction(t *testing.T) {
+	g := NewGenerator(NewLayout(16, 1000), 0.5, 3)
+	payments := 0
+	const txns = 10000
+	for i := 0; i < txns; i++ {
+		if _, isPayment := g.Next(); isPayment {
+			payments++
+		}
+	}
+	frac := float64(payments) / txns
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("payment fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestRunsAgainstTxdb(t *testing.T) {
+	l := NewLayout(8, 500)
+	db, err := txdb.Open(txdb.Config{Records: int(l.TotalRecords), ValueSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	w := db.NewWorker()
+	defer w.Close()
+	g := NewGenerator(l, 0.5, 4)
+	committed := 0
+	for i := 0; i < 2000; i++ {
+		txn, _ := g.Next()
+		if w.Execute(txn) == txdb.Committed {
+			committed++
+		}
+	}
+	if committed < 1900 {
+		t.Fatalf("only %d/2000 committed on single worker", committed)
+	}
+}

@@ -1,0 +1,416 @@
+package txdb
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func val(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func write1(key, v uint64) *Txn {
+	return &Txn{Ops: []Op{{Key: key, Write: true}}, WriteValue: val(v)}
+}
+
+func read1(key uint64) *Txn {
+	return &Txn{Ops: []Op{{Key: key}}}
+}
+
+// driveCommit completes a commit while keeping workers refreshing.
+func driveCommit(t *testing.T, db *DB, workers []*Worker) CommitResult {
+	t.Helper()
+	token, err := db.Commit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		if res, ok := db.TryResult(token); ok {
+			if res.Err != nil {
+				t.Fatalf("commit: %v", res.Err)
+			}
+			return res
+		}
+		for _, w := range workers {
+			w.Refresh()
+		}
+		if i > 1_000_000 {
+			t.Fatalf("commit stuck in %v", db.Phase())
+		}
+	}
+}
+
+func TestExecuteAndRead(t *testing.T) {
+	for _, eng := range []EngineKind{EngineCPR, EngineCALC, EngineWAL} {
+		t.Run(eng.String(), func(t *testing.T) {
+			db, err := Open(Config{Records: 100, Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			w := db.NewWorker()
+			defer w.Close()
+
+			if res := w.Execute(write1(5, 42)); res != Committed {
+				t.Fatalf("write: %v", res)
+			}
+			if res := w.Execute(read1(5)); res != Committed {
+				t.Fatalf("read: %v", res)
+			}
+			if got := binary.LittleEndian.Uint64(w.ReadScratch()); got != 42 {
+				t.Fatalf("read value = %d", got)
+			}
+		})
+	}
+}
+
+func TestNoWaitConflictAbort(t *testing.T) {
+	db, err := Open(Config{Records: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	w := db.NewWorker()
+	defer w.Close()
+
+	// Hold an exclusive lock directly and watch NO-WAIT abort.
+	db.records[3].tryLock(true)
+	if res := w.Execute(write1(3, 1)); res != AbortedConflict {
+		t.Fatalf("expected conflict abort, got %v", res)
+	}
+	db.records[3].unlock(true)
+	if res := w.Execute(write1(3, 1)); res != Committed {
+		t.Fatalf("after unlock: %v", res)
+	}
+	st := w.Stats()
+	if st.Conflicts != 1 || st.Committed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMultiKeyTxnLockOrdering(t *testing.T) {
+	db, err := Open(Config{Records: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	w := db.NewWorker()
+	defer w.Close()
+	txn := &Txn{Ops: []Op{{Key: 1, Write: true}, {Key: 2}, {Key: 3, Write: true}},
+		WriteValue: val(9)}
+	if res := w.Execute(txn); res != Committed {
+		t.Fatalf("multi-key txn: %v", res)
+	}
+	// All locks released.
+	for i := 1; i <= 3; i++ {
+		if l := db.records[i].lock.Load(); l != 0 {
+			t.Fatalf("record %d lock leaked: %d", i, l)
+		}
+	}
+	if binary.LittleEndian.Uint64(db.ReadValue(3, nil)) != 9 {
+		t.Fatal("write not applied")
+	}
+	if binary.LittleEndian.Uint64(db.ReadValue(2, nil)) != 0 {
+		t.Fatal("read op wrote")
+	}
+}
+
+func TestCPRCommitAndRecover(t *testing.T) {
+	for _, eng := range []EngineKind{EngineCPR, EngineCALC} {
+		t.Run(eng.String(), func(t *testing.T) {
+			ckpts := storage.NewMemCheckpointStore()
+			db, err := Open(Config{Records: 100, Engine: eng, Checkpoints: ckpts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := db.NewWorker()
+
+			for i := uint64(0); i < 100; i++ {
+				if res := w.Execute(write1(i, i+1)); res != Committed {
+					t.Fatalf("write %d: %v", i, res)
+				}
+			}
+			res := driveCommit(t, db, []*Worker{w})
+			if res.Seqs[w] != 100 {
+				t.Fatalf("CPR point = %d, want 100", res.Seqs[w])
+			}
+			// Uncommitted writes after the checkpoint.
+			for i := uint64(0); i < 50; i++ {
+				w.Execute(write1(i, 777))
+			}
+			w.Close()
+			db.Close()
+
+			r, err := Recover(Config{Records: 100, Engine: eng, Checkpoints: ckpts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if r.Version() != 2 {
+				t.Fatalf("recovered version = %d", r.Version())
+			}
+			for i := uint64(0); i < 100; i++ {
+				got := binary.LittleEndian.Uint64(r.ReadValue(i, nil))
+				if got != i+1 {
+					t.Fatalf("key %d = %d, want %d (uncommitted leak or loss)", i, got, i+1)
+				}
+			}
+		})
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	dev := storage.NewMemDevice()
+	db, err := Open(Config{Records: 50, Engine: EngineWAL, WALDevice: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := db.NewWorker()
+	for i := uint64(0); i < 50; i++ {
+		if res := w.Execute(write1(i, i*3)); res != Committed {
+			t.Fatalf("write %d: %v", i, res)
+		}
+	}
+	if _, err := db.Commit(nil); err != nil { // force group commit
+		t.Fatal(err)
+	}
+	w.Close()
+	db.Close()
+
+	r, err := Recover(Config{Records: 50, Engine: EngineWAL, WALDevice: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := uint64(0); i < 50; i++ {
+		if got := binary.LittleEndian.Uint64(r.ReadValue(i, nil)); got != i*3 {
+			t.Fatalf("key %d = %d, want %d", i, got, i*3)
+		}
+	}
+}
+
+func TestCPRAbortAtMostOncePerCommit(t *testing.T) {
+	db, err := Open(Config{Records: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const workers = 4
+	ws := make([]*Worker, workers)
+	for i := range ws {
+		ws[i] = db.NewWorker()
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i, w := range ws {
+		i, w := i, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			k := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				txn := write1((uint64(i)*250+k)%1000, k)
+				w.Execute(txn) // conflicts & CPR aborts allowed
+				k++
+			}
+		}()
+	}
+	token, err := db.Commit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := db.WaitForCommit(token)
+	close(stop)
+	wg.Wait()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for i, w := range ws {
+		if st := w.Stats(); st.CPRAborts > 1 {
+			t.Errorf("worker %d: %d CPR aborts in one commit, want <= 1", i, st.CPRAborts)
+		}
+		w.Close()
+	}
+}
+
+func TestCommitPrefixSemantics(t *testing.T) {
+	// Each worker writes its own key range with values = sequence numbers;
+	// after recovery, key i of worker w must hold a value consistent with
+	// the worker's CPR point: values <= point kept, values > point absent.
+	ckpts := storage.NewMemCheckpointStore()
+	const workers = 4
+	const keysPer = 64
+	db, err := Open(Config{Records: workers * keysPer, Checkpoints: ckpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := make([]*Worker, workers)
+	for i := range ws {
+		ws[i] = db.NewWorker()
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	lastSeq := make([]uint64, workers)
+	for i := range ws {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := ws[i]
+			for n := uint64(1); ; n++ {
+				select {
+				case <-stop:
+					lastSeq[i] = w.Seq()
+					return
+				default:
+				}
+				// Write (worker's base + seq%keysPer) = seq.
+				key := uint64(i*keysPer) + n%keysPer
+				for w.Execute(write1(key, n)) != Committed {
+				}
+			}
+		}()
+	}
+	token, err := db.Commit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := db.WaitForCommit(token)
+	close(stop)
+	wg.Wait()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for i := range ws {
+		ws[i].Close()
+	}
+	db.Close()
+
+	r, err := Recover(Config{Records: workers * keysPer, Checkpoints: ckpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, w := range ws {
+		point := res.Seqs[w]
+		if point == 0 {
+			continue
+		}
+		// Every recovered value for this worker's keys must be <= its CPR
+		// point (no post-point transaction may be visible).
+		for k := uint64(0); k < keysPer; k++ {
+			got := binary.LittleEndian.Uint64(r.ReadValue(uint64(i*keysPer)+k, nil))
+			if got > point {
+				t.Fatalf("worker %d key %d: recovered seq %d > CPR point %d", i, k, got, point)
+			}
+		}
+		// And the latest pre-point write of each key must be present: for
+		// key k, that is the largest n <= point with n%keysPer == k.
+		for k := uint64(0); k < keysPer; k++ {
+			var want uint64
+			if point >= 1 {
+				n := point - (point+keysPer-k)%keysPer
+				want = n // largest n <= point congruent to k
+			}
+			if want == 0 {
+				continue
+			}
+			got := binary.LittleEndian.Uint64(r.ReadValue(uint64(i*keysPer)+k, nil))
+			if got != want {
+				t.Fatalf("worker %d key %d: recovered %d, want %d (point %d)", i, k, got, want, point)
+			}
+		}
+	}
+}
+
+func TestConcurrentWorkersThroughput(t *testing.T) {
+	db, err := Open(Config{Records: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const workers = 8
+	var wg sync.WaitGroup
+	var committed [workers]uint64
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := db.NewWorker()
+			defer w.Close()
+			for n := 0; n < 5000; n++ {
+				key := uint64((i*1000 + n*7) % 10000)
+				if w.Execute(write1(key, uint64(n))) == Committed {
+					committed[i]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for _, c := range committed {
+		total += c
+	}
+	if total < workers*5000*9/10 {
+		t.Fatalf("only %d/%d committed (excessive aborts)", total, workers*5000)
+	}
+}
+
+func TestEngineStrings(t *testing.T) {
+	if EngineCPR.String() != "CPR" || EngineCALC.String() != "CALC" || EngineWAL.String() != "WAL" {
+		t.Fatal("engine names wrong")
+	}
+}
+
+func TestCalcLogAppends(t *testing.T) {
+	db, err := Open(Config{Records: 10, Engine: EngineCALC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	w := db.NewWorker()
+	defer w.Close()
+	for i := 0; i < 100; i++ {
+		w.Execute(write1(uint64(i%10), uint64(i)))
+	}
+	if got := db.CalcLogLen(); got != 100 {
+		t.Fatalf("CALC commit log entries = %d, want 100 (every txn must append)", got)
+	}
+}
+
+func TestInstrumentationBreakdown(t *testing.T) {
+	for _, eng := range []EngineKind{EngineCPR, EngineCALC, EngineWAL} {
+		db, err := Open(Config{Records: 100, Engine: eng, Instrument: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := db.NewWorker()
+		for i := 0; i < 1000; i++ {
+			w.Execute(write1(uint64(i%100), uint64(i)))
+		}
+		st := w.Stats()
+		if st.ExecNanos == 0 || st.Samples == 0 {
+			t.Errorf("%v: no exec samples collected", eng)
+		}
+		if eng == EngineCALC && st.TailNanos == 0 {
+			t.Errorf("CALC: no tail contention samples")
+		}
+		if eng == EngineWAL && st.LogWriteNanos == 0 {
+			t.Errorf("WAL: no log write samples")
+		}
+		w.Close()
+		db.Close()
+	}
+}

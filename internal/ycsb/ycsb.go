@@ -1,0 +1,205 @@
+// Package ycsb generates workloads modeled on the Yahoo! Cloud Serving
+// Benchmark, as used in Sec. 7.1: transactions over a single table of N
+// 8-byte keys, each a sequence of read/write requests drawn from a uniform
+// or (scrambled) zipfian distribution, classified read or write by a
+// configurable ratio. The FASTER experiments additionally use an extended
+// YCSB-A with read-modify-write updates.
+package ycsb
+
+import "math"
+
+// RNG is a per-thread splitmix64/xorshift generator: allocation-free and
+// independent across workers (no shared state, no lock).
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator; distinct seeds give independent streams.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Next returns the next pseudo-random 64-bit value (splitmix64).
+func (r *RNG) Next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n uint64) uint64 {
+	return r.Next() % n
+}
+
+// KeyChooser picks keys in [0, N).
+type KeyChooser interface {
+	// Next returns the next key using the supplied per-thread RNG.
+	Next(rng *RNG) uint64
+	// N returns the key-space size.
+	N() uint64
+}
+
+// Uniform picks keys uniformly.
+type Uniform struct{ n uint64 }
+
+// NewUniform returns a uniform chooser over [0, n).
+func NewUniform(n uint64) *Uniform { return &Uniform{n: n} }
+
+// Next implements KeyChooser.
+func (u *Uniform) Next(rng *RNG) uint64 { return rng.Intn(u.n) }
+
+// N implements KeyChooser.
+func (u *Uniform) N() uint64 { return u.n }
+
+// Zipfian picks keys with a zipfian distribution of parameter theta, using
+// the Gray et al. rejection-free method as in the YCSB implementation, and
+// scrambles ranks so hot keys are scattered across the key space.
+type Zipfian struct {
+	n         uint64
+	theta     float64
+	alpha     float64
+	zetan     float64
+	eta       float64
+	zeta2     float64
+	scrambled bool
+}
+
+// NewZipfian returns a scrambled zipfian chooser over [0, n). The paper uses
+// theta = 0.1 (low contention) and theta = 0.99 (high contention).
+func NewZipfian(n uint64, theta float64) *Zipfian {
+	z := &Zipfian{n: n, theta: theta, scrambled: true}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// NewZipfianRanked is NewZipfian without rank scrambling (rank 0 is the
+// hottest key); useful for tests that need deterministic hot keys.
+func NewZipfianRanked(n uint64, theta float64) *Zipfian {
+	z := NewZipfian(n, theta)
+	z.scrambled = false
+	return z
+}
+
+// zetaStatic computes the zeta(n, theta) normalization. For the scaled-down
+// key spaces used here (<= tens of millions) the direct sum is fast enough
+// and exact; it runs once per generator.
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements KeyChooser.
+func (z *Zipfian) Next(rng *RNG) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1.0:
+		rank = 0
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		if rank >= z.n {
+			rank = z.n - 1
+		}
+	}
+	if !z.scrambled {
+		return rank
+	}
+	// FNV-style scramble, as in YCSB's ScrambledZipfianGenerator.
+	return fnv64(rank) % z.n
+}
+
+// N implements KeyChooser.
+func (z *Zipfian) N() uint64 { return z.n }
+
+func fnv64(v uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+// TxnSpec describes the transaction mix of one experiment.
+type TxnSpec struct {
+	// Keys is the key-space size.
+	Keys uint64
+	// TxnSize is the number of read/write requests per transaction.
+	TxnSize int
+	// ReadFraction is the probability each request is a read (the paper
+	// writes mixes as W:R; 50:50 means ReadFraction 0.5).
+	ReadFraction float64
+	// Theta selects the zipfian parameter; 0 means uniform.
+	Theta float64
+}
+
+// Generator produces transactions for one worker thread.
+type Generator struct {
+	spec    TxnSpec
+	chooser KeyChooser
+	rng     *RNG
+	keys    []uint64
+	writes  []bool
+}
+
+// NewGenerator creates a per-thread generator. Seed must differ per thread.
+func NewGenerator(spec TxnSpec, seed uint64) *Generator {
+	var chooser KeyChooser
+	if spec.Theta > 0 {
+		chooser = NewZipfian(spec.Keys, spec.Theta)
+	} else {
+		chooser = NewUniform(spec.Keys)
+	}
+	return &Generator{
+		spec:    spec,
+		chooser: chooser,
+		rng:     NewRNG(seed),
+		keys:    make([]uint64, spec.TxnSize),
+		writes:  make([]bool, spec.TxnSize),
+	}
+}
+
+// NextTxn fills the generator's scratch transaction: distinct keys (sampled
+// with replacement then deduplicated by re-draw) and per-request read/write
+// classification. The returned slices are valid until the next call.
+func (g *Generator) NextTxn() (keys []uint64, writes []bool) {
+	for i := 0; i < g.spec.TxnSize; i++ {
+	redraw:
+		k := g.chooser.Next(g.rng)
+		for j := 0; j < i; j++ {
+			if g.keys[j] == k {
+				goto redraw
+			}
+		}
+		g.keys[i] = k
+		g.writes[i] = g.rng.Float64() >= g.spec.ReadFraction
+	}
+	return g.keys, g.writes
+}
+
+// NextKey returns a single key (for key-value store workloads).
+func (g *Generator) NextKey() uint64 { return g.chooser.Next(g.rng) }
+
+// IsWrite classifies the next single-key operation.
+func (g *Generator) IsWrite() bool { return g.rng.Float64() >= g.spec.ReadFraction }
+
+// RNG exposes the generator's RNG for auxiliary draws.
+func (g *Generator) RNG() *RNG { return g.rng }

@@ -1,0 +1,160 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministicPerSeed(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(2)
+	same := 0
+	a = NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide too often: %d/100", same)
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	u := NewUniform(100)
+	rng := NewRNG(42)
+	counts := make([]int, 100)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[u.Next(rng)]++
+	}
+	for k, c := range counts {
+		if c < draws/100/2 || c > draws/100*2 {
+			t.Fatalf("key %d drawn %d times, expected ~%d", k, c, draws/100)
+		}
+	}
+}
+
+func TestZipfianSkewIncreasesWithTheta(t *testing.T) {
+	const n = 10000
+	const draws = 200000
+	top1 := func(theta float64) float64 {
+		z := NewZipfianRanked(n, theta)
+		rng := NewRNG(7)
+		hot := 0
+		for i := 0; i < draws; i++ {
+			if z.Next(rng) == 0 {
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	low, high := top1(0.1), top1(0.99)
+	if high <= low*2 {
+		t.Fatalf("theta=0.99 hottest-key mass %f not >> theta=0.1 mass %f", high, low)
+	}
+	// With theta=0.99 and n=10000, the hottest key gets a few percent.
+	if high < 0.01 {
+		t.Fatalf("theta=0.99 hottest key only %f", high)
+	}
+}
+
+func TestZipfianBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		z := NewZipfian(1000, 0.99)
+		rng := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			if z.Next(rng) >= 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrambleSpreadsHotKeys(t *testing.T) {
+	// Scrambled zipfian's two hottest keys must not be adjacent ranks.
+	z := NewZipfian(1<<20, 0.99)
+	rng := NewRNG(3)
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next(rng)]++
+	}
+	var hot1, hot2 uint64
+	var c1, c2 int
+	for k, c := range counts {
+		if c > c1 {
+			hot2, c2 = hot1, c1
+			hot1, c1 = k, c
+		} else if c > c2 {
+			hot2, c2 = k, c
+		}
+	}
+	if hot1+1 == hot2 || hot2+1 == hot1 {
+		t.Fatalf("hottest keys %d and %d are adjacent (not scrambled)", hot1, hot2)
+	}
+}
+
+func TestZetaStatic(t *testing.T) {
+	// zeta(3, 1) = 1 + 1/2 + 1/3
+	got := zetaStatic(3, 1.0)
+	want := 1.0 + 0.5 + 1.0/3.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("zeta(3,1) = %v, want %v", got, want)
+	}
+}
+
+func TestGeneratorDistinctKeysPerTxn(t *testing.T) {
+	g := NewGenerator(TxnSpec{Keys: 100, TxnSize: 10, ReadFraction: 0.5, Theta: 0.99}, 9)
+	for i := 0; i < 1000; i++ {
+		keys, _ := g.NextTxn()
+		seen := map[uint64]bool{}
+		for _, k := range keys {
+			if seen[k] {
+				t.Fatalf("duplicate key %d in txn", k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestGeneratorReadFraction(t *testing.T) {
+	g := NewGenerator(TxnSpec{Keys: 1000, TxnSize: 1, ReadFraction: 0.9}, 11)
+	writes := 0
+	const txns = 100000
+	for i := 0; i < txns; i++ {
+		_, w := g.NextTxn()
+		if w[0] {
+			writes++
+		}
+	}
+	frac := float64(writes) / txns
+	if frac < 0.08 || frac > 0.12 {
+		t.Fatalf("write fraction = %f, want ~0.10", frac)
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z := NewZipfian(1<<20, 0.99)
+	rng := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = z.Next(rng)
+	}
+}
+
+func BenchmarkUniformNext(b *testing.B) {
+	u := NewUniform(1 << 20)
+	rng := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = u.Next(rng)
+	}
+}
