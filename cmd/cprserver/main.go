@@ -11,12 +11,14 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
 	"path/filepath"
 	"time"
 
 	cpr "repro"
 	"repro/internal/faster"
 	"repro/internal/kvserver"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -24,6 +26,7 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
 		dir        = flag.String("dir", "", "database directory (empty = in-memory)")
 		autocommit = flag.Duration("autocommit", 500*time.Millisecond, "automatic log-only commit cadence (0 = off)")
+		debugAddr  = flag.String("debug", "", "debug HTTP listen address serving /metrics, /timeline and /debug/pprof (empty = off)")
 	)
 	flag.Parse()
 
@@ -52,6 +55,16 @@ func main() {
 		log.Printf("recovered store at version %d", store.Version())
 	}
 	defer store.Close()
+
+	if *debugAddr != "" {
+		mux := obs.NewDebugMux(store.Metrics(), store.Tracer())
+		go func() {
+			log.Printf("debug endpoints on http://%s/{metrics,timeline,debug/pprof}", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	srv := kvserver.NewServer(store)
 	srv.AutoCommit = *autocommit

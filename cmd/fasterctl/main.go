@@ -5,6 +5,7 @@
 //	fasterctl -dir /tmp/db get mykey
 //	fasterctl -dir /tmp/db bulkload 100000
 //	fasterctl -dir /tmp/db stats
+//	fasterctl -dir /tmp/db metrics
 //
 // Every mutating invocation recovers the store from -dir (if a commit
 // exists), applies the operation, and takes a fresh CPR commit before
@@ -12,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,7 +28,7 @@ func main() {
 	dir := flag.String("dir", "", "database directory (required)")
 	flag.Parse()
 	if *dir == "" || flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: fasterctl -dir <dir> <set|get|del|rmw|bulkload|stats> [args]")
+		fmt.Fprintln(os.Stderr, "usage: fasterctl -dir <dir> <set|get|del|rmw|bulkload|stats|metrics> [args]")
 		os.Exit(2)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -115,6 +117,34 @@ func main() {
 		fmt.Printf("log tail:      %d bytes\n", lg.Tail())
 		fmt.Printf("log durable:   %d bytes\n", lg.Durable())
 		fmt.Printf("log in-memory: [%d, %d)\n", lg.Head(), lg.Tail())
+	case "metrics":
+		// Drive one log-only commit so the output includes a live phase
+		// timeline for this store, then dump the registry and the timeline.
+		token, err := store.Commit(cpr.CommitOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for {
+			if res, ok := store.TryResult(token); ok {
+				if res.Err != nil {
+					log.Fatal(res.Err)
+				}
+				break
+			}
+			sess.Refresh()
+		}
+		out := struct {
+			Metrics  cpr.MetricsSnapshot `json:"metrics"`
+			Timeline cpr.PhaseTimeline   `json:"timeline"`
+		}{
+			Metrics:  store.Metrics().Snapshot(),
+			Timeline: store.Tracer().Timeline(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}

@@ -33,6 +33,7 @@ package cpr
 
 import (
 	"repro/internal/faster"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/txdb"
 )
@@ -135,6 +136,29 @@ func OpenDB(cfg DBConfig) (*DB, error) { return txdb.Open(cfg) }
 // RecoverDB loads a database from its most recent checkpoint (or, for
 // EngineWAL, replays the durable log prefix).
 func RecoverDB(cfg DBConfig) (*DB, error) { return txdb.Recover(cfg) }
+
+// ---- Observability (internal/obs) ----
+
+// MetricsRegistry names and snapshots a set of lock-free metrics. Every Store
+// and DB carries one (StoreConfig.Metrics / DBConfig.Metrics); pass
+// NopMetrics() to disable collection.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time capture of a MetricsRegistry; snapshots
+// subtract (Sub) to scope counters to an interval.
+type MetricsSnapshot = obs.Snapshot
+
+// PhaseTracer records CPR checkpoint state-machine activity.
+type PhaseTracer = obs.Tracer
+
+// PhaseTimeline is a tracer export: raw events plus per-phase spans.
+type PhaseTimeline = obs.Timeline
+
+// NewMetricsRegistry returns an empty, enabled registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NopMetrics returns a registry whose metrics are no-op sinks.
+func NopMetrics() *MetricsRegistry { return obs.NewNop() }
 
 // ---- Storage substrates ----
 

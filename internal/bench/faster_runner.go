@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/faster"
 	"repro/internal/hlog"
+	"repro/internal/obs"
 	"repro/internal/ycsb"
 )
 
@@ -58,6 +59,11 @@ type FasterSummary struct {
 	// CommitIntervalSec is the mean spacing between issued commits (for
 	// the end-to-end experiment, Fig. 15).
 	CommitIntervalSec float64
+	// Metrics is the store's registry delta over the run.
+	Metrics obs.Snapshot
+	// PhaseNanos sums, per CPR phase, the tracer's span durations for the
+	// commits this run issued (where does checkpoint time go?).
+	PhaseNanos map[string]int64
 }
 
 // OpenLoadedStore opens a store sized for p and pre-loads all keys, as the
@@ -143,6 +149,7 @@ func RunFaster(p FasterParams) (FasterSummary, error) {
 	var opsTotal atomic.Int64
 	var latSumNs, latCount atomic.Int64
 	var wg sync.WaitGroup
+	metricsBefore := s.Metrics().Snapshot()
 
 	for i := 0; i < p.Threads; i++ {
 		i := i
@@ -280,5 +287,27 @@ func RunFaster(p FasterParams) (FasterSummary, error) {
 	if n := latCount.Load(); n > 0 {
 		sum.AvgLatencyUs = float64(latSumNs.Load()) / float64(n) / 1e3
 	}
+	sum.Metrics = s.Metrics().Snapshot().Sub(metricsBefore)
+	sum.PhaseNanos = phaseNanos(s.Tracer(), sum.Commits)
 	return sum, nil
+}
+
+// phaseNanos sums the tracer's closed phase spans, per phase, for the given
+// commits' tokens.
+func phaseNanos(tr *obs.Tracer, commits []faster.CommitResult) map[string]int64 {
+	if tr == nil || len(commits) == 0 {
+		return nil
+	}
+	tokens := make(map[string]bool, len(commits))
+	for _, c := range commits {
+		tokens[c.Token] = true
+	}
+	out := make(map[string]int64)
+	for _, sp := range tr.Timeline().Spans {
+		if sp.Open || !tokens[sp.Token] {
+			continue
+		}
+		out[sp.Phase] += sp.DurationNanos
+	}
+	return out
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/txdb"
 	"repro/internal/ycsb"
 )
@@ -72,8 +73,10 @@ type TxdbResult struct {
 	AvgLatencyUs float64
 	AbortFrac    float64
 	Breakdown    txdb.Stats
-	Series       []TxdbSample
-	CommitCount  int
+	// Metrics is the registry delta over the run (all txdb_*/epoch_* series).
+	Metrics     obs.Snapshot
+	Series      []TxdbSample
+	CommitCount int
 }
 
 // RunTxdb executes the workload on a txdb instance for the configured
@@ -97,7 +100,10 @@ func RunTxdb(p TxdbParams) (TxdbResult, error) {
 	var latSumNs, latCount atomic.Int64
 	var abortsTotal atomic.Int64
 	var wg sync.WaitGroup
-	stats := make([]txdb.Stats, p.Threads)
+	// Workers flush their counters into the database's metrics registry;
+	// deltas against this baseline scope the breakdown to this run.
+	statsBefore := db.Stats()
+	metricsBefore := db.Metrics().Snapshot()
 
 	for i := 0; i < p.Threads; i++ {
 		i := i
@@ -138,7 +144,6 @@ func RunTxdb(p TxdbParams) (TxdbResult, error) {
 			for db.Phase() != txdb.Rest {
 				w.Refresh()
 			}
-			stats[i] = w.Stats()
 		}()
 	}
 
@@ -200,15 +205,9 @@ func RunTxdb(p TxdbParams) (TxdbResult, error) {
 	if total > 0 {
 		res.AbortFrac = float64(abortsTotal.Load()) / float64(total)
 	}
-	for _, s := range stats {
-		res.Breakdown.Committed += s.Committed
-		res.Breakdown.Conflicts += s.Conflicts
-		res.Breakdown.CPRAborts += s.CPRAborts
-		res.Breakdown.ExecNanos += s.ExecNanos
-		res.Breakdown.TailNanos += s.TailNanos
-		res.Breakdown.LogWriteNanos += s.LogWriteNanos
-		res.Breakdown.AbortNanos += s.AbortNanos
-		res.Breakdown.Samples += s.Samples
-	}
+	// All workers have closed (and therefore flushed), so the registry delta
+	// is the exact per-run breakdown.
+	res.Breakdown = db.Stats().Sub(statsBefore)
+	res.Metrics = db.Metrics().Snapshot().Sub(metricsBefore)
 	return res, nil
 }

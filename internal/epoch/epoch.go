@@ -15,6 +15,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // MaxThreads is the capacity of the epoch table. Each registered Guard
@@ -47,6 +50,29 @@ type Manager struct {
 	drainCount atomic.Int32 // fast-path check: non-zero iff drain may be non-empty
 	drainMu    sync.Mutex
 	drain      []action
+
+	// Observability (set once by Instrument before concurrent use; nil-safe).
+	bumps   *obs.Counter
+	drains  *obs.Counter
+	drainNs *obs.Histogram
+}
+
+// Instrument registers the manager's metrics with reg:
+//
+//	epoch_bumps_total   epoch increments
+//	epoch_drains_total  trigger actions fired
+//	epoch_drain_ns      latency from bump to the action firing (all threads
+//	                    refreshed past the bumped epoch)
+//	epoch_current/epoch_safe/epoch_registered  live table state
+//
+// Call it once, before the manager is shared across goroutines.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	m.bumps = reg.Counter("epoch_bumps_total")
+	m.drains = reg.Counter("epoch_drains_total")
+	m.drainNs = reg.Histogram("epoch_drain_ns")
+	reg.GaugeFunc("epoch_current", func() int64 { return int64(m.current.Load()) })
+	reg.GaugeFunc("epoch_safe", func() int64 { return int64(m.safe.Load()) })
+	reg.GaugeFunc("epoch_registered", func() int64 { return int64(m.Registered()) })
 }
 
 // New returns a Manager with the current epoch initialized to 1 so that a
@@ -105,8 +131,18 @@ func (m *Manager) Safe() uint64 { return m.safe.Load() }
 // immediately. fn may itself call BumpEpoch.
 func (m *Manager) BumpEpoch(fn func()) {
 	prev := m.current.Add(1) - 1
+	m.bumps.Inc()
 	if fn == nil {
 		return
+	}
+	if m.drainNs != nil {
+		inner := fn
+		t0 := time.Now()
+		fn = func() {
+			m.drains.Inc()
+			m.drainNs.Observe(time.Since(t0))
+			inner()
+		}
 	}
 	m.drainMu.Lock()
 	m.drain = append(m.drain, action{epoch: prev, fn: fn})

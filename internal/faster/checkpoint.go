@@ -49,6 +49,7 @@ type checkpointCtx struct {
 
 	pendingV atomic.Int64
 	flushing atomic.Bool
+	started  time.Time
 
 	lhs, lhe      uint64
 	lis, lie      uint64
@@ -104,6 +105,7 @@ func (s *Store) Commit(opts CommitOptions) (string, error) {
 		kind:    kind,
 		opts:    opts,
 		token:   fmt.Sprintf("ckpt-%06d", s.commitSeq.Add(1)),
+		started: time.Now(),
 		done:    make(chan struct{}),
 	}
 	ck.coord = core.NewCoordinator[*Session](ck.advanceToInProgress, ck.advanceToWaitPending)
@@ -114,7 +116,8 @@ func (s *Store) Commit(opts CommitOptions) (string, error) {
 	s.ckpt = ck
 	// Publish the prepare phase; sessions observe it on refresh.
 	s.state.Store(packState(Prepare, ck.version))
-	s.epochs.Bump()
+	s.tracer.Phase(ck.token, uint64(ck.version), Rest.String(), Prepare.String())
+	ck.bumpTraced(Prepare)
 	s.ckptMu.Unlock()
 	s.sessionMu.Unlock()
 	// With zero participants the seal completes both transitions at once.
@@ -158,9 +161,21 @@ func (ck *checkpointCtx) ackPrepare(sess *Session) {
 	ck.coord.AckPrepare(sess)
 }
 
+// bumpTraced bumps the epoch for a phase publication, recording the drain
+// latency (how long until every registered thread observed the phase) in the
+// store's tracer.
+func (ck *checkpointCtx) bumpTraced(published Phase) {
+	s := ck.store
+	t0 := time.Now()
+	s.epochs.BumpEpoch(func() {
+		s.tracer.Drain(ck.token, published.String(), uint64(ck.version), time.Since(t0))
+	})
+}
+
 func (ck *checkpointCtx) advanceToInProgress() {
 	ck.store.state.Store(packState(InProgress, ck.version))
-	ck.store.epochs.Bump()
+	ck.store.tracer.Phase(ck.token, uint64(ck.version), Prepare.String(), InProgress.String())
+	ck.bumpTraced(InProgress)
 }
 
 // ackInProgress records a session's CPR point (transition 3 of Fig. 9a).
@@ -170,6 +185,7 @@ func (ck *checkpointCtx) ackInProgress(sess *Session, cprSerial uint64) {
 
 func (ck *checkpointCtx) advanceToWaitPending() {
 	ck.store.state.Store(packState(WaitPending, ck.version))
+	ck.store.tracer.Phase(ck.token, uint64(ck.version), InProgress.String(), WaitPending.String())
 	ck.checkPendingDone()
 }
 
@@ -178,6 +194,7 @@ func (ck *checkpointCtx) advanceToWaitPending() {
 // nothing further).
 func (ck *checkpointCtx) dropParticipant(sess *Session) {
 	sameVersion := sess.version == ck.version
+	ck.store.tracer.Session(ck.token, sess.id, "drop", uint64(ck.version), sess.serial)
 	ck.coord.Drop(sess,
 		sameVersion && sess.phase >= Prepare,
 		sameVersion && sess.phase >= InProgress,
@@ -208,6 +225,7 @@ func (ck *checkpointCtx) checkPendingDone() {
 		return
 	}
 	ck.store.state.Store(packState(WaitFlush, ck.version))
+	ck.store.tracer.Phase(ck.token, uint64(ck.version), WaitPending.String(), WaitFlush.String())
 	go ck.waitFlush()
 }
 
@@ -308,7 +326,13 @@ func (ck *checkpointCtx) waitFlush() {
 	s.results[ck.token] = ck.res
 	s.state.Store(packState(Rest, ck.version+1))
 	s.ckptMu.Unlock()
-	s.epochs.Bump()
+	s.tracer.Phase(ck.token, uint64(ck.version), WaitFlush.String(), Rest.String())
+	ck.bumpTraced(Rest)
+	if err == nil {
+		s.metrics.commits.Inc()
+		s.metrics.commitBytes.Add(uint64(bytes))
+		s.metrics.commitNs.Observe(time.Since(ck.started))
+	}
 	close(ck.done)
 	if ck.opts.OnDone != nil {
 		ck.opts.OnDone(ck.res)

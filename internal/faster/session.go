@@ -256,6 +256,7 @@ func (sess *Session) enterPrepare() {
 		ck.pendingV.Add(1)
 	}
 	sess.phase = Prepare
+	sess.store.tracer.Session(ck.token, sess.id, "ack-prepare", uint64(ck.version), sess.serial)
 	ck.ackPrepare(sess)
 }
 
@@ -276,6 +277,7 @@ func (sess *Session) enterInProgress() {
 		cpr = sess.abortedSerial - 1
 	}
 	sess.abortedSerial = 0
+	sess.store.tracer.Session(ck.token, sess.id, "demarcate", uint64(ck.version), cpr)
 	ck.ackInProgress(sess, cpr)
 }
 
@@ -298,6 +300,7 @@ func (sess *Session) targetVersion() uint32 {
 
 // Upsert blindly writes value for key.
 func (sess *Session) Upsert(key, value []byte) Status {
+	sess.store.metrics.upserts.Inc()
 	sess.maybeRefresh()
 	sess.serial++
 	op := &pendingOp{kind: opUpsert, key: append([]byte(nil), key...),
@@ -308,6 +311,7 @@ func (sess *Session) Upsert(key, value []byte) Status {
 
 // RMW applies the store's RMWOps with input to key's value.
 func (sess *Session) RMW(key, input []byte) Status {
+	sess.store.metrics.rmws.Inc()
 	sess.maybeRefresh()
 	sess.serial++
 	op := &pendingOp{kind: opRMW, key: append([]byte(nil), key...),
@@ -318,6 +322,7 @@ func (sess *Session) RMW(key, input []byte) Status {
 
 // Delete removes key (writes a tombstone).
 func (sess *Session) Delete(key []byte) Status {
+	sess.store.metrics.deletes.Inc()
 	sess.maybeRefresh()
 	sess.serial++
 	op := &pendingOp{kind: opDelete, key: append([]byte(nil), key...),
@@ -329,6 +334,7 @@ func (sess *Session) Delete(key []byte) Status {
 // read goes pending: the value is delivered to cb (which may be nil) during
 // a later CompletePending.
 func (sess *Session) Read(key []byte, cb func(val []byte, st Status)) ([]byte, Status) {
+	sess.store.metrics.reads.Inc()
 	sess.maybeRefresh()
 	sess.serial++
 	op := &pendingOp{kind: opRead, key: append([]byte(nil), key...),
@@ -353,6 +359,7 @@ func (sess *Session) run(op *pendingOp) Status {
 	}
 	st := sess.doOp(op)
 	if st == Pending {
+		sess.store.metrics.pendings.Inc()
 		sess.pending = append(sess.pending, op)
 	}
 	return st
@@ -500,6 +507,7 @@ func (sess *Session) find(op *pendingOp, create, skipFuture bool) findResult {
 
 // issueIO starts an async read for the record at addr and parks the op.
 func (sess *Session) issueIO(op *pendingOp, addr uint64) Status {
+	sess.store.metrics.ioReads.Inc()
 	op.awaitingIO = true
 	op.ioAddr = addr
 	sess.outstandingIO.Add(1)

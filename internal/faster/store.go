@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/epoch"
 	"repro/internal/hlog"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -130,6 +131,13 @@ type Config struct {
 	Transfer VersionTransfer
 	// IOWorkers sizes the async I/O pool.
 	IOWorkers int
+	// Metrics receives the store's instrumentation (and the log's, epoch
+	// manager's and I/O pool's). Defaults to a fresh enabled registry; pass
+	// obs.NewNop() to disable collection.
+	Metrics *obs.Registry
+	// Tracer records checkpoint state-machine activity. Defaults to a fresh
+	// tracer with obs.DefaultTracerCapacity events.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) fill() error {
@@ -148,7 +156,38 @@ func (c *Config) fill() error {
 	if c.RMW == nil {
 		c.RMW = AddUint64{}
 	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(obs.DefaultTracerCapacity)
+	}
 	return nil
+}
+
+// storeMetrics holds the store's hot-path metric handles, resolved once at
+// Open so operations never touch the registry.
+type storeMetrics struct {
+	reads, upserts, rmws, deletes *obs.Counter
+	pendings                      *obs.Counter // operations that went pending
+	ioReads                       *obs.Counter // cold-record fetches issued
+	commits                       *obs.Counter
+	commitBytes                   *obs.Counter
+	commitNs                      *obs.Histogram
+}
+
+func newStoreMetrics(reg *obs.Registry) storeMetrics {
+	return storeMetrics{
+		reads:       reg.Counter("faster_reads_total"),
+		upserts:     reg.Counter("faster_upserts_total"),
+		rmws:        reg.Counter("faster_rmws_total"),
+		deletes:     reg.Counter("faster_deletes_total"),
+		pendings:    reg.Counter("faster_pending_ops_total"),
+		ioReads:     reg.Counter("faster_io_reads_total"),
+		commits:     reg.Counter("faster_commits_total"),
+		commitBytes: reg.Counter("faster_commit_bytes_total"),
+		commitNs:    reg.Histogram("faster_commit_ns"),
+	}
 }
 
 // Store is a FASTER instance with CPR durability. All operations happen
@@ -181,6 +220,9 @@ type Store struct {
 
 	// results retains completed commit results by token (guarded by ckptMu).
 	results map[string]CommitResult
+
+	metrics storeMetrics
+	tracer  *obs.Tracer
 }
 
 func packState(p Phase, v uint32) uint64   { return uint64(p)<<32 | uint64(v) }
@@ -192,6 +234,7 @@ func Open(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	em := epoch.New()
+	em.Instrument(cfg.Metrics)
 	l, err := hlog.New(hlog.Config{
 		PageBits:        cfg.PageBits,
 		MemPages:        cfg.MemPages,
@@ -199,6 +242,7 @@ func Open(cfg Config) (*Store, error) {
 		Device:          cfg.Device,
 		Epochs:          em,
 		IOWorkers:       cfg.IOWorkers,
+		Metrics:         cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -215,7 +259,12 @@ func Open(cfg Config) (*Store, error) {
 		index:            idx,
 		sessions:         make(map[string]*Session),
 		recoveredSerials: make(map[string]uint64),
+		metrics:          newStoreMetrics(cfg.Metrics),
+		tracer:           cfg.Tracer,
 	}
+	cfg.Metrics.GaugeFunc("faster_version", func() int64 { return int64(s.Version()) })
+	cfg.Metrics.GaugeFunc("faster_phase", func() int64 { return int64(s.Phase()) })
+	cfg.Metrics.GaugeFunc("faster_sessions", func() int64 { return int64(s.SessionCount()) })
 	s.state.Store(packState(Rest, 1))
 	return s, nil
 }
@@ -234,6 +283,20 @@ func (s *Store) Log() *hlog.Log { return s.log }
 
 // Epochs exposes the store's epoch manager (shared with helper goroutines).
 func (s *Store) Epochs() *epoch.Manager { return s.epochs }
+
+// Metrics returns the store's metrics registry (never nil after Open, though
+// it may be the nop registry).
+func (s *Store) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// Tracer returns the store's CPR phase tracer.
+func (s *Store) Tracer() *obs.Tracer { return s.tracer }
+
+// SessionCount reports the number of live sessions.
+func (s *Store) SessionCount() int {
+	s.sessionMu.Lock()
+	defer s.sessionMu.Unlock()
+	return len(s.sessions)
+}
 
 // recVersion returns the 13-bit on-record version for store version v.
 func recVersion(v uint32) uint16 { return uint16(v) & hlog.MaxVersion }

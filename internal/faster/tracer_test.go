@@ -1,0 +1,123 @@
+package faster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// wantTransitions is the full CPR state machine walk every successful commit
+// must record, in order.
+var wantTransitions = [][2]string{
+	{"rest", "prepare"},
+	{"prepare", "in-progress"},
+	{"in-progress", "wait-pending"},
+	{"wait-pending", "wait-flush"},
+	{"wait-flush", "rest"},
+}
+
+// TestCheckpointPhaseTimeline drives one fold-over and one snapshot commit on
+// a live store and asserts the tracer recorded every state-machine transition
+// exactly once, in order, with non-decreasing timestamps, plus the session's
+// thread-crossing events.
+func TestCheckpointPhaseTimeline(t *testing.T) {
+	for _, kind := range []CommitKind{FoldOver, Snapshot} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			s, err := Open(Config{IndexBuckets: 1 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			sess := s.StartSession()
+			defer sess.StopSession()
+			for i := 0; i < 100; i++ {
+				k := []byte(fmt.Sprintf("key-%03d", i))
+				if st := sess.Upsert(k, []byte("v")); st != Ok {
+					t.Fatalf("upsert: %v", st)
+				}
+			}
+
+			token, err := s.Commit(CommitOptions{WithIndex: true, Kind: &kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				res, done := s.TryResult(token)
+				if done {
+					if res.Err != nil {
+						t.Fatal(res.Err)
+					}
+					break
+				}
+				sess.Refresh()
+			}
+
+			events, dropped := s.Tracer().Events()
+			if dropped != 0 {
+				t.Fatalf("tracer dropped %d events", dropped)
+			}
+
+			// Timestamps never decrease across the whole trace.
+			for i := 1; i < len(events); i++ {
+				if events[i].AtNanos < events[i-1].AtNanos {
+					t.Fatalf("timestamp regression at event %d: %d < %d",
+						i, events[i].AtNanos, events[i-1].AtNanos)
+				}
+			}
+
+			// This commit's phase transitions, in trace order.
+			var got [][2]string
+			sessionEvents := map[string]int{}
+			drains := 0
+			for _, e := range events {
+				if e.Token != token {
+					continue
+				}
+				switch e.Kind {
+				case obs.KindPhase:
+					got = append(got, [2]string{e.From, e.Phase})
+				case obs.KindSession:
+					sessionEvents[e.Event]++
+				case obs.KindDrain:
+					drains++
+				}
+			}
+			if len(got) != len(wantTransitions) {
+				t.Fatalf("recorded %d transitions %v, want %d %v",
+					len(got), got, len(wantTransitions), wantTransitions)
+			}
+			for i, want := range wantTransitions {
+				if got[i] != want {
+					t.Fatalf("transition %d = %v, want %v (full: %v)", i, got[i], want, got)
+				}
+			}
+			if sessionEvents["ack-prepare"] != 1 {
+				t.Fatalf("ack-prepare events = %d, want 1 (%v)", sessionEvents["ack-prepare"], sessionEvents)
+			}
+			if sessionEvents["demarcate"] != 1 {
+				t.Fatalf("demarcate events = %d, want 1 (%v)", sessionEvents["demarcate"], sessionEvents)
+			}
+			if drains == 0 {
+				t.Fatal("no epoch-drain events recorded")
+			}
+
+			// The derived timeline must close every span except the trailing
+			// rest span.
+			tl := s.Tracer().Timeline()
+			if len(tl.Spans) == 0 {
+				t.Fatal("timeline has no spans")
+			}
+			for i, sp := range tl.Spans[:len(tl.Spans)-1] {
+				if sp.Open {
+					t.Fatalf("span %d (%s) marked open", i, sp.Phase)
+				}
+			}
+			last := tl.Spans[len(tl.Spans)-1]
+			if !last.Open || last.Phase != "rest" {
+				t.Fatalf("trailing span = %+v, want open rest span", last)
+			}
+		})
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/epoch"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -26,6 +28,9 @@ type Config struct {
 	Epochs *epoch.Manager
 	// IOWorkers sizes the async I/O pool (default 4).
 	IOWorkers int
+	// Metrics, when non-nil, receives the log's instrumentation (region
+	// offsets, flush volume/latency, async reads) and the I/O pool's.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fill() error {
@@ -64,6 +69,7 @@ func (c *Config) fill() error {
 type flushSegment struct {
 	from, to uint64
 	done     bool
+	issued   time.Time // when the write was submitted (flush-latency metric)
 }
 
 // Log is a HybridLog instance. See the package comment for the region
@@ -94,6 +100,12 @@ type Log struct {
 	durable     atomic.Uint64
 	durableMu   sync.Mutex
 	durableCond *sync.Cond
+
+	// Observability (registered at construction; metrics are nil-safe).
+	flushBytes *obs.Counter
+	flushSegs  *obs.Counter
+	flushNs    *obs.Histogram
+	asyncReads *obs.Counter
 
 	closed atomic.Bool
 }
@@ -130,7 +142,30 @@ func New(cfg Config) (*Log, error) {
 	l.durable.Store(FirstAddress)
 	l.durableCond = sync.NewCond(&l.durableMu)
 	l.pool = storage.NewPool(cfg.IOWorkers, 256)
+	l.instrument(cfg.Metrics)
 	return l, nil
+}
+
+// instrument registers the log's metrics with reg (a nil registry leaves every
+// metric a no-op):
+//
+//	hlog_tail_bytes / hlog_read_only_bytes / hlog_safe_read_only_bytes /
+//	hlog_head_bytes / hlog_begin_bytes / hlog_durable_bytes   region offsets
+//	hlog_flush_bytes_total / hlog_flush_segments_total        flush volume
+//	hlog_flush_ns                                             submit-to-durable latency
+//	hlog_async_reads_total                                    cold-record fetches
+func (l *Log) instrument(reg *obs.Registry) {
+	l.flushBytes = reg.Counter("hlog_flush_bytes_total")
+	l.flushSegs = reg.Counter("hlog_flush_segments_total")
+	l.flushNs = reg.Histogram("hlog_flush_ns")
+	l.asyncReads = reg.Counter("hlog_async_reads_total")
+	reg.GaugeFunc("hlog_tail_bytes", func() int64 { return int64(l.tail.Load()) })
+	reg.GaugeFunc("hlog_read_only_bytes", func() int64 { return int64(l.readOnly.Load()) })
+	reg.GaugeFunc("hlog_safe_read_only_bytes", func() int64 { return int64(l.safeReadOnly.Load()) })
+	reg.GaugeFunc("hlog_head_bytes", func() int64 { return int64(l.head.Load()) })
+	reg.GaugeFunc("hlog_begin_bytes", func() int64 { return int64(l.begin.Load()) })
+	reg.GaugeFunc("hlog_durable_bytes", func() int64 { return int64(l.durable.Load()) })
+	l.pool.Instrument(reg)
 }
 
 // Close drains outstanding I/O. The log must not be used afterwards.
@@ -398,7 +433,7 @@ func (l *Log) issueFlushUntil(target uint64) {
 		if end > target {
 			end = target
 		}
-		segs = append(segs, &flushSegment{from: from, to: end})
+		segs = append(segs, &flushSegment{from: from, to: end, issued: time.Now()})
 		from = end
 	}
 	l.durableMu.Lock()
@@ -426,6 +461,11 @@ func (l *Log) issueFlushUntil(target uint64) {
 // completeSegment marks seg done and advances the durable watermark across
 // every leading completed segment, waking waiters.
 func (l *Log) completeSegment(seg *flushSegment) {
+	l.flushSegs.Inc()
+	l.flushBytes.Add(seg.to - seg.from)
+	if l.flushNs != nil {
+		l.flushNs.Observe(time.Since(seg.issued))
+	}
 	l.durableMu.Lock()
 	seg.done = true
 	advanced := false
@@ -467,6 +507,7 @@ func (l *Log) serializeRange(from, to uint64) []byte {
 // an I/O worker with a private copy of the record (or an error). It models
 // FASTER's asynchronous retrieval of cold records.
 func (l *Log) AsyncRead(addr uint64, done func(rec RecordRef, err error)) {
+	l.asyncReads.Inc()
 	hdr := make([]byte, 16)
 	l.pool.Submit(storage.IORequest{
 		Dev: l.cfg.Device, Buf: hdr, Off: int64(addr),

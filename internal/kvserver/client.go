@@ -1,6 +1,7 @@
 package kvserver
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 )
@@ -152,15 +153,26 @@ func (c *Client) Commit(withIndex bool) (uint64, error) {
 	return point, err
 }
 
-// Stats returns a human-readable server status line.
-func (c *Client) Stats() (string, error) {
+// Stats fetches the server's introspection snapshot: store state, HybridLog
+// offsets, and the full metrics registry.
+func (c *Client) Stats() (StatsSnapshot, error) {
+	var snap StatsSnapshot
 	status, resp, err := c.call(OpStats, nil)
 	if err != nil {
-		return "", err
+		return snap, err
 	}
 	if status != StatusOK {
-		return "", fmt.Errorf("kvserver: stats failed")
+		return snap, fmt.Errorf("kvserver: stats failed")
 	}
 	v, _, err := takeValue(resp)
-	return string(v), err
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(v, &snap); err != nil {
+		return snap, fmt.Errorf("kvserver: stats payload: %w", err)
+	}
+	if snap.V != StatsVersion {
+		return snap, fmt.Errorf("kvserver: stats schema v%d, want v%d", snap.V, StatsVersion)
+	}
+	return snap, nil
 }

@@ -260,12 +260,27 @@ func TestStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
+	if _, err := c.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
 	stats, err := c.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains([]byte(stats), []byte("version=")) {
-		t.Fatalf("stats = %q", stats)
+	if stats.V != StatsVersion {
+		t.Fatalf("schema version = %d, want %d", stats.V, StatsVersion)
+	}
+	if stats.Version != 1 || stats.Phase != "rest" {
+		t.Fatalf("version=%d phase=%q, want 1/rest", stats.Version, stats.Phase)
+	}
+	if stats.Sessions != 1 {
+		t.Fatalf("sessions = %d, want 1", stats.Sessions)
+	}
+	if stats.LogTail == 0 {
+		t.Fatal("log tail missing from snapshot")
+	}
+	if got := stats.Metrics.Counters["faster_upserts_total"]; got != 1 {
+		t.Fatalf("faster_upserts_total = %d, want 1", got)
 	}
 }
 

@@ -18,6 +18,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // Opcodes.
@@ -28,8 +30,25 @@ const (
 	OpRMW    byte = 4 // payload: key string, value -> resp: u64 serial
 	OpDelete byte = 5 // payload: key string       -> resp: u64 serial
 	OpCommit byte = 6 // payload: u8 withIndex     -> resp: u64 CPR point
-	OpStats  byte = 7 // payload: none             -> resp: stats string
+	OpStats  byte = 7 // payload: none             -> resp: StatsSnapshot JSON
 )
+
+// StatsVersion is the current StatsSnapshot schema version; bump on any
+// incompatible change so clients can reject snapshots they do not understand.
+const StatsVersion = 1
+
+// StatsSnapshot is the OpStats response payload: a versioned JSON document
+// carrying store state, HybridLog offsets, and the full metrics registry.
+type StatsSnapshot struct {
+	V          uint32       `json:"v"`
+	Version    uint32       `json:"version"` // CPR version
+	Phase      string       `json:"phase"`
+	LogTail    uint64       `json:"log_tail"`
+	LogDurable uint64       `json:"log_durable"`
+	LogHead    uint64       `json:"log_head"`
+	Sessions   int          `json:"sessions"`
+	Metrics    obs.Snapshot `json:"metrics"`
+}
 
 // Response status bytes.
 const (

@@ -2,6 +2,7 @@ package kvserver
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -296,9 +297,21 @@ func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload 
 
 	case OpStats:
 		lg := s.store.Log()
-		stats := fmt.Sprintf("version=%d phase=%v tail=%d durable=%d head=%d",
-			s.store.Version(), s.store.Phase(), lg.Tail(), lg.Durable(), lg.Head())
-		return writeFrame(conn, OpStats, appendValue([]byte{StatusOK}, []byte(stats)))
+		snap := StatsSnapshot{
+			V:          StatsVersion,
+			Version:    s.store.Version(),
+			Phase:      s.store.Phase().String(),
+			LogTail:    lg.Tail(),
+			LogDurable: lg.Durable(),
+			LogHead:    lg.Head(),
+			Sessions:   s.store.SessionCount(),
+			Metrics:    s.store.Metrics().Snapshot(),
+		}
+		buf, err := json.Marshal(snap)
+		if err != nil {
+			return writeFrame(conn, OpStats, appendValue([]byte{StatusError}, nil))
+		}
+		return writeFrame(conn, OpStats, appendValue([]byte{StatusOK}, buf))
 	}
 	return fmt.Errorf("unknown opcode %d", op)
 }

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// writeJSON marshals v (indented, stable key order) to w.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort: the client went away
+}
+
+// MetricsHandler serves the registry as an expvar-style JSON document.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, r.Snapshot())
+	})
+}
+
+// TimelineHandler serves the tracer's phase timeline as JSON.
+func TimelineHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, t.Timeline())
+	})
+}
+
+// NewDebugMux returns the live-introspection mux mounted by servers that opt
+// in to a debug listener:
+//
+//	/metrics        registry snapshot (expvar-style JSON)
+//	/timeline       CPR phase timeline (events + spans)
+//	/debug/pprof/*  the standard Go profiler endpoints
+//
+// The mux holds no locks between requests; every response is a fresh
+// snapshot.
+func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/timeline", TimelineHandler(tr))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,389 @@
+// Package obs is the repository's unified observability layer: a
+// dependency-free (stdlib-only) metrics registry plus a CPR phase tracer
+// (tracer.go) and an HTTP introspection mux (http.go).
+//
+// The registry is designed for the CPR hot path: a counter increment is one
+// atomic add to a per-core-style shard (no locks, no map lookups — call sites
+// hold *Counter pointers resolved at registration time). Disabling metrics
+// does not change the shape of the hot path: a nil *Counter (returned by a
+// nil or nop Registry) is a safe no-op, so instrumented code never branches
+// on configuration.
+//
+// Metric names are a stable interface; see the "Observability" section of
+// README.md for the full catalogue.
+package obs
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+const cacheLine = 64
+
+// counterShard is one padded slot of a sharded counter.
+type counterShard struct {
+	n atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// numShards is the per-counter shard count: the next power of two covering
+// the machine's CPUs, capped so idle counters stay small.
+var numShards = func() int {
+	n := 1
+	for n < runtime.NumCPU() {
+		n <<= 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}()
+
+// shardHint returns a cheap goroutine-affine shard index. Distinct goroutines
+// have distinct stacks, so the address of a stack variable (coarsened to 1
+// KiB so call-depth differences within one goroutine mostly collapse) spreads
+// concurrent writers across shards. Collisions only cost cache-line sharing,
+// never correctness.
+func shardHint() uint64 {
+	var b byte
+	return uint64(uintptr(unsafe.Pointer(&b)) >> 10)
+}
+
+// Counter is a monotonically increasing, per-core-sharded counter. The nil
+// Counter is a valid no-op sink: every method is nil-receiver-safe, so
+// uninstrumented components pay only a predictable branch.
+type Counter struct {
+	name   string
+	mask   uint64
+	shards []counterShard
+}
+
+func newCounter(name string) *Counter {
+	return &Counter{name: name, mask: uint64(numShards - 1), shards: make([]counterShard, numShards)}
+}
+
+// Add adds n: one atomic add on a goroutine-affine shard.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardHint()&c.mask].n.Add(n)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums all shards.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].n.Load()
+	}
+	return sum
+}
+
+// Gauge is a settable instantaneous value. The nil Gauge is a no-op.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count: bucket i holds observations with
+// bits.Len64(nanos) == i, i.e. [2^(i-1), 2^i) ns, covering 1 ns to ~1.6 days.
+const histBuckets = 48
+
+// Histogram is a fixed-bucket log2 latency histogram. Observe costs three
+// atomic adds (bucket, count, sum) plus a CAS only when a new maximum is set.
+// The nil Histogram is a no-op.
+type Histogram struct {
+	name    string
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	max     atomic.Uint64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	n := uint64(d.Nanoseconds())
+	b := bits.Len64(n)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(n)
+	for {
+		old := h.max.Load()
+		if n <= old || h.max.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// snapshot captures the histogram's current distribution.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	var counts [histBuckets]uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		s.Count += counts[i]
+	}
+	s.SumNanos = h.sum.Load()
+	s.MaxNanos = h.max.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanNanos = float64(s.SumNanos) / float64(s.Count)
+	quantile := func(q float64) uint64 {
+		target := uint64(q * float64(s.Count))
+		if target == 0 {
+			target = 1
+		}
+		var seen uint64
+		for i, c := range counts {
+			seen += c
+			if seen >= target {
+				// Upper bound of bucket i: 2^i - 1 ns (bucket 0 is exactly 0).
+				if i == 0 {
+					return 0
+				}
+				ub := uint64(1)<<uint(i) - 1
+				if ub > s.MaxNanos {
+					ub = s.MaxNanos
+				}
+				return ub
+			}
+		}
+		return s.MaxNanos
+	}
+	s.P50Nanos = quantile(0.50)
+	s.P95Nanos = quantile(0.95)
+	s.P99Nanos = quantile(0.99)
+	return s
+}
+
+// HistogramSnapshot is a point-in-time distribution summary. Quantiles are
+// log2-bucket upper bounds (within 2x of the true value); Max is exact.
+type HistogramSnapshot struct {
+	Count     uint64  `json:"count"`
+	SumNanos  uint64  `json:"sum_ns"`
+	MeanNanos float64 `json:"mean_ns"`
+	P50Nanos  uint64  `json:"p50_ns"`
+	P95Nanos  uint64  `json:"p95_ns"`
+	P99Nanos  uint64  `json:"p99_ns"`
+	MaxNanos  uint64  `json:"max_ns"`
+}
+
+// Registry names and snapshots a set of metrics. Registration (Counter,
+// Gauge, Histogram, GaugeFunc) takes a lock and is meant for setup time; the
+// returned pointers are then updated lock-free. A nil *Registry — and one
+// returned by NewNop — hands out nil metrics, turning all updates into
+// no-ops with no call-site changes.
+type Registry struct {
+	nop bool
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// NewNop returns a registry whose metrics are all no-op sinks: registration
+// returns nil pointers and Snapshot is empty. Use it to disable collection.
+func NewNop() *Registry { return &Registry{nop: true} }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil || r.nop {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = newCounter(name)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil || r.nop {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil || r.nop {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers a callback evaluated at snapshot time — the natural fit
+// for values the system already maintains (log region offsets, session
+// counts). fn must be safe to call from any goroutine. Re-registering a name
+// replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || r.nop {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Snapshot captures every registered metric. The result marshals to stable
+// (key-sorted) JSON.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot evaluates all metrics, including gauge callbacks.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil || r.nop {
+		return s
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	fns := make(map[string]func() int64, len(r.gaugeFns))
+	for n, fn := range r.gaugeFns {
+		fns[n] = fn
+	}
+	r.mu.Unlock()
+
+	s.Counters = make(map[string]uint64, len(counters))
+	for _, c := range counters {
+		s.Counters[c.name] = c.Value()
+	}
+	s.Gauges = make(map[string]int64, len(gauges)+len(fns))
+	for _, g := range gauges {
+		s.Gauges[g.name] = g.Value()
+	}
+	// Callbacks run outside the registry lock: they may take subsystem locks.
+	for n, fn := range fns {
+		s.Gauges[n] = fn()
+	}
+	s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+	for _, h := range hists {
+		s.Histograms[h.name] = h.snapshot()
+	}
+	return s
+}
+
+// Sub returns the delta s - prev: counters and histogram count/sum subtract
+// (missing keys in prev count as zero); gauges and histogram quantiles keep
+// s's point-in-time values. Use it to scope metrics to one experiment run.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v - prev.Counters[k]
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.Histograms {
+		p := prev.Histograms[k]
+		v.Count -= p.Count
+		v.SumNanos -= p.SumNanos
+		if v.Count > 0 {
+			v.MeanNanos = float64(v.SumNanos) / float64(v.Count)
+		} else {
+			v.MeanNanos = 0
+		}
+		out.Histograms[k] = v
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package obs_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/obs"
+)
+
+// TestMetricsOverheadGuard is the regression guard for the "metrics are nearly
+// free" contract: single-threaded upsert throughput on a store with the
+// default (enabled) registry must stay within 10% of the same store wired to
+// the no-op sink (obs.NewNop()). An enabled counter costs one atomic add on a
+// goroutine-affine shard; if someone adds a lock or a map lookup to the hot
+// path, this test catches it.
+func TestMetricsOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing guard is not meaningful under the race detector")
+	}
+
+	const (
+		keys   = 128
+		ops    = 150_000
+		trials = 5
+	)
+	keybuf := make([][]byte, keys)
+	for i := range keybuf {
+		keybuf[i] = []byte(fmt.Sprintf("key-%04d", i))
+	}
+	val := []byte("value-00000000")
+
+	// One timed run on a fresh store: ops upserts over a small key set.
+	run := func(reg *obs.Registry) time.Duration {
+		store, err := faster.Open(faster.Config{Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		sess := store.StartSession()
+		defer sess.StopSession()
+		for _, k := range keybuf { // warm the index
+			if st := sess.Upsert(k, val); st != faster.Ok {
+				t.Fatalf("warmup upsert: %v", st)
+			}
+		}
+		t0 := time.Now()
+		for i := 0; i < ops; i++ {
+			if st := sess.Upsert(keybuf[i%keys], val); st != faster.Ok {
+				t.Fatalf("upsert: %v", st)
+			}
+		}
+		return time.Since(t0)
+	}
+
+	// Alternate configurations and keep the best (minimum) time of each, so
+	// one-off scheduler noise can only hurt a configuration, never flatter it.
+	best := map[string]time.Duration{"nop": 1<<63 - 1, "enabled": 1<<63 - 1}
+	for i := 0; i < trials; i++ {
+		if d := run(obs.NewNop()); d < best["nop"] {
+			best["nop"] = d
+		}
+		if d := run(obs.NewRegistry()); d < best["enabled"] {
+			best["enabled"] = d
+		}
+	}
+
+	nopRate := float64(ops) / best["nop"].Seconds()
+	onRate := float64(ops) / best["enabled"].Seconds()
+	t.Logf("upsert throughput: nop sink %.0f ops/s, metrics enabled %.0f ops/s (%.1f%%)",
+		nopRate, onRate, 100*onRate/nopRate)
+	if onRate < 0.90*nopRate {
+		t.Fatalf("metrics overhead exceeds 10%%: enabled %.0f ops/s vs nop baseline %.0f ops/s",
+			onRate, nopRate)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs_test
+
+// raceEnabled reports whether the race detector is compiled in; timing-based
+// guards skip themselves when it is.
+const raceEnabled = true

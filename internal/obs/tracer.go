@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event kinds recorded by the Tracer.
+const (
+	// KindPhase is a checkpoint state-machine transition (From -> Phase).
+	KindPhase = "phase"
+	// KindSession is a per-session/worker thread-crossing event: the moment
+	// one participant acknowledged a phase ("ack-prepare"), demarcated its
+	// CPR point ("demarcate"), or left an active commit ("drop").
+	KindSession = "session"
+	// KindDrain is an epoch-drain measurement: how long after a phase was
+	// published every registered thread had observed it.
+	KindDrain = "drain"
+)
+
+// Event is one tracer record. AtNanos is monotonic time since the tracer was
+// created, so event deltas are exact even across wall-clock adjustments.
+type Event struct {
+	Seq     uint64 `json:"seq"`
+	AtNanos int64  `json:"at_ns"`
+	Kind    string `json:"kind"`
+	Token   string `json:"token,omitempty"`
+	Version uint64 `json:"version,omitempty"`
+	// Phase transitions: From -> Phase. Drain events set Phase to the phase
+	// whose publication was drained.
+	Phase string `json:"phase,omitempty"`
+	From  string `json:"from,omitempty"`
+	// Session events.
+	Session string `json:"session,omitempty"`
+	Event   string `json:"event,omitempty"`
+	Serial  uint64 `json:"serial,omitempty"`
+	// Drain events.
+	DurationNanos int64 `json:"duration_ns,omitempty"`
+}
+
+// PhaseSpan is one computed phase occupancy interval of the timeline.
+type PhaseSpan struct {
+	Phase         string `json:"phase"`
+	Token         string `json:"token,omitempty"`
+	Version       uint64 `json:"version,omitempty"`
+	StartNanos    int64  `json:"start_ns"`
+	EndNanos      int64  `json:"end_ns"`
+	DurationNanos int64  `json:"duration_ns"`
+	// Open marks the most recent phase, still running at snapshot time;
+	// EndNanos is then the snapshot instant.
+	Open bool `json:"open,omitempty"`
+}
+
+// Timeline is the exportable trace: raw events plus per-phase spans derived
+// from the phase-transition events.
+type Timeline struct {
+	Events []Event     `json:"events"`
+	Spans  []PhaseSpan `json:"spans"`
+	// Dropped counts events lost to ring-buffer overflow (oldest first).
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// DefaultTracerCapacity is the event ring size used when a component creates
+// its own tracer.
+const DefaultTracerCapacity = 4096
+
+// Tracer records checkpoint state-machine activity into a bounded ring.
+// Recording takes a short mutex — transitions and session crossings are rare
+// relative to data operations, so this is far off the hot path. The nil
+// Tracer is a valid no-op.
+type Tracer struct {
+	mu      sync.Mutex
+	start   time.Time
+	seq     uint64
+	buf     []Event
+	head    int // index of oldest event
+	n       int // live events in buf
+	dropped uint64
+}
+
+// NewTracer returns a tracer retaining up to capacity events (oldest events
+// are dropped, and counted, once the ring is full).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{start: time.Now(), buf: make([]Event, capacity)}
+}
+
+func (t *Tracer) record(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = t.seq
+	t.seq++
+	// Timestamped under the lock: buffer order == timestamp order.
+	e.AtNanos = time.Since(t.start).Nanoseconds()
+	if t.n == len(t.buf) {
+		t.buf[t.head] = e
+		t.head = (t.head + 1) % len(t.buf)
+		t.dropped++
+	} else {
+		t.buf[(t.head+t.n)%len(t.buf)] = e
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Phase records a state-machine transition from -> to for the given commit.
+func (t *Tracer) Phase(token string, version uint64, from, to string) {
+	t.record(Event{Kind: KindPhase, Token: token, Version: version, From: from, Phase: to})
+}
+
+// Session records a participant thread-crossing event ("ack-prepare",
+// "demarcate", "drop") with the participant's serial/sequence at the crossing.
+func (t *Tracer) Session(token, session, event string, version, serial uint64) {
+	t.record(Event{Kind: KindSession, Token: token, Session: session, Event: event,
+		Version: version, Serial: serial})
+}
+
+// Drain records that the phase published for token became visible to every
+// registered thread d after publication (the epoch-drain latency).
+func (t *Tracer) Drain(token, phase string, version uint64, d time.Duration) {
+	t.record(Event{Kind: KindDrain, Token: token, Phase: phase, Version: version,
+		DurationNanos: d.Nanoseconds()})
+}
+
+// Events returns the retained events, oldest first, plus the dropped count.
+func (t *Tracer) Events() ([]Event, uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.head+i)%len(t.buf)]
+	}
+	return out, t.dropped
+}
+
+// Timeline exports the retained events and computes phase spans: each phase
+// transition opens a span that the next transition closes. The last span is
+// marked Open and closed at the snapshot instant.
+func (t *Tracer) Timeline() Timeline {
+	if t == nil {
+		return Timeline{}
+	}
+	events, dropped := t.Events()
+	now := time.Since(t.start).Nanoseconds()
+	tl := Timeline{Events: events, Dropped: dropped}
+	var cur *PhaseSpan
+	for _, e := range events {
+		if e.Kind != KindPhase {
+			continue
+		}
+		if cur != nil {
+			cur.EndNanos = e.AtNanos
+			cur.DurationNanos = cur.EndNanos - cur.StartNanos
+			tl.Spans = append(tl.Spans, *cur)
+		}
+		cur = &PhaseSpan{Phase: e.Phase, Token: e.Token, Version: e.Version, StartNanos: e.AtNanos}
+	}
+	if cur != nil {
+		cur.EndNanos = now
+		cur.DurationNanos = now - cur.StartNanos
+		cur.Open = true
+		tl.Spans = append(tl.Spans, *cur)
+	}
+	return tl
+}

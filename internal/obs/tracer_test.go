@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerOrderingAndTimestamps(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Phase("tok", 1, "rest", "prepare")
+	tr.Session("tok", "s1", "ack-prepare", 1, 10)
+	tr.Phase("tok", 1, "prepare", "in-progress")
+	tr.Session("tok", "s1", "demarcate", 1, 12)
+	tr.Drain("tok", "prepare", 1, 3*time.Microsecond)
+	events, dropped := tr.Events()
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if len(events) != 5 {
+		t.Fatalf("events = %d, want 5", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if i > 0 && e.AtNanos < events[i-1].AtNanos {
+			t.Fatalf("timestamps decrease at %d: %d < %d", i, e.AtNanos, events[i-1].AtNanos)
+		}
+	}
+	if events[0].Kind != KindPhase || events[0].Phase != "prepare" || events[0].From != "rest" {
+		t.Fatalf("bad phase event: %+v", events[0])
+	}
+	if events[1].Kind != KindSession || events[1].Serial != 10 {
+		t.Fatalf("bad session event: %+v", events[1])
+	}
+	if events[4].Kind != KindDrain || events[4].DurationNanos != 3000 {
+		t.Fatalf("bad drain event: %+v", events[4])
+	}
+}
+
+func TestTracerRingOverflow(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 40; i++ {
+		tr.Phase("tok", uint64(i), "a", "b")
+	}
+	events, dropped := tr.Events()
+	if len(events) != 16 {
+		t.Fatalf("retained = %d, want 16", len(events))
+	}
+	if dropped != 24 {
+		t.Fatalf("dropped = %d, want 24", dropped)
+	}
+	// Oldest retained event is number 24 (0-based): the ring keeps the tail.
+	if events[0].Version != 24 || events[15].Version != 39 {
+		t.Fatalf("retained range [%d, %d], want [24, 39]", events[0].Version, events[15].Version)
+	}
+	if tl := tr.Timeline(); tl.Dropped != 24 {
+		t.Fatalf("timeline dropped = %d, want 24", tl.Dropped)
+	}
+}
+
+func TestTimelineSpans(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Phase("tok", 1, "rest", "prepare")
+	tr.Phase("tok", 1, "prepare", "in-progress")
+	tr.Phase("tok", 1, "in-progress", "rest")
+	tl := tr.Timeline()
+	if len(tl.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(tl.Spans))
+	}
+	for i, want := range []string{"prepare", "in-progress", "rest"} {
+		sp := tl.Spans[i]
+		if sp.Phase != want {
+			t.Fatalf("span %d phase = %q, want %q", i, sp.Phase, want)
+		}
+		if sp.DurationNanos != sp.EndNanos-sp.StartNanos || sp.DurationNanos < 0 {
+			t.Fatalf("span %d inconsistent: %+v", i, sp)
+		}
+		if i > 0 && sp.StartNanos != tl.Spans[i-1].EndNanos {
+			t.Fatalf("span %d not contiguous with predecessor", i)
+		}
+	}
+	if tl.Spans[0].Open || tl.Spans[1].Open {
+		t.Fatal("closed span marked open")
+	}
+	if !tl.Spans[2].Open {
+		t.Fatal("last span not marked open")
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	tr.Phase("t", 1, "a", "b")
+	tr.Session("t", "s", "e", 1, 1)
+	tr.Drain("t", "p", 1, time.Second)
+	if events, dropped := tr.Events(); events != nil || dropped != 0 {
+		t.Fatal("nil tracer returned events")
+	}
+	if tl := tr.Timeline(); len(tl.Events) != 0 || len(tl.Spans) != 0 {
+		t.Fatal("nil tracer returned a timeline")
+	}
+}

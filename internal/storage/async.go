@@ -3,6 +3,9 @@ package storage
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // IORequest is one asynchronous device operation. Exactly one of the read or
@@ -36,6 +39,38 @@ type Pool struct {
 
 	wg       sync.WaitGroup
 	inFlight atomic.Int64
+
+	// Observability (set under mu by Instrument; metrics are nil-safe).
+	reads, writes         *obs.Counter
+	readBytes, writeBytes *obs.Counter
+	readNs, writeNs       *obs.Histogram
+	timed                 bool
+}
+
+// Instrument registers the pool's metrics with reg:
+//
+//	storage_io_reads_total / storage_io_writes_total    completed operations
+//	storage_io_read_bytes_total / storage_io_write_bytes_total
+//	storage_io_read_ns / storage_io_write_ns            device latency
+//	storage_io_inflight / storage_io_queue_depth        live queue state
+//
+// Call it before submitting work (hlog does so at construction).
+func (p *Pool) Instrument(reg *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reads = reg.Counter("storage_io_reads_total")
+	p.writes = reg.Counter("storage_io_writes_total")
+	p.readBytes = reg.Counter("storage_io_read_bytes_total")
+	p.writeBytes = reg.Counter("storage_io_write_bytes_total")
+	p.readNs = reg.Histogram("storage_io_read_ns")
+	p.writeNs = reg.Histogram("storage_io_write_ns")
+	p.timed = p.readNs != nil
+	reg.GaugeFunc("storage_io_inflight", func() int64 { return p.inFlight.Load() })
+	reg.GaugeFunc("storage_io_queue_depth", func() int64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return int64(len(p.queue))
+	})
 }
 
 // NewPool starts a pool with the given number of workers (minimum 1). The
@@ -71,10 +106,24 @@ func (p *Pool) worker() {
 
 		var n int
 		var err error
+		var t0 time.Time
+		if p.timed {
+			t0 = time.Now()
+		}
 		if req.Write {
 			n, err = req.Dev.WriteAt(req.Buf, req.Off)
+			p.writes.Inc()
+			p.writeBytes.Add(uint64(n))
+			if p.timed {
+				p.writeNs.Observe(time.Since(t0))
+			}
 		} else {
 			n, err = req.Dev.ReadAt(req.Buf, req.Off)
+			p.reads.Inc()
+			p.readBytes.Add(uint64(n))
+			if p.timed {
+				p.readNs.Observe(time.Since(t0))
+			}
 		}
 		if req.Done != nil {
 			req.Done(n, err)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/wal"
@@ -36,6 +37,7 @@ type commitCtx struct {
 	coord *core.Coordinator[*Worker]
 
 	flushing atomic.Bool
+	started  time.Time
 
 	done chan struct{}
 	res  CommitResult
@@ -63,7 +65,12 @@ var ErrCommitInProgress = fmt.Errorf("txdb: a commit is already in progress")
 func (db *DB) Commit(onDone func(CommitResult)) (string, error) {
 	if db.cfg.Engine == EngineWAL {
 		token := fmt.Sprintf("wal-%06d", db.commitSeq.Add(1))
+		t0 := time.Now()
 		err := db.wal.Flush()
+		if err == nil {
+			db.metrics.commits.Inc()
+			db.metrics.commitNs.Observe(time.Since(t0))
+		}
 		res := CommitResult{Token: token, Err: err}
 		db.ckptMu.Lock()
 		db.results[token] = res
@@ -90,6 +97,7 @@ func (db *DB) Commit(onDone func(CommitResult)) (string, error) {
 		db:      db,
 		version: db.Version(),
 		token:   fmt.Sprintf("ckpt-%06d", db.commitSeq.Add(1)),
+		started: time.Now(),
 		done:    make(chan struct{}),
 		onDone:  onDone,
 	}
@@ -99,7 +107,8 @@ func (db *DB) Commit(onDone func(CommitResult)) (string, error) {
 	}
 	db.ckpt = ck
 	db.state.Store(packState(Prepare, ck.version))
-	db.epochs.Bump()
+	db.tracer.Phase(ck.token, ck.version, Rest.String(), Prepare.String())
+	ck.bumpTraced(Prepare)
 	db.ckptMu.Unlock()
 	db.workerMu.Unlock()
 	ck.coord.Seal()
@@ -136,9 +145,20 @@ func (ck *commitCtx) ackPrepare(w *Worker) {
 	ck.coord.AckPrepare(w)
 }
 
+// bumpTraced bumps the epoch for a phase publication, recording the drain
+// latency (time until every registered thread observed the phase).
+func (ck *commitCtx) bumpTraced(published Phase) {
+	db := ck.db
+	t0 := time.Now()
+	db.epochs.BumpEpoch(func() {
+		db.tracer.Drain(ck.token, published.String(), ck.version, time.Since(t0))
+	})
+}
+
 func (ck *commitCtx) advanceToInProgress() {
 	ck.db.state.Store(packState(InProgress, ck.version))
-	ck.db.epochs.Bump()
+	ck.db.tracer.Phase(ck.token, ck.version, Prepare.String(), InProgress.String())
+	ck.bumpTraced(InProgress)
 }
 
 func (ck *commitCtx) ackInProgress(w *Worker, seq uint64) {
@@ -153,11 +173,13 @@ func (ck *commitCtx) maybeStartWaitFlush() {
 		return
 	}
 	ck.db.state.Store(packState(WaitFlush, ck.version))
+	ck.db.tracer.Phase(ck.token, ck.version, InProgress.String(), WaitFlush.String())
 	go ck.waitFlush()
 }
 
 func (ck *commitCtx) dropParticipant(w *Worker) {
 	sameVersion := w.version == ck.version
+	ck.db.tracer.Session(ck.token, fmt.Sprintf("worker-%p", w), "drop", ck.version, w.seq)
 	ck.coord.Drop(w,
 		sameVersion && w.phase >= Prepare,
 		sameVersion && w.phase >= InProgress,
@@ -201,7 +223,16 @@ func (ck *commitCtx) waitFlush() {
 	db.results[ck.token] = ck.res
 	db.state.Store(packState(Rest, ck.version+1))
 	db.ckptMu.Unlock()
-	db.epochs.Bump()
+	db.tracer.Phase(ck.token, ck.version, WaitFlush.String(), Rest.String())
+	ck.bumpTraced(Rest)
+	if err == nil {
+		db.metrics.commits.Inc()
+		db.metrics.commitBytes.Add(uint64(len(buf)))
+		if delta {
+			db.metrics.deltaCommits.Inc()
+		}
+		db.metrics.commitNs.Observe(time.Since(ck.started))
+	}
 	close(ck.done)
 	if ck.onDone != nil {
 		ck.onDone(ck.res)

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/epoch"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -141,6 +142,13 @@ type Config struct {
 	// FullEvery forces a full capture every N-th commit when Incremental is
 	// set, bounding recovery chains (default 8).
 	FullEvery int
+	// Metrics receives the database's instrumentation (and the epoch
+	// manager's). Defaults to a fresh enabled registry; pass obs.NewNop() to
+	// disable collection.
+	Metrics *obs.Registry
+	// Tracer records commit state-machine activity. Defaults to a fresh
+	// tracer with obs.DefaultTracerCapacity events.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) fill() error {
@@ -162,7 +170,41 @@ func (c *Config) fill() error {
 	if c.FullEvery <= 0 {
 		c.FullEvery = 8
 	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(obs.DefaultTracerCapacity)
+	}
 	return nil
+}
+
+// dbMetrics holds the database's registry handles, resolved once at Open.
+// Workers accumulate locally and flush deltas here on refresh (worker.go), so
+// the registry is the single aggregation point for runners and introspection.
+type dbMetrics struct {
+	committed, conflicts, cprAborts     *obs.Counter
+	execNs, tailNs, logWriteNs, abortNs *obs.Counter
+	samples                             *obs.Counter
+	commits, commitBytes, deltaCommits  *obs.Counter
+	commitNs                            *obs.Histogram
+}
+
+func newDBMetrics(reg *obs.Registry) dbMetrics {
+	return dbMetrics{
+		committed:    reg.Counter("txdb_txns_committed_total"),
+		conflicts:    reg.Counter("txdb_txns_conflict_aborts_total"),
+		cprAborts:    reg.Counter("txdb_txns_cpr_aborts_total"),
+		execNs:       reg.Counter("txdb_exec_ns_total"),
+		tailNs:       reg.Counter("txdb_tail_ns_total"),
+		logWriteNs:   reg.Counter("txdb_log_write_ns_total"),
+		abortNs:      reg.Counter("txdb_abort_ns_total"),
+		samples:      reg.Counter("txdb_instr_samples_total"),
+		commits:      reg.Counter("txdb_commits_total"),
+		commitBytes:  reg.Counter("txdb_commit_bytes_total"),
+		deltaCommits: reg.Counter("txdb_delta_commits_total"),
+		commitNs:     reg.Histogram("txdb_commit_ns"),
+	}
 }
 
 // DB is the in-memory transactional database. Transactions execute through
@@ -199,6 +241,9 @@ type DB struct {
 	lastFullToken   string
 	lastFullVersion uint64
 	lastCommitToken string
+
+	metrics dbMetrics
+	tracer  *obs.Tracer
 }
 
 func packState(p Phase, v uint64) uint64   { return uint64(p)<<56 | v }
@@ -215,7 +260,17 @@ func Open(cfg Config) (*DB, error) {
 		epochs:  epoch.New(),
 		workers: make(map[*Worker]bool),
 		results: make(map[string]CommitResult),
+		metrics: newDBMetrics(cfg.Metrics),
+		tracer:  cfg.Tracer,
 	}
+	db.epochs.Instrument(cfg.Metrics)
+	cfg.Metrics.GaugeFunc("txdb_version", func() int64 { return int64(db.Version()) })
+	cfg.Metrics.GaugeFunc("txdb_phase", func() int64 { return int64(db.Phase()) })
+	cfg.Metrics.GaugeFunc("txdb_workers", func() int64 {
+		db.workerMu.Lock()
+		defer db.workerMu.Unlock()
+		return int64(len(db.workers))
+	})
 	// One backing array halves allocator pressure and keeps values dense.
 	per := cfg.ValueSize
 	if cfg.Engine == EngineWAL {
@@ -255,6 +310,30 @@ func (db *DB) Version() uint64 { _, v := unpackState(db.state.Load()); return v 
 
 // Engine returns the configured durability engine.
 func (db *DB) Engine() EngineKind { return db.cfg.Engine }
+
+// Metrics returns the database's metrics registry (never nil after Open).
+func (db *DB) Metrics() *obs.Registry { return db.cfg.Metrics }
+
+// Tracer returns the database's commit phase tracer.
+func (db *DB) Tracer() *obs.Tracer { return db.tracer }
+
+// Stats materializes the database-wide transaction counters from the
+// registry. Workers flush their local tallies on refresh and close, so the
+// result is exact once workers have closed (and at most one refresh interval
+// stale while they run). Use Stats().Sub(before) to scope to one run.
+func (db *DB) Stats() Stats {
+	m := &db.metrics
+	return Stats{
+		Committed:     m.committed.Value(),
+		Conflicts:     m.conflicts.Value(),
+		CPRAborts:     m.cprAborts.Value(),
+		ExecNanos:     int64(m.execNs.Value()),
+		TailNanos:     int64(m.tailNs.Value()),
+		LogWriteNanos: int64(m.logWriteNs.Value()),
+		AbortNanos:    int64(m.abortNs.Value()),
+		Samples:       m.samples.Value(),
+	}
+}
 
 // NumRecords returns the key-space size.
 func (db *DB) NumRecords() int { return db.cfg.Records }

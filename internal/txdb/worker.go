@@ -64,6 +64,21 @@ type Stats struct {
 	Samples       uint64
 }
 
+// Sub returns the component-wise difference s - prev (for scoping the
+// database-wide counters to a single run).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Committed:     s.Committed - prev.Committed,
+		Conflicts:     s.Conflicts - prev.Conflicts,
+		CPRAborts:     s.CPRAborts - prev.CPRAborts,
+		ExecNanos:     s.ExecNanos - prev.ExecNanos,
+		TailNanos:     s.TailNanos - prev.TailNanos,
+		LogWriteNanos: s.LogWriteNanos - prev.LogWriteNanos,
+		AbortNanos:    s.AbortNanos - prev.AbortNanos,
+		Samples:       s.Samples - prev.Samples,
+	}
+}
+
 // Worker executes transactions for one client (Alg. 1). A Worker is bound to
 // a single goroutine. Each committed transaction gets the next client-local
 // sequence number; CPR commits report, per worker, the sequence up to which
@@ -80,6 +95,10 @@ type Worker struct {
 	// cprAborted marks that the in-flight transaction aborted due to the
 	// version shift and will re-execute in v+1.
 	stats Stats
+	// flushed is the prefix of stats already pushed into the database-wide
+	// registry counters; the hot path stays non-atomic and deltas flow out on
+	// refresh (every workerRefreshInterval txns) and close.
+	flushed Stats
 
 	lockedIdx []int  // scratch: indices into txn.Ops of held locks
 	scratch   []byte // scratch: read buffer
@@ -138,8 +157,25 @@ func (w *Worker) Close() {
 	if ck != nil {
 		ck.dropParticipant(w)
 	}
+	w.flushStats()
 	w.guard.Release()
 	w.closed = true
+}
+
+// flushStats pushes the not-yet-flushed portion of the worker's local stats
+// into the database-wide counters.
+func (w *Worker) flushStats() {
+	m := &w.db.metrics
+	d := w.stats.Sub(w.flushed)
+	m.committed.Add(d.Committed)
+	m.conflicts.Add(d.Conflicts)
+	m.cprAborts.Add(d.CPRAborts)
+	m.execNs.Add(uint64(d.ExecNanos))
+	m.tailNs.Add(uint64(d.TailNanos))
+	m.logWriteNs.Add(uint64(d.LogWriteNanos))
+	m.abortNs.Add(uint64(d.AbortNanos))
+	m.samples.Add(d.Samples)
+	w.flushed = w.stats
 }
 
 // Seq returns the worker's committed-transaction count (its client-local
@@ -180,6 +216,7 @@ func (w *Worker) Refresh() {
 	}
 	w.guard.Refresh()
 	w.txnsSinceRefresh = 0
+	w.flushStats()
 }
 
 func (db *DB) currentCkpt() *commitCtx {
