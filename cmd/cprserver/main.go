@@ -9,7 +9,9 @@
 package main
 
 import (
+	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"path/filepath"
@@ -25,27 +27,42 @@ func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
 		dir        = flag.String("dir", "", "database directory (empty = in-memory)")
+		shards     = flag.Int("shards", 1, "store partitions, each an independent CPR domain (commits stay coordinated)")
 		autocommit = flag.Duration("autocommit", 500*time.Millisecond, "automatic log-only commit cadence (0 = off)")
 		debugAddr  = flag.String("debug", "", "debug HTTP listen address serving /metrics, /timeline and /debug/pprof (empty = off)")
 	)
 	flag.Parse()
 
-	cfg := faster.Config{}
+	cfg := faster.Config{Shards: *shards}
 	if *dir != "" {
-		device, err := cpr.OpenFileDevice(filepath.Join(*dir, "hybridlog.dat"))
-		if err != nil {
-			log.Fatal(err)
+		if *shards > 1 {
+			// One log file per shard; checkpoints share the directory store
+			// (the store namespaces each shard under shard<i>/).
+			base := *dir
+			cfg.DeviceFactory = func(i int) (cpr.Device, error) {
+				return cpr.OpenFileDevice(filepath.Join(base, fmt.Sprintf("hybridlog-shard%d.dat", i)))
+			}
+		} else {
+			device, err := cpr.OpenFileDevice(filepath.Join(*dir, "hybridlog.dat"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Device = device
 		}
 		checkpoints, err := cpr.NewDirCheckpointStore(filepath.Join(*dir, "checkpoints"))
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg.Device = device
 		cfg.Checkpoints = checkpoints
 	}
 
 	store, err := faster.Recover(cfg)
 	if err != nil {
+		if !errors.Is(err, faster.ErrNoCheckpoint) {
+			// Shard-count mismatch, corrupt artifact, ...: starting fresh
+			// would shadow the existing data.
+			log.Fatal(err)
+		}
 		log.Printf("no previous commit (%v); starting fresh", err)
 		store, err = faster.Open(cfg)
 		if err != nil {

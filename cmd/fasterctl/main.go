@@ -14,6 +14,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -26,26 +27,40 @@ import (
 
 func main() {
 	dir := flag.String("dir", "", "database directory (required)")
+	shards := flag.Int("shards", 1, "store partitions; must match the directory's existing layout")
 	flag.Parse()
 	if *dir == "" || flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: fasterctl -dir <dir> <set|get|del|rmw|bulkload|stats|metrics> [args]")
+		fmt.Fprintln(os.Stderr, "usage: fasterctl -dir <dir> [-shards n] <set|get|del|rmw|bulkload|stats|metrics> [args]")
 		os.Exit(2)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
-		log.Fatal(err)
-	}
-	device, err := cpr.OpenFileDevice(filepath.Join(*dir, "hybridlog.dat"))
-	if err != nil {
 		log.Fatal(err)
 	}
 	checkpoints, err := cpr.NewDirCheckpointStore(filepath.Join(*dir, "checkpoints"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := cpr.StoreConfig{Device: device, Checkpoints: checkpoints}
+	cfg := cpr.StoreConfig{Shards: *shards, Checkpoints: checkpoints}
+	if *shards > 1 {
+		base := *dir
+		cfg.DeviceFactory = func(i int) (cpr.Device, error) {
+			return cpr.OpenFileDevice(filepath.Join(base, fmt.Sprintf("hybridlog-shard%d.dat", i)))
+		}
+	} else {
+		device, err := cpr.OpenFileDevice(filepath.Join(*dir, "hybridlog.dat"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Device = device
+	}
 
 	store, err := cpr.RecoverStore(cfg)
 	if err != nil {
+		if !errors.Is(err, cpr.ErrNoCheckpoint) {
+			// Shard-count mismatch, corrupt artifact, ...: starting fresh
+			// would shadow the existing data.
+			log.Fatal(err)
+		}
 		// No commit yet: fresh store.
 		store, err = cpr.OpenStore(cfg)
 		if err != nil {
@@ -111,12 +126,22 @@ func main() {
 		fmt.Printf("loaded %d keys\n", n)
 		mutated = true
 	case "stats":
-		lg := store.Log()
 		fmt.Printf("version:       %d\n", store.Version())
 		fmt.Printf("phase:         %v\n", store.Phase())
-		fmt.Printf("log tail:      %d bytes\n", lg.Tail())
-		fmt.Printf("log durable:   %d bytes\n", lg.Durable())
-		fmt.Printf("log in-memory: [%d, %d)\n", lg.Head(), lg.Tail())
+		if n := store.NumShards(); n > 1 {
+			fmt.Printf("shards:        %d\n", n)
+			for i := 0; i < n; i++ {
+				lg := store.ShardLog(i)
+				fmt.Printf("shard %d: version %d phase %v tail %d durable %d in-memory [%d, %d)\n",
+					i, store.ShardVersion(i), store.ShardPhase(i),
+					lg.Tail(), lg.Durable(), lg.Head(), lg.Tail())
+			}
+		} else {
+			lg := store.Log()
+			fmt.Printf("log tail:      %d bytes\n", lg.Tail())
+			fmt.Printf("log durable:   %d bytes\n", lg.Durable())
+			fmt.Printf("log in-memory: [%d, %d)\n", lg.Head(), lg.Tail())
+		}
 	case "metrics":
 		// Drive one log-only commit so the output includes a live phase
 		// timeline for this store, then dump the registry and the timeline.

@@ -99,6 +99,12 @@ func OpenStore(cfg StoreConfig) (*Store, error) { return faster.Open(cfg) }
 // instance used; sessions re-establish with Store.ContinueSession.
 func RecoverStore(cfg StoreConfig) (*Store, error) { return faster.Recover(cfg) }
 
+// ErrNoCheckpoint is wrapped by RecoverStore when the checkpoint store holds
+// no commit at all. Fall back to OpenStore only on this error (errors.Is);
+// any other recovery error indicates existing data that must not be shadowed
+// by a fresh store.
+var ErrNoCheckpoint = faster.ErrNoCheckpoint
+
 // ---- In-memory transactional database (Sec. 4) ----
 
 // DB is the in-memory transactional database with pluggable durability.

@@ -25,6 +25,9 @@ type Config struct {
 	// TimePoints compresses the paper's long time-series runs: a paper
 	// minute becomes this many seconds (default 1.0).
 	TimePoints float64
+	// Shards partitions the store in every FASTER experiment (default 1 =
+	// the unpartitioned store; the shardscale experiment sweeps its own).
+	Shards int
 }
 
 func (c *Config) fill() {
@@ -39,6 +42,9 @@ func (c *Config) fill() {
 	}
 	if c.TimePoints <= 0 {
 		c.TimePoints = 1.0
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 }
 

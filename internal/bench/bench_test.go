@@ -29,6 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig17a", "fig17b", "fig17c", "fig17d", "fig17e",
 		"fig18a", "fig18b", "fig18c", "fig18d",
 		"ablate-incr", "ablate-flush", "ablate-recovery",
+		"shardscale",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -19,6 +19,7 @@ func fasterBase(cfg Config, readFrac float64, zipf bool, kind faster.CommitKind)
 	dur := 4 * cfg.TimePoints
 	return FasterParams{
 		Threads:     cfg.Threads,
+		Shards:      cfg.Shards,
 		Keys:        uint64(scaled(200_000, cfg.Scale*4)),
 		ValueSize:   8,
 		ReadFrac:    readFrac,

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/binary"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,8 @@ type FasterParams struct {
 	Threads   int
 	Keys      uint64
 	ValueSize int
+	// Shards partitions the store (default 1 = the unpartitioned store).
+	Shards int
 	// ReadFrac is the fraction of reads; the rest are blind updates, or
 	// read-modify-writes when RMW is set (the paper's "0:100 RMW").
 	ReadFrac float64
@@ -85,7 +88,18 @@ func OpenLoadedStore(p FasterParams) (*faster.Store, error) {
 	for uint64(buckets) < p.Keys/2 {
 		buckets <<= 1
 	}
+	shards := p.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 1 {
+		// MemPages is a store-wide budget split across shards; add the same
+		// fixed headroom each shard would have had alone, keeping the data
+		// budget comparable to the single-shard configuration.
+		memPages += 4 * (shards - 1)
+	}
 	s, err := faster.Open(faster.Config{
+		Shards:       shards,
 		IndexBuckets: buckets,
 		PageBits:     uint(pageBits),
 		MemPages:     memPages,
@@ -219,7 +233,6 @@ func RunFaster(p FasterParams) (FasterSummary, error) {
 	issued := 0
 	lastOps, lastLat, lastLatN := int64(0), int64(0), int64(0)
 	lastT := 0.0
-	logBegin := s.Log().Begin()
 	for {
 		time.Sleep(tick)
 		now := time.Since(start).Seconds()
@@ -228,7 +241,7 @@ func RunFaster(p FasterParams) (FasterSummary, error) {
 		sm := FasterSample{
 			T:        now,
 			Mops:     float64(cur-lastOps) / (now - lastT) / 1e6,
-			LogBytes: int64(s.Log().Tail() - logBegin),
+			LogBytes: s.LogBytes(),
 		}
 		if ln > lastLatN {
 			sm.LatencyUs = float64(ls-lastLat) / float64(ln-lastLatN) / 1e3
@@ -304,7 +317,15 @@ func phaseNanos(tr *obs.Tracer, commits []faster.CommitResult) map[string]int64 
 	}
 	out := make(map[string]int64)
 	for _, sp := range tr.Timeline().Spans {
-		if sp.Open || !tokens[sp.Token] {
+		if sp.Open {
+			continue
+		}
+		// A partitioned store traces each shard's machine as token/s<i>.
+		tok := sp.Token
+		if i := strings.LastIndex(tok, "/s"); i >= 0 {
+			tok = tok[:i]
+		}
+		if !tokens[tok] {
 			continue
 		}
 		out[sp.Phase] += sp.DurationNanos

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 )
 
 // CommitOptions configures a single CPR commit.
@@ -28,24 +29,35 @@ type CommitResult struct {
 	Version uint32
 	Kind    CommitKind
 	// Serials maps each participating session ID to its CPR point: every
-	// operation with serial <= Serials[id] is durable, none after.
+	// operation with serial <= Serials[id] is durable, none after. On a
+	// partitioned store this is the same point on every shard (the session
+	// demarcates once per version).
 	Serials map[string]uint64
-	// Bytes is the volume written for this commit (log + snapshot + index).
+	// Bytes is the volume written for this commit (log + snapshot + index,
+	// summed across shards).
 	Bytes int64
 	Err   error
 }
 
-// checkpointCtx tracks one in-flight CPR commit.
+// checkpointCtx tracks one in-flight CPR commit on a single shard.
 type checkpointCtx struct {
-	store   *Store
+	store   *shard
 	version uint32
 	kind    CommitKind
 	opts    CommitOptions
 	token   string
+	// traceToken is token plus the shard's trace suffix, so the per-shard
+	// state machines of a coordinated commit stay distinguishable in the
+	// shared tracer.
+	traceToken string
+	// coordinated marks a shard-level leg of a cross-shard commit: the
+	// store-level coordinator owns the merged result, commit metrics and
+	// OnDone callback.
+	coordinated bool
 
 	// coord collects the per-session acknowledgments that drive the first
 	// two transitions of Fig. 9a and the sessions' CPR points.
-	coord *core.Coordinator[*Session]
+	coord *core.Coordinator[*shardSession]
 
 	pendingV atomic.Int64
 	flushing atomic.Bool
@@ -59,7 +71,7 @@ type checkpointCtx struct {
 	res  CommitResult
 }
 
-// metadata is the persisted commit descriptor.
+// metadata is the persisted commit descriptor (one per shard).
 type metadata struct {
 	Token         string            `json:"token"`
 	Version       uint32            `json:"version"`
@@ -74,55 +86,131 @@ type metadata struct {
 	Serials       map[string]uint64 `json:"serials"`
 }
 
+// manifest is the persisted descriptor of a cross-shard commit. It is
+// written only after every shard's checkpoint is durable, so its existence
+// under "cpr-latest" proves the version is recoverable on all shards; a
+// crash that leaves some shards committed and others not falls back to the
+// previous manifest.
+type manifest struct {
+	Token   string `json:"token"`
+	Version uint32 `json:"version"`
+	Shards  int    `json:"shards"`
+	Kind    string `json:"kind"`
+}
+
+// multiCommit tracks one in-flight cross-shard commit at the store level.
+type multiCommit struct {
+	token   string
+	version uint32
+	opts    CommitOptions
+	started time.Time
+	done    chan struct{}
+	res     CommitResult
+}
+
 // ErrCommitInProgress is returned when Commit is called while another commit
 // has not yet completed.
 var ErrCommitInProgress = fmt.Errorf("faster: a CPR commit is already in progress")
 
 // Commit starts an asynchronous CPR commit (Sec. 6.2) and returns its token
-// immediately. The commit proceeds through prepare, in-progress,
-// wait-pending and wait-flush as sessions refresh; opts.OnDone fires when
-// the checkpoint is durable. Use WaitForCommit to block.
+// immediately. On a partitioned store one token and version cover every
+// shard: the coordinator starts all shard state machines concurrently and
+// the commit completes — manifest written, OnDone fired — only when every
+// shard is durable at that version. Use WaitForCommit to block.
 func (s *Store) Commit(opts CommitOptions) (string, error) {
-	s.sessionMu.Lock()
+	if len(s.shards) == 1 {
+		return s.shards[0].commit(opts, "")
+	}
+	s.mu.Lock()
 	s.ckptMu.Lock()
-	if s.ckpt != nil {
+	if s.multi != nil {
 		s.ckptMu.Unlock()
-		s.sessionMu.Unlock()
+		s.mu.Unlock()
 		return "", ErrCommitInProgress
 	}
-	if p, _ := unpackState(s.state.Load()); p != Rest {
-		s.ckptMu.Unlock()
-		s.sessionMu.Unlock()
-		return "", ErrCommitInProgress
+	for _, sh := range s.shards {
+		if p, _ := unpackState(sh.state.Load()); p != Rest {
+			s.ckptMu.Unlock()
+			s.mu.Unlock()
+			return "", ErrCommitInProgress
+		}
 	}
-	kind := s.cfg.Kind
-	if opts.Kind != nil {
-		kind = *opts.Kind
-	}
-	ck := &checkpointCtx{
-		store:   s,
-		version: s.Version(),
-		kind:    kind,
+	token := fmt.Sprintf("ckpt-%06d", s.commitSeq.Add(1))
+	mc := &multiCommit{
+		token:   token,
+		version: s.shards[0].Version(),
 		opts:    opts,
-		token:   fmt.Sprintf("ckpt-%06d", s.commitSeq.Add(1)),
 		started: time.Now(),
 		done:    make(chan struct{}),
 	}
-	ck.coord = core.NewCoordinator[*Session](ck.advanceToInProgress, ck.advanceToWaitPending)
-	for _, sess := range s.sessions {
-		ck.coord.Add(sess)
+	shOpts := opts
+	shOpts.OnDone = nil // the store-level coordinator fires the merged OnDone
+	for _, sh := range s.shards {
+		if _, err := sh.commit(shOpts, token); err != nil {
+			// Unreachable under the store-level serialization of commits;
+			// surface it rather than wedge (already-started shards complete
+			// on their own and the manifest is never written).
+			s.ckptMu.Unlock()
+			s.mu.Unlock()
+			return "", err
+		}
 	}
-	ck.lhs = s.log.Tail()
-	s.ckpt = ck
-	// Publish the prepare phase; sessions observe it on refresh.
-	s.state.Store(packState(Prepare, ck.version))
-	s.tracer.Phase(ck.token, uint64(ck.version), Rest.String(), Prepare.String())
-	ck.bumpTraced(Prepare)
+	s.multi = mc
 	s.ckptMu.Unlock()
-	s.sessionMu.Unlock()
-	// With zero participants the seal completes both transitions at once.
-	ck.coord.Seal()
-	return ck.token, nil
+	s.mu.Unlock()
+	go s.finishMultiCommit(mc)
+	return token, nil
+}
+
+// finishMultiCommit waits for every shard's leg of the commit, merges the
+// per-shard results, and — only if all shards are durable — publishes the
+// cross-shard manifest that makes the commit recoverable.
+func (s *Store) finishMultiCommit(mc *multiCommit) {
+	var bytes int64
+	var firstErr error
+	var kind CommitKind
+	serials := make(map[string]uint64)
+	for _, sh := range s.shards {
+		r := sh.waitForCommit(mc.token)
+		if r.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("faster: shard %d commit: %w", sh.id, r.Err)
+		}
+		bytes += r.Bytes
+		kind = r.Kind
+		for id, pt := range r.Serials {
+			if cur, ok := serials[id]; !ok || pt < cur {
+				serials[id] = pt
+			}
+		}
+	}
+	if firstErr == nil {
+		man := manifest{Token: mc.token, Version: mc.version, Shards: len(s.shards), Kind: kind.String()}
+		buf, err := json.Marshal(man)
+		if err == nil {
+			err = writeArtifact(s.cfg.Checkpoints, "cpr-manifest-"+mc.token, buf)
+		}
+		if err == nil {
+			err = writeArtifact(s.cfg.Checkpoints, "cpr-latest", []byte(mc.token))
+		}
+		firstErr = err
+	}
+	mc.res = CommitResult{
+		Token: mc.token, Version: mc.version, Kind: kind,
+		Serials: serials, Bytes: bytes, Err: firstErr,
+	}
+	s.ckptMu.Lock()
+	s.results[mc.token] = mc.res
+	s.multi = nil
+	s.ckptMu.Unlock()
+	if firstErr == nil {
+		s.metrics.commits.Inc()
+		s.metrics.commitBytes.Add(uint64(bytes))
+		s.metrics.commitNs.Observe(time.Since(mc.started))
+	}
+	close(mc.done)
+	if mc.opts.OnDone != nil {
+		mc.opts.OnDone(mc.res)
+	}
 }
 
 // WaitForCommit blocks until the commit identified by token completes and
@@ -130,9 +218,12 @@ func (s *Store) Commit(opts CommitOptions) (string, error) {
 // unless other sessions keep refreshing (the commit needs every session to
 // acknowledge the version shift).
 func (s *Store) WaitForCommit(token string) CommitResult {
+	if len(s.shards) == 1 {
+		return s.shards[0].waitForCommit(token)
+	}
 	s.ckptMu.Lock()
-	ck := s.ckpt
-	if ck == nil || ck.token != token {
+	mc := s.multi
+	if mc == nil || mc.token != token {
 		res, ok := s.results[token]
 		s.ckptMu.Unlock()
 		if ok {
@@ -141,23 +232,104 @@ func (s *Store) WaitForCommit(token string) CommitResult {
 		return CommitResult{Token: token, Err: fmt.Errorf("faster: unknown commit %q", token)}
 	}
 	s.ckptMu.Unlock()
-	<-ck.done
-	return ck.res
+	<-mc.done
+	return mc.res
 }
 
 // TryResult returns the result of a completed commit without blocking. ok is
 // false while the commit is still in flight (or the token is unknown).
 func (s *Store) TryResult(token string) (CommitResult, bool) {
+	if len(s.shards) == 1 {
+		return s.shards[0].tryResult(token)
+	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 	res, ok := s.results[token]
 	return res, ok
 }
 
+// commit starts this shard's CPR state machine. token == "" (an
+// uncoordinated, single-shard commit) allocates the next store token;
+// otherwise the shard joins the cross-shard commit under the given token.
+func (sh *shard) commit(opts CommitOptions, token string) (string, error) {
+	coordinated := token != ""
+	sh.sessionMu.Lock()
+	sh.ckptMu.Lock()
+	if sh.ckpt != nil {
+		sh.ckptMu.Unlock()
+		sh.sessionMu.Unlock()
+		return "", ErrCommitInProgress
+	}
+	if p, _ := unpackState(sh.state.Load()); p != Rest {
+		sh.ckptMu.Unlock()
+		sh.sessionMu.Unlock()
+		return "", ErrCommitInProgress
+	}
+	kind := sh.cfg.Kind
+	if opts.Kind != nil {
+		kind = *opts.Kind
+	}
+	if !coordinated {
+		token = fmt.Sprintf("ckpt-%06d", sh.seq.Add(1))
+	}
+	ck := &checkpointCtx{
+		store:       sh,
+		version:     sh.Version(),
+		kind:        kind,
+		opts:        opts,
+		token:       token,
+		traceToken:  token + sh.traceSuffix,
+		coordinated: coordinated,
+		started:     time.Now(),
+		done:        make(chan struct{}),
+	}
+	ck.coord = core.NewCoordinator[*shardSession](ck.advanceToInProgress, ck.advanceToWaitPending)
+	for _, ss := range sh.sessions {
+		ck.coord.Add(ss)
+	}
+	ck.lhs = sh.log.Tail()
+	sh.ckpt = ck
+	// Publish the prepare phase; sessions observe it on refresh.
+	sh.state.Store(packState(Prepare, ck.version))
+	sh.tracer.Phase(ck.traceToken, uint64(ck.version), Rest.String(), Prepare.String())
+	ck.bumpTraced(Prepare)
+	sh.ckptMu.Unlock()
+	sh.sessionMu.Unlock()
+	// With zero participants the seal completes both transitions at once.
+	ck.coord.Seal()
+	return ck.token, nil
+}
+
+// waitForCommit blocks until the shard-level commit identified by token
+// completes and returns its result.
+func (sh *shard) waitForCommit(token string) CommitResult {
+	sh.ckptMu.Lock()
+	ck := sh.ckpt
+	if ck == nil || ck.token != token {
+		res, ok := sh.results[token]
+		sh.ckptMu.Unlock()
+		if ok {
+			return res
+		}
+		return CommitResult{Token: token, Err: fmt.Errorf("faster: unknown commit %q", token)}
+	}
+	sh.ckptMu.Unlock()
+	<-ck.done
+	return ck.res
+}
+
+// tryResult returns the result of a completed shard commit without blocking.
+func (sh *shard) tryResult(token string) (CommitResult, bool) {
+	sh.ckptMu.Lock()
+	defer sh.ckptMu.Unlock()
+	res, ok := sh.results[token]
+	return res, ok
+}
+
 // ackPrepare records that one participant finished its prepare-entry work;
 // the last acknowledgment advances the machine to in-progress (transition 2
 // of Fig. 9a).
-func (ck *checkpointCtx) ackPrepare(sess *Session) {
+func (ck *checkpointCtx) ackPrepare(sess *shardSession) {
 	ck.coord.AckPrepare(sess)
 }
 
@@ -165,40 +337,40 @@ func (ck *checkpointCtx) ackPrepare(sess *Session) {
 // latency (how long until every registered thread observed the phase) in the
 // store's tracer.
 func (ck *checkpointCtx) bumpTraced(published Phase) {
-	s := ck.store
+	sh := ck.store
 	t0 := time.Now()
-	s.epochs.BumpEpoch(func() {
-		s.tracer.Drain(ck.token, published.String(), uint64(ck.version), time.Since(t0))
+	sh.epochs.BumpEpoch(func() {
+		sh.tracer.Drain(ck.traceToken, published.String(), uint64(ck.version), time.Since(t0))
 	})
 }
 
 func (ck *checkpointCtx) advanceToInProgress() {
 	ck.store.state.Store(packState(InProgress, ck.version))
-	ck.store.tracer.Phase(ck.token, uint64(ck.version), Prepare.String(), InProgress.String())
+	ck.store.tracer.Phase(ck.traceToken, uint64(ck.version), Prepare.String(), InProgress.String())
 	ck.bumpTraced(InProgress)
 }
 
 // ackInProgress records a session's CPR point (transition 3 of Fig. 9a).
-func (ck *checkpointCtx) ackInProgress(sess *Session, cprSerial uint64) {
+func (ck *checkpointCtx) ackInProgress(sess *shardSession, cprSerial uint64) {
 	ck.coord.Demarcate(sess, cprSerial)
 }
 
 func (ck *checkpointCtx) advanceToWaitPending() {
 	ck.store.state.Store(packState(WaitPending, ck.version))
-	ck.store.tracer.Phase(ck.token, uint64(ck.version), InProgress.String(), WaitPending.String())
+	ck.store.tracer.Phase(ck.traceToken, uint64(ck.version), InProgress.String(), WaitPending.String())
 	ck.checkPendingDone()
 }
 
 // dropParticipant removes a stopping session from the commit; a session that
 // leaves before demarcating contributes everything it issued (it can issue
 // nothing further).
-func (ck *checkpointCtx) dropParticipant(sess *Session) {
+func (ck *checkpointCtx) dropParticipant(sess *shardSession) {
 	sameVersion := sess.version == ck.version
-	ck.store.tracer.Session(ck.token, sess.id, "drop", uint64(ck.version), sess.serial)
+	ck.store.tracer.Session(ck.traceToken, sess.owner.id, "drop", uint64(ck.version), sess.owner.serial)
 	ck.coord.Drop(sess,
 		sameVersion && sess.phase >= Prepare,
 		sameVersion && sess.phase >= InProgress,
-		sess.serial)
+		sess.owner.serial)
 }
 
 // serialsByID converts the coordinator's per-session commit points to the
@@ -207,7 +379,7 @@ func (ck *checkpointCtx) serialsByID() map[string]uint64 {
 	points := ck.coord.Points()
 	out := make(map[string]uint64, len(points))
 	for sess, pt := range points {
-		out[sess.id] = pt
+		out[sess.owner.id] = pt
 	}
 	return out
 }
@@ -225,17 +397,17 @@ func (ck *checkpointCtx) checkPendingDone() {
 		return
 	}
 	ck.store.state.Store(packState(WaitFlush, ck.version))
-	ck.store.tracer.Phase(ck.token, uint64(ck.version), WaitPending.String(), WaitFlush.String())
+	ck.store.tracer.Phase(ck.traceToken, uint64(ck.version), WaitPending.String(), WaitFlush.String())
 	go ck.waitFlush()
 }
 
 // waitFlush captures version v durably (transition 5 of Fig. 9a): fold-over
 // shifts the read-only offset to the tail and waits for the flush; snapshot
 // writes the volatile log region to a separate artifact. Then the metadata
-// (including per-session CPR points) is persisted and the store returns to
+// (including per-session CPR points) is persisted and the shard returns to
 // rest at version v+1.
 func (ck *checkpointCtx) waitFlush() {
-	s := ck.store
+	sh := ck.store
 	var bytes int64
 	var err error
 
@@ -244,26 +416,26 @@ func (ck *checkpointCtx) waitFlush() {
 	// [Lhe, Lie) so that recovery's Alg. 3 scan range max(Lie, Lhe) is fully
 	// on the device and v+1 records referenced by fuzzy index entries can be
 	// invalidated and chased back to their committed predecessors.
-	ck.lhe = s.log.Tail()
+	ck.lhe = sh.log.Tail()
 	indexToken := ""
 	if ck.opts.WithIndex {
-		ck.lis = s.log.Tail()
+		ck.lis = sh.log.Tail()
 		indexToken = ck.token
-		w, cerr := s.cfg.Checkpoints.Create("index-" + ck.token)
+		w, cerr := sh.cfg.Checkpoints.Create("index-" + ck.token)
 		err = cerr
 		if err == nil {
 			cw := &countingWriter{w: w}
-			err = s.index.writeTo(cw)
+			err = sh.index.writeTo(cw)
 			if cerr := w.Close(); err == nil {
 				err = cerr
 			}
 			bytes += cw.n
 		}
-		ck.lie = s.log.Tail()
+		ck.lie = sh.log.Tail()
 	} else {
 		// Carry the most recent index checkpoint forward so log-only
 		// commits can recover by replaying from it (Sec. 6.3).
-		indexToken, ck.lis, ck.lie = s.lastIndexToken, s.lastLis, s.lastLie
+		indexToken, ck.lis, ck.lie = sh.lastIndexToken, sh.lastLis, sh.lastLie
 	}
 	captureEnd := ck.lhe
 	if ck.opts.WithIndex && ck.lie > captureEnd {
@@ -273,19 +445,19 @@ func (ck *checkpointCtx) waitFlush() {
 	if err == nil {
 		switch ck.kind {
 		case FoldOver:
-			s.log.ShiftReadOnlyTo(captureEnd)
+			sh.log.ShiftReadOnlyTo(captureEnd)
 			// Drive epoch progress ourselves so the shift's trigger action
 			// and flush run even if every session is momentarily idle.
-			g := s.epochs.Acquire()
-			for s.log.Durable() < captureEnd {
+			g := sh.epochs.Acquire()
+			for sh.log.Durable() < captureEnd {
 				g.Refresh()
 				time.Sleep(50 * time.Microsecond)
 			}
 			g.Release()
 			bytes += int64(captureEnd - ck.lhs)
 		case Snapshot:
-			ck.snapshotStart = s.log.Durable()
-			data := s.log.SnapshotRange(ck.snapshotStart, captureEnd)
+			ck.snapshotStart = sh.log.Durable()
+			data := sh.log.SnapshotRange(ck.snapshotStart, captureEnd)
 			err = ck.writeArtifact("snapshot-"+ck.token, data)
 			bytes += int64(len(data))
 		}
@@ -309,7 +481,7 @@ func (ck *checkpointCtx) waitFlush() {
 			err = ck.writeArtifact("latest", []byte(ck.token))
 		}
 		if err == nil && ck.opts.WithIndex {
-			s.lastIndexToken, s.lastLis, s.lastLie = indexToken, ck.lis, ck.lie
+			sh.lastIndexToken, sh.lastLis, sh.lastLie = indexToken, ck.lis, ck.lie
 		}
 	}
 
@@ -318,20 +490,17 @@ func (ck *checkpointCtx) waitFlush() {
 		Serials: serials, Bytes: bytes, Err: err,
 	}
 	// Return to rest at version v+1 and detach the context.
-	s.ckptMu.Lock()
-	s.ckpt = nil
-	if s.results == nil {
-		s.results = make(map[string]CommitResult)
-	}
-	s.results[ck.token] = ck.res
-	s.state.Store(packState(Rest, ck.version+1))
-	s.ckptMu.Unlock()
-	s.tracer.Phase(ck.token, uint64(ck.version), WaitFlush.String(), Rest.String())
+	sh.ckptMu.Lock()
+	sh.ckpt = nil
+	sh.results[ck.token] = ck.res
+	sh.state.Store(packState(Rest, ck.version+1))
+	sh.ckptMu.Unlock()
+	sh.tracer.Phase(ck.traceToken, uint64(ck.version), WaitFlush.String(), Rest.String())
 	ck.bumpTraced(Rest)
-	if err == nil {
-		s.metrics.commits.Inc()
-		s.metrics.commitBytes.Add(uint64(bytes))
-		s.metrics.commitNs.Observe(time.Since(ck.started))
+	if err == nil && !ck.coordinated {
+		sh.metrics.commits.Inc()
+		sh.metrics.commitBytes.Add(uint64(bytes))
+		sh.metrics.commitNs.Observe(time.Since(ck.started))
 	}
 	close(ck.done)
 	if ck.opts.OnDone != nil {
@@ -340,7 +509,12 @@ func (ck *checkpointCtx) waitFlush() {
 }
 
 func (ck *checkpointCtx) writeArtifact(name string, data []byte) error {
-	w, err := ck.store.cfg.Checkpoints.Create(name)
+	return writeArtifact(ck.store.cfg.Checkpoints, name, data)
+}
+
+// writeArtifact persists one named artifact to a checkpoint store.
+func writeArtifact(cs storage.CheckpointStore, name string, data []byte) error {
+	w, err := cs.Create(name)
 	if err != nil {
 		return err
 	}

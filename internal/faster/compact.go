@@ -2,6 +2,7 @@ package faster
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/hashfn"
 	"repro/internal/hlog"
@@ -18,11 +19,22 @@ import (
 // commit: it must be called in the rest phase and fails with
 // ErrCommitInProgress otherwise (copied records would straddle the version
 // shift). until is clamped to the safe-read-only offset — only the immutable
-// region compacts.
+// region compacts. On a partitioned store each shard compacts its own log
+// prefix up to min(until, shard safe-read-only).
 // CompactLog runs on a session so the compaction work shares the session's
 // epoch entry: the scan refreshes it continuously, keeping global progress
 // (offset shifts, flushes) alive even when this is the only session.
 func (sess *Session) CompactLog(until uint64) error {
+	for _, ctx := range sess.ctxs {
+		if err := ctx.compactLog(until); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compactLog compacts one shard's log prefix (see Session.CompactLog).
+func (sess *shardSession) compactLog(until uint64) error {
 	s := sess.store
 	if p, _ := unpackState(s.state.Load()); p != Rest {
 		return ErrCommitInProgress
@@ -98,7 +110,7 @@ func (sess *Session) CompactLog(until uint64) error {
 // chainFirstMatch walks a slot's chain and returns the address of the first
 // record matching key. Cold records are read synchronously (compaction is a
 // maintenance path).
-func (s *Store) chainFirstMatch(slot interface{ Load() uint64 }, key []byte) (uint64, bool) {
+func (s *shard) chainFirstMatch(slot *atomic.Uint64, key []byte) (uint64, bool) {
 	addr := entryAddr(slot.Load())
 	head := s.log.Head()
 	begin := s.log.Begin()

@@ -213,7 +213,7 @@ func TestRMWOnColdRecord(t *testing.T) {
 	for i := uint64(100); i < 3100; i++ {
 		sess.Upsert(key(i), u64(i))
 	}
-	if s.log.InMemory(64) {
+	if s.shards[0].log.InMemory(64) {
 		t.Skip("first record unexpectedly still in memory")
 	}
 	st := sess.RMW(key(1), u64(5))
@@ -339,9 +339,9 @@ func TestRecoveryDropsUncommittedSuffix(t *testing.T) {
 	sess.Upsert(key(2), u64(30))
 	// Force the uncommitted records onto the device via a log flush (as if
 	// pages were evicted before the crash).
-	s.log.ShiftReadOnlyTo(s.log.Tail())
+	s.shards[0].log.ShiftReadOnlyTo(s.shards[0].log.Tail())
 	sess.Refresh()
-	s.log.WaitDurable(s.log.Tail())
+	s.shards[0].log.WaitDurable(s.shards[0].log.Tail())
 	sess.StopSession()
 	s.Close()
 

@@ -202,7 +202,7 @@ func TestChainInvariant(t *testing.T) {
 	for i := uint64(0); i < 2000; i++ {
 		sess.Upsert(key(i%97), u64(i))
 	}
-	head := s.log.Head()
+	head := s.shards[0].log.Head()
 	checkChain := func(b *bucket) {
 		for e := range b.entries {
 			entry := b.entries[e].Load()
@@ -212,7 +212,7 @@ func TestChainInvariant(t *testing.T) {
 			addr := entryAddr(entry)
 			steps := 0
 			for addr != 0 && addr >= head {
-				rec := s.log.Record(addr)
+				rec := s.shards[0].log.Record(addr)
 				prev := rec.Prev()
 				if prev != 0 && prev >= addr {
 					t.Fatalf("chain not decreasing: %d -> %d", addr, prev)
@@ -227,12 +227,12 @@ func TestChainInvariant(t *testing.T) {
 			}
 		}
 	}
-	for i := range s.index.buckets {
-		checkChain(&s.index.buckets[i])
+	for i := range s.shards[0].index.buckets {
+		checkChain(&s.shards[0].index.buckets[i])
 	}
-	used := s.index.overflowNext.Load() - 1
+	used := s.shards[0].index.overflowNext.Load() - 1
 	for n := uint64(1); n <= used; n++ {
-		checkChain(s.index.overflowBucket(n))
+		checkChain(s.shards[0].index.overflowBucket(n))
 	}
 }
 

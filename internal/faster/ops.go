@@ -3,13 +3,17 @@ package faster
 import "repro/internal/hlog"
 
 // This file implements the per-operation CPR logic of Algs. 4 and 5 (App. B)
-// plus the coarse-grained variant of App. C:
+// plus the coarse-grained variant of App. C, executed against one shard via
+// the session's per-shard context:
 //
 //   - rest:        normal FASTER processing, records carry the rest version.
 //   - prepare:     operations belong to commit version v; encountering a
 //                  v+1 record or a failed shared-latch acquisition means the
 //                  CPR shift has begun (the op aborts to v+1 and the session
-//                  refreshes immediately).
+//                  refreshes immediately) — unless the session has already
+//                  demarcated version v on another shard, in which case the
+//                  op must stay at v and completes with wait-pending
+//                  semantics instead.
 //   - in-progress / wait-pending / wait-flush: fresh operations belong to
 //                  v+1 and must never update a version-≤v record in place;
 //                  the hand-off is guarded by bucket latches (fine-grained)
@@ -22,7 +26,7 @@ import "repro/internal/hlog"
 const statusRetry Status = 255
 
 // doOp drives one operation to a terminal status or Pending.
-func (sess *Session) doOp(op *pendingOp) Status {
+func (sess *shardSession) doOp(op *pendingOp) Status {
 	if op.ioErr != nil {
 		sess.finish(op)
 		if op.readCB != nil {
@@ -49,7 +53,7 @@ func (sess *Session) doOp(op *pendingOp) Status {
 	}
 }
 
-func (sess *Session) dispatch(op *pendingOp) Status {
+func (sess *shardSession) dispatch(op *pendingOp) Status {
 	if op.version < sess.version {
 		// The commit this op belonged to has fully completed (its pending
 		// work drained before wait-flush); treat it as current-version work.
@@ -71,7 +75,7 @@ func (sess *Session) dispatch(op *pendingOp) Status {
 }
 
 // initialValue computes the value a missing-key update writes.
-func (sess *Session) initialValue(op *pendingOp) []byte {
+func (sess *shardSession) initialValue(op *pendingOp) []byte {
 	if op.kind == opRMW {
 		return sess.store.cfg.RMW.Initial(op.input)
 	}
@@ -79,7 +83,7 @@ func (sess *Session) initialValue(op *pendingOp) []byte {
 }
 
 // updatedValue computes the RCU value from an existing record.
-func (sess *Session) updatedValue(op *pendingOp, rec hlog.RecordRef) []byte {
+func (sess *shardSession) updatedValue(op *pendingOp, rec hlog.RecordRef) []byte {
 	if op.kind == opUpsert {
 		return op.input
 	}
@@ -92,7 +96,7 @@ func (sess *Session) updatedValue(op *pendingOp, rec hlog.RecordRef) []byte {
 // processNormal is the rest-phase path: in-place updates in the mutable
 // region, read-copy-update below the safe-read-only offset, pending parks in
 // the fuzzy region, async I/O below the head offset (Sec. 5.1).
-func (sess *Session) processNormal(op *pendingOp) Status {
+func (sess *shardSession) processNormal(op *pendingOp) Status {
 	r := sess.find(op, op.kind != opRead, false)
 	if op.kind == opRead {
 		return sess.finishRead(op, r)
@@ -130,7 +134,7 @@ func (sess *Session) processNormal(op *pendingOp) Status {
 
 // tryInPlace performs an in-place mutable-region update; ok=false means the
 // caller must fall back to read-copy-update.
-func (sess *Session) tryInPlace(op *pendingOp, r findResult) (Status, bool) {
+func (sess *shardSession) tryInPlace(op *pendingOp, r findResult) (Status, bool) {
 	switch op.kind {
 	case opDelete:
 		r.rec.SetTombstone()
@@ -158,7 +162,7 @@ func (sess *Session) tryInPlace(op *pendingOp, r findResult) (Status, bool) {
 
 // rcuFrom performs a read-copy-update: the new record's value derives from
 // the found record (or the initial value for tombstones/blind paths).
-func (sess *Session) rcuFrom(op *pendingOp, r findResult, version uint32) Status {
+func (sess *shardSession) rcuFrom(op *pendingOp, r findResult, version uint32) Status {
 	var val []byte
 	tombstone := op.kind == opDelete
 	switch {
@@ -179,17 +183,29 @@ func (sess *Session) rcuFrom(op *pendingOp, r findResult, version uint32) Status
 // (Alg. 4). Fine-grained transfer takes a shared bucket latch around the
 // whole operation; detecting the shift (latch failure or a v+1 record)
 // aborts the op to v+1 and refreshes immediately.
-func (sess *Session) processPrepare(op *pendingOp) Status {
+//
+// On a partitioned store the session may already have demarcated version v
+// via another shard's in-progress entry. Such an op must NOT abort to v+1
+// (its serial is at or below the session's CPR point, so it belongs to the
+// committing prefix): shift signals are ignored and the op completes as
+// version v with wait-pending semantics, exactly like a counted pending op.
+// A single-shard store never takes this path — the session cannot demarcate
+// before its only context leaves prepare.
+func (sess *shardSession) processPrepare(op *pendingOp) Status {
 	st := sess.store
+	demarcated := sess.owner.demarcVersion == sess.version
 	fine := st.cfg.Transfer == FineGrained
 	if fine && !op.latched {
 		if !st.index.trySharedLatch(op.hash) {
+			if demarcated {
+				return Pending
+			}
 			return sess.shiftDetected(op)
 		}
 		op.latched = true
 	}
-	r := sess.find(op, op.kind != opRead, false)
-	if r.rec.Valid() && isFutureVersion(r.rec.Version(), sess.version) {
+	r := sess.find(op, op.kind != opRead, demarcated)
+	if !demarcated && r.rec.Valid() && isFutureVersion(r.rec.Version(), sess.version) {
 		return sess.shiftDetected(op)
 	}
 	if op.kind == opRead {
@@ -230,7 +246,7 @@ func (sess *Session) processPrepare(op *pendingOp) Status {
 
 // markCounted registers op in the active commit's pending-v tally; such
 // operations must complete before the commit's wait-flush phase.
-func (sess *Session) markCounted(op *pendingOp) {
+func (sess *shardSession) markCounted(op *pendingOp) {
 	if op.counted {
 		return
 	}
@@ -242,24 +258,24 @@ func (sess *Session) markCounted(op *pendingOp) {
 	ck.pendingV.Add(1)
 }
 
-func (sess *Session) currentCkpt() *checkpointCtx {
-	st := sess.store
-	st.ckptMu.Lock()
-	ck := st.ckpt
-	st.ckptMu.Unlock()
+func (sess *shardSession) currentCkpt() *checkpointCtx {
+	sh := sess.store
+	sh.ckptMu.Lock()
+	ck := sh.ckpt
+	sh.ckptMu.Unlock()
 	return ck
 }
 
 // shiftDetected implements the CPR_SHIFT_DETECTED path of Alg. 4: release
 // any latch, remember that this serial belongs to v+1, refresh (entering
 // in-progress), and retry the op as a v+1 operation.
-func (sess *Session) shiftDetected(op *pendingOp) Status {
+func (sess *shardSession) shiftDetected(op *pendingOp) Status {
 	if op.latched {
 		sess.store.index.releaseSharedLatch(op.hash)
 		op.latched = false
 	}
-	sess.abortedSerial = op.serial
-	sess.Refresh()
+	sess.owner.abortedSerial = op.serial
+	sess.owner.Refresh()
 	op.version = sess.targetVersion()
 	return statusRetry
 }
@@ -269,7 +285,7 @@ func (sess *Session) shiftDetected(op *pendingOp) Status {
 // records — they are not part of this op's commit — and new records are
 // written with version v. The op's shared latch (fine-grained) is released
 // by finish() when the op leaves the pending list.
-func (sess *Session) processVCompletion(op *pendingOp) Status {
+func (sess *shardSession) processVCompletion(op *pendingOp) Status {
 	r := sess.find(op, op.kind != opRead, true)
 	if op.kind == opRead {
 		return sess.finishRead(op, r)
@@ -310,7 +326,7 @@ func (sess *Session) processVCompletion(op *pendingOp) Status {
 // read-copy-update, guarded by the exclusive bucket latch (fine-grained) or
 // the safe-read-only marker (coarse-grained) so no v+1 record is installed
 // while a pending v operation on the bucket could still complete.
-func (sess *Session) processFuture(op *pendingOp) Status {
+func (sess *shardSession) processFuture(op *pendingOp) Status {
 	st := sess.store
 	r := sess.find(op, op.kind != opRead, false)
 	if op.kind == opRead {
@@ -340,6 +356,15 @@ func (sess *Session) processFuture(op *pendingOp) Status {
 		}
 	}
 	// Version-≤v record (or cold record of unknown version): hand-off.
+	// On a partitioned store a demarcated session can issue v+1 operations
+	// while THIS shard is still in rest or prepare; park them until the
+	// shard's own state machine reaches in-progress (the hand-off gates
+	// below assume the version shift has been published here). Unreachable
+	// on a single-shard store: op.version > sess.version implies the shard
+	// entered in-progress, and processFuture runs only for such ops.
+	if sess.phase < InProgress {
+		return Pending
+	}
 	if r.reg == regDisk && !r.rec.Valid() {
 		if op.kind == opRMW {
 			return sess.issueIO(op, r.addr)
@@ -383,7 +408,7 @@ func (sess *Session) processFuture(op *pendingOp) Status {
 
 // finishRead resolves a read against a find result, delivering the value via
 // op.input (and, for previously pending reads, the registered callback).
-func (sess *Session) finishRead(op *pendingOp, r findResult) Status {
+func (sess *shardSession) finishRead(op *pendingOp, r findResult) Status {
 	switch r.reg {
 	case regNone:
 		return NotFound

@@ -2,29 +2,150 @@ package faster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/hashfn"
 	"repro/internal/hlog"
 )
+
+// ErrNoCheckpoint is wrapped by Recover when the checkpoint store holds no
+// commit to recover from. Callers that fall back to a fresh store on this
+// error (errors.Is) still fail hard on real recovery problems — a corrupt
+// artifact or a shard-count mismatch must never silently discard data.
+var ErrNoCheckpoint = errors.New("no checkpoint to recover from")
 
 // Recover rebuilds a Store from its most recent CPR commit (Sec. 6.4). The
 // Config must reference the same Device contents and CheckpointStore the
 // failed instance used. The recovered store is CPR-consistent: for every
 // session, exactly the operations up to its recovered CPR point are present;
 // clients learn those points via ContinueSession.
+//
+// A partitioned store (Shards > 1) recovers from the latest cross-shard
+// manifest: a commit counts only if every shard's checkpoint became durable
+// before the crash, so shards that finished a newer commit individually roll
+// back to the manifest's version and the recovered prefix is consistent
+// across shards. A session's recovered CPR point is the minimum of its
+// per-shard points (they are equal when the commit completed normally).
 func Recover(cfg Config) (*Store, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	meta, err := loadLatestMetadata(cfg.Checkpoints)
-	if err != nil {
-		return nil, err
+	s := newStore(cfg)
+	s.shards = make([]*shard, cfg.Shards)
+
+	if len(s.shards) == 1 {
+		sc, err := s.shardConfig(0)
+		if err != nil {
+			return nil, err
+		}
+		sh, serials, err := recoverShard(sc, 0, s.traceSuffix(0), s.metrics, &s.commitSeq, "")
+		if err != nil {
+			if errors.Is(err, ErrNoCheckpoint) {
+				// No single-shard commit — but a cross-shard manifest means
+				// the store was written partitioned; opening it unpartitioned
+				// would silently shadow that data.
+				if _, merr := readArtifact(cfg.Checkpoints, "cpr-latest"); merr == nil {
+					return nil, fmt.Errorf("faster: store was written partitioned (cross-shard manifest present); set Config.Shards to match")
+				}
+			}
+			return nil, err
+		}
+		s.shards[0] = sh
+		for id, serial := range serials {
+			s.recoveredSerials[id] = serial
+		}
+		s.registerStoreGauges()
+		return s, nil
 	}
-	s, err := Open(cfg)
+
+	tok, err := readArtifact(s.cfg.Checkpoints, "cpr-latest")
 	if err != nil {
-		return nil, err
+		// No cross-shard commit — but a shard-0-unprefixed "latest" means the
+		// store was written unpartitioned; recovering it as shard 0 of a
+		// partitioned store would scatter its keys across empty shards.
+		if _, lerr := readArtifact(s.cfg.Checkpoints, "latest"); lerr == nil {
+			return nil, fmt.Errorf("faster: store was written unpartitioned; set Config.Shards to 1")
+		}
+		return nil, fmt.Errorf("faster: %w: %v", ErrNoCheckpoint, err)
+	}
+	buf, err := readArtifact(s.cfg.Checkpoints, "cpr-manifest-"+string(tok))
+	if err != nil {
+		return nil, fmt.Errorf("faster: cross-shard manifest: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(buf, &man); err != nil {
+		return nil, fmt.Errorf("faster: cross-shard manifest: %w", err)
+	}
+	if man.Shards != cfg.Shards {
+		return nil, fmt.Errorf("faster: manifest has %d shards, config has %d", man.Shards, cfg.Shards)
+	}
+	for i := range s.shards {
+		sc, err := s.shardConfig(i)
+		if err != nil {
+			s.closeShards(i)
+			return nil, err
+		}
+		sh, serials, err := recoverShard(sc, i, s.traceSuffix(i), s.metrics, &s.commitSeq, man.Token)
+		if err != nil {
+			s.closeShards(i)
+			return nil, fmt.Errorf("faster: recover shard %d: %w", i, err)
+		}
+		s.shards[i] = sh
+		// Min-merge: the recovered prefix for a session is bounded by the
+		// weakest shard (equal across shards for a completed commit).
+		for id, serial := range serials {
+			if cur, ok := s.recoveredSerials[id]; !ok || serial < cur {
+				s.recoveredSerials[id] = serial
+			}
+		}
+	}
+	// Resume the token sequence past the recovered commit so new commits
+	// never overwrite artifacts the live manifest chain references.
+	if seq, ok := tokenSeq(man.Token); ok && seq > s.commitSeq.Load() {
+		s.commitSeq.Store(seq)
+	}
+	s.registerStoreGauges()
+	return s, nil
+}
+
+// closeShards closes the shards recovered so far ([0, n)).
+func (s *Store) closeShards(n int) {
+	for j := 0; j < n; j++ {
+		if s.shards[j] != nil {
+			s.shards[j].close()
+		}
+	}
+}
+
+// tokenSeq extracts the sequence number from a store-generated commit token.
+func tokenSeq(token string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(token, "ckpt-%d", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// recoverShard rebuilds one shard from the commit identified by token (the
+// shard's latest commit when token is empty). cfg must be the shard's private
+// configuration, exactly as for openShard.
+func recoverShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, seq *atomic.Uint64, token string) (*shard, map[string]uint64, error) {
+	var meta *metadata
+	var err error
+	if token == "" {
+		meta, err = loadLatestMetadata(cfg.Checkpoints)
+	} else {
+		meta, err = loadMetadata(cfg.Checkpoints, token)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	sh, err := openShard(cfg, id, traceSuffix, metrics, seq)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	// Snapshot commits keep the captured volatile region in a separate
@@ -32,12 +153,12 @@ func Recover(cfg Config) (*Store, error) {
 	if meta.Kind == Snapshot.String() {
 		data, err := readArtifact(cfg.Checkpoints, "snapshot-"+meta.Token)
 		if err != nil {
-			s.Close()
-			return nil, fmt.Errorf("faster: recover snapshot: %w", err)
+			sh.close()
+			return nil, nil, fmt.Errorf("faster: recover snapshot: %w", err)
 		}
-		if err := s.log.RestoreRange(meta.SnapshotStart, data); err != nil {
-			s.Close()
-			return nil, err
+		if err := sh.log.RestoreRange(meta.SnapshotStart, data); err != nil {
+			sh.close()
+			return nil, nil, err
 		}
 	}
 
@@ -48,9 +169,9 @@ func Recover(cfg Config) (*Store, error) {
 	if meta.HasIndex && meta.Lie > end {
 		end = meta.Lie
 	}
-	if err := s.log.RecoverTo(end); err != nil {
-		s.Close()
-		return nil, err
+	if err := sh.log.RecoverTo(end); err != nil {
+		sh.close()
+		return nil, nil, err
 	}
 
 	// Load the most recent fuzzy index checkpoint, or start empty and
@@ -59,55 +180,50 @@ func Recover(cfg Config) (*Store, error) {
 	if meta.IndexToken != "" {
 		r, err := cfg.Checkpoints.Open("index-" + meta.IndexToken)
 		if err != nil {
-			s.Close()
-			return nil, fmt.Errorf("faster: recover index: %w", err)
+			sh.close()
+			return nil, nil, fmt.Errorf("faster: recover index: %w", err)
 		}
 		idx, err := readIndex(r)
 		r.Close()
 		if err != nil {
-			s.Close()
-			return nil, err
+			sh.close()
+			return nil, nil, err
 		}
-		s.index = idx
+		sh.index = idx
 		scanStart = meta.Lis
 		if meta.Lhs < scanStart {
 			scanStart = meta.Lhs
 		}
 	}
 
-	if err := s.replayLog(scanStart, end, meta.Version); err != nil {
-		s.Close()
-		return nil, err
+	if err := sh.replayLog(scanStart, end, meta.Version); err != nil {
+		sh.close()
+		return nil, nil, err
 	}
 
 	// Clamp any index entry still pointing at or beyond the recovered end
 	// (fuzzy capture of addresses whose records were lost in the crash).
-	s.clampIndex(end)
+	sh.clampIndex(end)
 
-	s.state.Store(packState(Rest, meta.Version+1))
-	s.lastIndexToken, s.lastLis, s.lastLie = meta.IndexToken, meta.Lis, meta.Lie
-	s.sessionMu.Lock()
-	for id, serial := range meta.Serials {
-		s.recoveredSerials[id] = serial
-	}
-	s.sessionMu.Unlock()
-	return s, nil
+	sh.state.Store(packState(Rest, meta.Version+1))
+	sh.lastIndexToken, sh.lastLis, sh.lastLie = meta.IndexToken, meta.Lis, meta.Lie
+	return sh, meta.Serials, nil
 }
 
 // replayLog implements Alg. 3: records of version <= v re-point their index
 // slots; records of version v+1 are invalidated, and any slot referencing
 // them (or a later address) is unwound to their predecessor.
-func (s *Store) replayLog(start, end uint64, v uint32) error {
+func (sh *shard) replayLog(start, end uint64, v uint32) error {
 	var keyBuf []byte
-	return s.log.Scan(start, end, func(addr uint64, rec hlog.RecordRef) bool {
+	return sh.log.Scan(start, end, func(addr uint64, rec hlog.RecordRef) bool {
 		keyBuf = rec.Key(keyBuf[:0])
 		h := hashfn.Hash64(keyBuf)
-		slot := s.index.findOrCreateSlot(h)
+		slot := sh.index.findOrCreateSlot(h)
 		if !isFutureVersion(rec.Version(), v) {
 			slot.Store(tagOf(h) | addr)
 			return true
 		}
-		if err := s.log.PersistInvalid(addr); err != nil {
+		if err := sh.log.PersistInvalid(addr); err != nil {
 			// Recovery is single-threaded; surface the first error by
 			// stopping the scan (the outer call re-checks consistency).
 			panic(fmt.Sprintf("faster: invalidate %d: %v", addr, err))
@@ -126,7 +242,7 @@ func (s *Store) replayLog(start, end uint64, v uint32) error {
 
 // clampIndex clears index entries that reference addresses at or beyond the
 // recovered log end (unreachable records lost in the crash).
-func (s *Store) clampIndex(end uint64) {
+func (sh *shard) clampIndex(end uint64) {
 	clampBuckets := func(bs []bucket) {
 		for i := range bs {
 			for j := range bs[i].entries {
@@ -137,10 +253,10 @@ func (s *Store) clampIndex(end uint64) {
 			}
 		}
 	}
-	clampBuckets(s.index.buckets)
-	used := s.index.overflowNext.Load() - 1
+	clampBuckets(sh.index.buckets)
+	used := sh.index.overflowNext.Load() - 1
 	for n := uint64(1); n <= used; n++ {
-		b := s.index.overflowBucket(n)
+		b := sh.index.overflowBucket(n)
 		for j := range b.entries {
 			e := b.entries[j].Load()
 			if e != 0 && entryAddr(e) >= end {
@@ -155,9 +271,15 @@ func loadLatestMetadata(store interface {
 }) (*metadata, error) {
 	tok, err := readArtifact(store, "latest")
 	if err != nil {
-		return nil, fmt.Errorf("faster: no commit to recover from: %w", err)
+		return nil, fmt.Errorf("faster: %w: %v", ErrNoCheckpoint, err)
 	}
-	buf, err := readArtifact(store, "meta-"+string(tok))
+	return loadMetadata(store, string(tok))
+}
+
+func loadMetadata(store interface {
+	Open(string) (io.ReadCloser, error)
+}, token string) (*metadata, error) {
+	buf, err := readArtifact(store, "meta-"+token)
 	if err != nil {
 		return nil, fmt.Errorf("faster: commit metadata: %w", err)
 	}

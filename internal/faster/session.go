@@ -78,16 +78,43 @@ type pendingOp struct {
 }
 
 // Session is a client session (Sec. 5.2): a single-goroutine handle issuing
-// operations with strictly increasing serial numbers. CPR commits announce,
-// per session, the serial up to which operations are durable.
+// operations with strictly increasing serial numbers. On a partitioned store
+// the session holds one lightweight context per shard and routes each
+// operation by key hash; the serial number stays global to the session, so
+// CPR commits still announce a single per-session prefix and
+// ContinueSession semantics are unchanged.
 type Session struct {
 	store *Store
 	id    string
+
+	serial uint64 // serial of the most recently issued operation
+	ctxs   []*shardSession
+
+	// demarcVersion/demarcSerial cache the session's CPR point for commit
+	// version demarcVersion: the first shard context to enter in-progress
+	// computes it and every other context reuses it, so all shards demarcate
+	// the same prefix for this session.
+	demarcVersion uint32
+	demarcSerial  uint64
+	// abortedSerial, when non-zero, is the serial of an operation that
+	// detected the CPR shift mid-execution and therefore belongs to v+1.
+	// Consumed by cprPoint.
+	abortedSerial uint64
+
+	opsSinceRefresh int
+	closed          bool
+}
+
+// shardSession is a session's per-shard context: its epoch guard on that
+// shard, its local view of the shard's CPR state machine, and the pending
+// operations routed to that shard.
+type shardSession struct {
+	store *shard
+	owner *Session
 	guard *epoch.Guard
 
-	serial  uint64 // serial of the most recently issued operation
-	phase   Phase  // local view of the global phase
-	version uint32 // local view of the global version
+	phase   Phase  // local view of the shard's phase
+	version uint32 // local view of the shard's version
 
 	pending []*pendingOp
 	// compMu guards completed: async I/O completions are appended by pool
@@ -97,13 +124,6 @@ type Session struct {
 	compMu        sync.Mutex
 	completed     []*pendingOp
 	outstandingIO atomic.Int64
-
-	opsSinceRefresh int
-	// abortedSerial, when non-zero, is the serial of an operation that
-	// detected the CPR shift mid-execution and therefore belongs to v+1.
-	abortedSerial uint64
-
-	closed bool
 }
 
 // refreshInterval is how many operations a session performs between epoch
@@ -127,51 +147,63 @@ func (s *Store) StartSession() *Session {
 
 // ContinueSession re-establishes a session after failure (Sec. 5.2). It
 // returns the session and the serial number of its recovered CPR point: all
-// operations up to that serial are durable; the client replays the rest.
+// operations up to that serial are durable; the client replays the rest. On
+// a partitioned store the recovered point is the minimum across shards — the
+// largest prefix durable everywhere.
 func (s *Store) ContinueSession(id string) (*Session, uint64) {
-	s.sessionMu.Lock()
+	s.mu.Lock()
 	serial := s.recoveredSerials[id]
-	s.sessionMu.Unlock()
+	s.mu.Unlock()
 	return s.startSession(id, serial), serial
 }
 
 func (s *Store) startSession(id string, serial uint64) *Session {
 	for {
-		s.sessionMu.Lock()
-		s.ckptMu.Lock()
-		active := s.ckpt != nil
-		if !active {
-			sess := &Session{
-				store:  s,
-				id:     id,
-				serial: serial,
-			}
-			sess.guard = s.epochs.Acquire()
-			sess.phase, sess.version = unpackState(s.state.Load())
-			s.sessions[id] = sess
-			s.ckptMu.Unlock()
-			s.sessionMu.Unlock()
+		if sess, ok := s.tryStartSession(id, serial); ok {
 			return sess
 		}
-		s.ckptMu.Unlock()
-		s.sessionMu.Unlock()
 		// A commit is running; its participant set was snapshotted. Spin
 		// until it finishes (commits are short relative to session setup).
 		s.waitForRest()
 	}
 }
 
-func (s *Store) waitForRest() {
-	for {
-		if p, _ := unpackState(s.state.Load()); p == Rest {
-			return
-		}
-		// Drive epoch progress so the commit can advance even if all other
-		// sessions are idle.
-		g := s.epochs.Acquire()
-		g.Refresh()
-		g.Release()
+// tryStartSession registers the session on every shard, or on none: all
+// shard locks are held together (in shard order) so a commit can never
+// snapshot a participant set containing a half-registered session.
+func (s *Store) tryStartSession(id string, serial uint64) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.sessionMu.Lock()
+		sh.ckptMu.Lock()
 	}
+	defer func() {
+		for i := len(s.shards) - 1; i >= 0; i-- {
+			s.shards[i].ckptMu.Unlock()
+			s.shards[i].sessionMu.Unlock()
+		}
+	}()
+	for _, sh := range s.shards {
+		if sh.ckpt != nil {
+			return nil, false
+		}
+	}
+	sess := &Session{
+		store:  s,
+		id:     id,
+		serial: serial,
+		ctxs:   make([]*shardSession, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		ctx := &shardSession{store: sh, owner: sess}
+		ctx.guard = sh.epochs.Acquire()
+		ctx.phase, ctx.version = unpackState(sh.state.Load())
+		sh.sessions[id] = ctx
+		sess.ctxs[i] = ctx
+	}
+	s.sessions[id] = sess
+	return sess, true
 }
 
 // ID returns the session's GUID.
@@ -187,26 +219,40 @@ func (sess *Session) StopSession() {
 	}
 	sess.CompletePending(true)
 	st := sess.store
-	st.sessionMu.Lock()
+	st.mu.Lock()
 	delete(st.sessions, sess.id)
-	st.sessionMu.Unlock()
-	st.ckptMu.Lock()
-	ck := st.ckpt
-	st.ckptMu.Unlock()
-	if ck != nil {
-		ck.dropParticipant(sess)
+	st.mu.Unlock()
+	for _, ctx := range sess.ctxs {
+		sh := ctx.store
+		sh.sessionMu.Lock()
+		delete(sh.sessions, sess.id)
+		sh.sessionMu.Unlock()
+		sh.ckptMu.Lock()
+		ck := sh.ckpt
+		sh.ckptMu.Unlock()
+		if ck != nil {
+			ck.dropParticipant(ctx)
+		}
+		ctx.guard.Release()
 	}
-	sess.guard.Release()
 	sess.closed = true
 }
 
-// Refresh updates the session's epoch entry and synchronizes its local view
-// of the CPR state machine, performing phase-entry work (Sec. 6.2): latching
-// pending requests on prepare entry and demarcating the CPR point on
-// in-progress entry.
+// Refresh updates the session's epoch entries and synchronizes its local
+// views of every shard's CPR state machine, performing phase-entry work
+// (Sec. 6.2): latching pending requests on prepare entry and demarcating the
+// CPR point on in-progress entry.
 func (sess *Session) Refresh() {
-	st := sess.store
-	gp, gv := unpackState(st.state.Load())
+	for _, ctx := range sess.ctxs {
+		ctx.refresh()
+	}
+	sess.opsSinceRefresh = 0
+}
+
+// refresh synchronizes one shard context with its shard's state machine.
+func (sess *shardSession) refresh() {
+	sh := sess.store
+	gp, gv := unpackState(sh.state.Load())
 	if gv != sess.version {
 		// The previous commit completed since our last refresh (and a new
 		// one may already be active): reset to rest of the new version, then
@@ -225,17 +271,16 @@ func (sess *Session) Refresh() {
 		sess.phase = gp
 	}
 	sess.guard.Refresh()
-	sess.opsSinceRefresh = 0
 }
 
 // enterPrepare performs prepare-entry work: every outstanding pending
 // request of the commit version acquires a shared latch on its bucket
 // (fine-grained transfer) and is counted toward the commit's pending tally.
-func (sess *Session) enterPrepare() {
-	st := sess.store
-	st.ckptMu.Lock()
-	ck := st.ckpt
-	st.ckptMu.Unlock()
+func (sess *shardSession) enterPrepare() {
+	sh := sess.store
+	sh.ckptMu.Lock()
+	ck := sh.ckpt
+	sh.ckptMu.Unlock()
 	if ck == nil || ck.version != sess.version {
 		sess.phase = Prepare
 		return
@@ -244,11 +289,11 @@ func (sess *Session) enterPrepare() {
 		if op.version != sess.version || op.counted {
 			continue
 		}
-		if st.cfg.Transfer == FineGrained && !op.latched {
+		if sh.cfg.Transfer == FineGrained && !op.latched {
 			// No exclusive latches can exist yet (they appear only in
 			// in-progress, which requires every session to have passed
 			// prepare), so this acquisition succeeds.
-			for !st.index.trySharedLatch(op.hash) {
+			for !sh.index.trySharedLatch(op.hash) {
 			}
 			op.latched = true
 		}
@@ -256,20 +301,35 @@ func (sess *Session) enterPrepare() {
 		ck.pendingV.Add(1)
 	}
 	sess.phase = Prepare
-	sess.store.tracer.Session(ck.token, sess.id, "ack-prepare", uint64(ck.version), sess.serial)
+	sh.tracer.Session(ck.traceToken, sess.owner.id, "ack-prepare", uint64(ck.version), sess.owner.serial)
 	ck.ackPrepare(sess)
 }
 
-// enterInProgress demarcates the session's CPR point: all operations with
-// serial <= the recorded value are part of the commit, none after.
-func (sess *Session) enterInProgress() {
-	st := sess.store
-	st.ckptMu.Lock()
-	ck := st.ckpt
-	st.ckptMu.Unlock()
+// enterInProgress demarcates the session's CPR point on this shard: all
+// operations with serial <= the recorded value are part of the commit, none
+// after. The point itself is computed once per version at the session level
+// (cprPoint), so every shard demarcates the same prefix.
+func (sess *shardSession) enterInProgress() {
+	sh := sess.store
+	sh.ckptMu.Lock()
+	ck := sh.ckpt
+	sh.ckptMu.Unlock()
 	sess.phase = InProgress
 	if ck == nil || ck.version != sess.version {
 		return
+	}
+	cpr := sess.owner.cprPoint(sess.version)
+	sh.tracer.Session(ck.traceToken, sess.owner.id, "demarcate", uint64(ck.version), cpr)
+	ck.ackInProgress(sess, cpr)
+}
+
+// cprPoint returns the session's commit point for version v, computing it on
+// first use — by whichever shard context first enters in-progress — and
+// reusing the cached value for every other shard, so the cross-shard commit
+// demarcates a single consistent prefix.
+func (sess *Session) cprPoint(v uint32) uint64 {
+	if sess.demarcVersion == v {
+		return sess.demarcSerial
 	}
 	cpr := sess.serial
 	if sess.abortedSerial != 0 && sess.abortedSerial <= cpr {
@@ -277,8 +337,8 @@ func (sess *Session) enterInProgress() {
 		cpr = sess.abortedSerial - 1
 	}
 	sess.abortedSerial = 0
-	sess.store.tracer.Session(ck.token, sess.id, "demarcate", uint64(ck.version), cpr)
-	ck.ackInProgress(sess, cpr)
+	sess.demarcVersion, sess.demarcSerial = v, cpr
+	return cpr
 }
 
 func (sess *Session) maybeRefresh() {
@@ -288,12 +348,22 @@ func (sess *Session) maybeRefresh() {
 	}
 }
 
-// targetVersion returns the CPR version new work by this session belongs to.
-func (sess *Session) targetVersion() uint32 {
-	if sess.phase >= InProgress {
+// targetVersion returns the CPR version new work on this shard belongs to.
+// Once the session has demarcated its commit point for the shard's current
+// version (via any shard), fresh work is v+1 even if this shard's local
+// shift has not completed — otherwise an operation past the commit point
+// could slip into the commit and break the prefix guarantee.
+func (sess *shardSession) targetVersion() uint32 {
+	if sess.phase >= InProgress || sess.owner.demarcVersion == sess.version {
 		return sess.version + 1
 	}
 	return sess.version
+}
+
+// ctx returns the shard context an operation with the given key hash routes
+// to.
+func (sess *Session) ctx(hash uint64) *shardSession {
+	return sess.ctxs[sess.store.shardOf(hash)]
 }
 
 // --- public operations ---
@@ -303,10 +373,12 @@ func (sess *Session) Upsert(key, value []byte) Status {
 	sess.store.metrics.upserts.Inc()
 	sess.maybeRefresh()
 	sess.serial++
+	h := hashfn.Hash64(key)
+	ctx := sess.ctx(h)
 	op := &pendingOp{kind: opUpsert, key: append([]byte(nil), key...),
-		input: append([]byte(nil), value...), hash: hashfn.Hash64(key),
-		serial: sess.serial, version: sess.targetVersion()}
-	return sess.run(op)
+		input: append([]byte(nil), value...), hash: h,
+		serial: sess.serial, version: ctx.targetVersion()}
+	return ctx.run(op)
 }
 
 // RMW applies the store's RMWOps with input to key's value.
@@ -314,10 +386,12 @@ func (sess *Session) RMW(key, input []byte) Status {
 	sess.store.metrics.rmws.Inc()
 	sess.maybeRefresh()
 	sess.serial++
+	h := hashfn.Hash64(key)
+	ctx := sess.ctx(h)
 	op := &pendingOp{kind: opRMW, key: append([]byte(nil), key...),
-		input: append([]byte(nil), input...), hash: hashfn.Hash64(key),
-		serial: sess.serial, version: sess.targetVersion()}
-	return sess.run(op)
+		input: append([]byte(nil), input...), hash: h,
+		serial: sess.serial, version: ctx.targetVersion()}
+	return ctx.run(op)
 }
 
 // Delete removes key (writes a tombstone).
@@ -325,9 +399,11 @@ func (sess *Session) Delete(key []byte) Status {
 	sess.store.metrics.deletes.Inc()
 	sess.maybeRefresh()
 	sess.serial++
+	h := hashfn.Hash64(key)
+	ctx := sess.ctx(h)
 	op := &pendingOp{kind: opDelete, key: append([]byte(nil), key...),
-		hash: hashfn.Hash64(key), serial: sess.serial, version: sess.targetVersion()}
-	return sess.run(op)
+		hash: h, serial: sess.serial, version: ctx.targetVersion()}
+	return ctx.run(op)
 }
 
 // Read returns the value for key. If the record is cold (on storage) the
@@ -337,10 +413,12 @@ func (sess *Session) Read(key []byte, cb func(val []byte, st Status)) ([]byte, S
 	sess.store.metrics.reads.Inc()
 	sess.maybeRefresh()
 	sess.serial++
+	h := hashfn.Hash64(key)
+	ctx := sess.ctx(h)
 	op := &pendingOp{kind: opRead, key: append([]byte(nil), key...),
-		hash: hashfn.Hash64(key), serial: sess.serial,
-		version: sess.targetVersion(), readCB: cb}
-	st := sess.run(op)
+		hash: h, serial: sess.serial,
+		version: ctx.targetVersion(), readCB: cb}
+	st := ctx.run(op)
 	if st == Ok {
 		return op.input, Ok // run stores the read value in op.input
 	}
@@ -353,9 +431,9 @@ func (sess *Session) Read(key []byte, cb func(val []byte, st Status)) ([]byte, S
 const maxPendingSoft = 4096
 
 // run executes a fresh operation, parking it on the pending list if needed.
-func (sess *Session) run(op *pendingOp) Status {
+func (sess *shardSession) run(op *pendingOp) Status {
 	if len(sess.pending) >= maxPendingSoft {
-		sess.CompletePending(false)
+		sess.completeOnce()
 	}
 	st := sess.doOp(op)
 	if st == Pending {
@@ -366,57 +444,74 @@ func (sess *Session) run(op *pendingOp) Status {
 }
 
 // CompletePending drains async I/O completions and retries parked
-// operations. With wait=true it loops until no operation remains pending
-// (refreshing epochs while waiting so global progress continues).
+// operations on every shard. With wait=true it loops until no operation
+// remains pending (refreshing epochs while waiting so global progress
+// continues).
 func (sess *Session) CompletePending(wait bool) {
 	for {
-		// Drain I/O completions.
-		sess.compMu.Lock()
-		done := sess.completed
-		sess.completed = nil
-		sess.compMu.Unlock()
-		for _, op := range done {
-			op.awaitingIO = false
+		remaining := 0
+		for _, ctx := range sess.ctxs {
+			ctx.completeOnce()
+			remaining += len(ctx.pending)
 		}
-		sess.outstandingIO.Add(int64(-len(done)))
-		// Retry every parked op that is not awaiting I/O.
-		kept := sess.pending[:0]
-		for _, op := range sess.pending {
-			if op.awaitingIO {
-				kept = append(kept, op)
-				continue
-			}
-			if st := sess.doOp(op); st == Pending {
-				kept = append(kept, op)
-			}
-		}
-		// Zero dropped slots so finished ops are collectable.
-		for i := len(kept); i < len(sess.pending); i++ {
-			sess.pending[i] = nil
-		}
-		sess.pending = kept
-		if !wait || len(sess.pending) == 0 {
+		if !wait || remaining == 0 {
 			return
 		}
 		sess.Refresh()
 	}
 }
 
+// completeOnce performs one drain-and-retry pass over the shard context's
+// pending operations.
+func (sess *shardSession) completeOnce() {
+	// Drain I/O completions.
+	sess.compMu.Lock()
+	done := sess.completed
+	sess.completed = nil
+	sess.compMu.Unlock()
+	for _, op := range done {
+		op.awaitingIO = false
+	}
+	sess.outstandingIO.Add(int64(-len(done)))
+	// Retry every parked op that is not awaiting I/O.
+	kept := sess.pending[:0]
+	for _, op := range sess.pending {
+		if op.awaitingIO {
+			kept = append(kept, op)
+			continue
+		}
+		if st := sess.doOp(op); st == Pending {
+			kept = append(kept, op)
+		}
+	}
+	// Zero dropped slots so finished ops are collectable.
+	for i := len(kept); i < len(sess.pending); i++ {
+		sess.pending[i] = nil
+	}
+	sess.pending = kept
+}
+
 // PendingCount reports the number of parked operations (diagnostics).
-func (sess *Session) PendingCount() int { return len(sess.pending) }
+func (sess *Session) PendingCount() int {
+	n := 0
+	for _, ctx := range sess.ctxs {
+		n += len(ctx.pending)
+	}
+	return n
+}
 
 // finish releases CPR resources held by a completed pending op.
-func (sess *Session) finish(op *pendingOp) {
-	st := sess.store
+func (sess *shardSession) finish(op *pendingOp) {
+	sh := sess.store
 	if op.latched {
-		st.index.releaseSharedLatch(op.hash)
+		sh.index.releaseSharedLatch(op.hash)
 		op.latched = false
 	}
 	if op.counted {
 		op.counted = false
-		st.ckptMu.Lock()
-		ck := st.ckpt
-		st.ckptMu.Unlock()
+		sh.ckptMu.Lock()
+		ck := sh.ckpt
+		sh.ckptMu.Unlock()
 		if ck != nil {
 			if ck.pendingV.Add(-1) == 0 {
 				ck.checkPendingDone()
@@ -450,21 +545,21 @@ type findResult struct {
 // storage, the result region is regDisk: if the op already fetched that
 // exact address, its private copy is attached; otherwise the caller must
 // issue I/O for result.addr.
-func (sess *Session) find(op *pendingOp, create, skipFuture bool) findResult {
-	st := sess.store
+func (sess *shardSession) find(op *pendingOp, create, skipFuture bool) findResult {
+	sh := sess.store
 	var slot *atomic.Uint64
 	if create {
-		slot = st.index.findOrCreateSlot(op.hash)
+		slot = sh.index.findOrCreateSlot(op.hash)
 	} else {
-		slot = st.index.findSlot(op.hash)
+		slot = sh.index.findSlot(op.hash)
 		if slot == nil {
 			return findResult{reg: regNone}
 		}
 	}
-	head := st.log.Head()
-	ro := st.log.ReadOnly()
-	sro := st.log.SafeReadOnly()
-	begin := st.log.Begin()
+	head := sh.log.Head()
+	ro := sh.log.ReadOnly()
+	sro := sh.log.SafeReadOnly()
+	begin := sh.log.Begin()
 	addr := entryAddr(slot.Load())
 	for addr >= begin && addr >= hlog.FirstAddress {
 		if addr < head {
@@ -487,7 +582,7 @@ func (sess *Session) find(op *pendingOp, create, skipFuture bool) findResult {
 			}
 			return findResult{slot: slot, addr: addr, reg: regDisk}
 		}
-		rec := st.log.Record(addr)
+		rec := sh.log.Record(addr)
 		if !rec.Invalid() &&
 			!(skipFuture && isFutureVersion(rec.Version(), op.version)) &&
 			rec.KeyEquals(op.key) {
@@ -506,7 +601,7 @@ func (sess *Session) find(op *pendingOp, create, skipFuture bool) findResult {
 }
 
 // issueIO starts an async read for the record at addr and parks the op.
-func (sess *Session) issueIO(op *pendingOp, addr uint64) Status {
+func (sess *shardSession) issueIO(op *pendingOp, addr uint64) Status {
 	sess.store.metrics.ioReads.Inc()
 	op.awaitingIO = true
 	op.ioAddr = addr
@@ -523,19 +618,19 @@ func (sess *Session) issueIO(op *pendingOp, addr uint64) Status {
 // rcu installs a new record for op at the log tail with the given version,
 // linking the entire previous chain behind it. It retries the slot CAS until
 // it wins or the caller's view is stale (returns false, caller re-runs).
-func (sess *Session) rcu(op *pendingOp, slot *atomic.Uint64, version uint32, value []byte, tombstone bool) bool {
-	st := sess.store
+func (sess *shardSession) rcu(op *pendingOp, slot *atomic.Uint64, version uint32, value []byte, tombstone bool) bool {
+	sh := sess.store
 	valCap := len(value)
 	if valCap < 8 {
 		valCap = 8 // keep small values in-place updatable
 	}
 	size := hlog.RecordSize(len(op.key), valCap)
-	addr := st.log.Allocate(sess.guard, size)
+	addr := sh.log.Allocate(sess.guard, size)
 	oldEntry := slot.Load()
-	if err := st.log.WriteRecord(addr, entryAddr(oldEntry), recVersion(version), op.key, value, valCap); err != nil {
+	if err := sh.log.WriteRecord(addr, entryAddr(oldEntry), recVersion(version), op.key, value, valCap); err != nil {
 		panic(fmt.Sprintf("faster: write record: %v", err))
 	}
-	rec := st.log.Record(addr)
+	rec := sh.log.Record(addr)
 	if tombstone {
 		rec.SetTombstone()
 	}

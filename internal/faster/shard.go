@@ -1,0 +1,122 @@
+package faster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/epoch"
+	"repro/internal/hlog"
+	"repro/internal/obs"
+)
+
+// shard is one CPR domain of a Store: the original single-store internals —
+// latch-free hash index, HybridLog, epoch manager, pending-I/O bookkeeping
+// and the five-phase checkpoint state machine — instantiated once per
+// partition. Each shard runs its own instance of Fig. 9a; the Store-level
+// coordinator drives all of them to a common version on Commit. A
+// single-shard store behaves exactly like the pre-partitioning code.
+type shard struct {
+	id          int
+	traceSuffix string // appended to trace tokens ("/s<i>"; empty when unsharded)
+
+	cfg    Config
+	epochs *epoch.Manager
+	log    *hlog.Log
+	index  *index
+
+	// state packs the shard's phase (high 8 bits) and version (low 32 bits).
+	state atomic.Uint64
+
+	ckptMu sync.Mutex
+	ckpt   *checkpointCtx // non-nil while a commit is active on this shard
+
+	sessionMu sync.Mutex
+	sessions  map[string]*shardSession
+
+	// seq is the store-wide commit token counter, shared across shards so a
+	// shard-local (uncoordinated) commit never collides with a store token.
+	seq *atomic.Uint64
+
+	// lastIndexToken/lastLis/lastLie identify the most recent fuzzy index
+	// checkpoint, carried into log-only commit metadata (Sec. 6.3). Written
+	// only from the single active checkpoint goroutine.
+	lastIndexToken   string
+	lastLis, lastLie uint64
+
+	// results retains completed commit results by token (guarded by ckptMu).
+	results map[string]CommitResult
+
+	metrics storeMetrics // shared across shards: store-wide operation counts
+	tracer  *obs.Tracer
+}
+
+// openShard creates one shard at version 1. cfg must already be the shard's
+// private configuration (own device, namespaced checkpoints, prefixed
+// metrics view — see Store.shardConfig).
+func openShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, seq *atomic.Uint64) (*shard, error) {
+	em := epoch.New()
+	em.Instrument(cfg.Metrics)
+	l, err := hlog.New(hlog.Config{
+		PageBits:        cfg.PageBits,
+		MemPages:        cfg.MemPages,
+		MutableFraction: cfg.MutableFraction,
+		Device:          cfg.Device,
+		Epochs:          em,
+		IOWorkers:       cfg.IOWorkers,
+		Metrics:         cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx, err := newIndex(cfg.IndexBuckets, 0)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	sh := &shard{
+		id:          id,
+		traceSuffix: traceSuffix,
+		cfg:         cfg,
+		epochs:      em,
+		log:         l,
+		index:       idx,
+		sessions:    make(map[string]*shardSession),
+		seq:         seq,
+		results:     make(map[string]CommitResult),
+		metrics:     metrics,
+		tracer:      cfg.Tracer,
+	}
+	cfg.Metrics.GaugeFunc("faster_version", func() int64 { return int64(sh.Version()) })
+	cfg.Metrics.GaugeFunc("faster_phase", func() int64 { return int64(sh.Phase()) })
+	cfg.Metrics.GaugeFunc("faster_sessions", func() int64 { return int64(sh.sessionCount()) })
+	sh.state.Store(packState(Rest, 1))
+	return sh, nil
+}
+
+// close shuts down the shard's background I/O.
+func (sh *shard) close() { sh.log.Close() }
+
+// Phase returns the shard's current CPR phase.
+func (sh *shard) Phase() Phase { p, _ := unpackState(sh.state.Load()); return p }
+
+// Version returns the shard's current CPR version.
+func (sh *shard) Version() uint32 { _, v := unpackState(sh.state.Load()); return v }
+
+func (sh *shard) sessionCount() int {
+	sh.sessionMu.Lock()
+	defer sh.sessionMu.Unlock()
+	return len(sh.sessions)
+}
+
+// waitForRest spins until the shard is at rest, driving epoch progress so an
+// in-flight commit can advance even if all sessions are idle.
+func (sh *shard) waitForRest() {
+	for {
+		if p, _ := unpackState(sh.state.Load()); p == Rest {
+			return
+		}
+		g := sh.epochs.Acquire()
+		g.Refresh()
+		g.Release()
+	}
+}

@@ -1,0 +1,334 @@
+package faster
+
+import (
+	"encoding/binary"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// testShardCount returns the shard count multi-shard tests run at. The
+// FASTER_TEST_SHARDS environment variable overrides the default (used by CI's
+// second race-detector job to exercise the partitioned paths).
+func testShardCount(def int) int {
+	if v := os.Getenv("FASTER_TEST_SHARDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func shardedConfig(n int) Config {
+	return Config{
+		Shards:       n,
+		IndexBuckets: 1 << 10,
+		PageBits:     14,
+		MemPages:     8 * n,
+	}
+}
+
+// TestShardedRouting checks that operations land on the shard the router
+// picks and that every shard receives traffic under a spread of keys.
+func TestShardedRouting(t *testing.T) {
+	n := testShardCount(4)
+	s, err := Open(shardedConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.NumShards() != n {
+		t.Fatalf("NumShards = %d, want %d", s.NumShards(), n)
+	}
+	sess := s.StartSession()
+	const keys = 512
+	for k := uint64(0); k < keys; k++ {
+		if st := sess.Upsert(key(k), u64(k+1)); st == Pending {
+			sess.CompletePending(true)
+		}
+	}
+	for k := uint64(0); k < keys; k++ {
+		var got uint64
+		var ok bool
+		_, st := sess.Read(key(k), func(v []byte, s2 Status) {
+			if s2 == Ok {
+				got, ok = binary.LittleEndian.Uint64(v), true
+			}
+		})
+		if st == Pending {
+			sess.CompletePending(true)
+		}
+		if !ok || got != k+1 {
+			t.Fatalf("key %d: got (%d,%v), want %d", k, got, ok, k+1)
+		}
+	}
+	if n > 1 {
+		// Each shard's log should have grown past its empty state.
+		for i := 0; i < n; i++ {
+			l := s.ShardLog(i)
+			if l.Tail() == l.Begin() {
+				t.Fatalf("shard %d received no records; router is not spreading keys", i)
+			}
+		}
+	}
+	sess.StopSession()
+}
+
+// TestShardedCommitAndRecover runs a cross-shard commit to completion and
+// recovers from it: one token, one version, every shard durable, and the
+// session's commit point covering exactly the pre-commit prefix.
+func TestShardedCommitAndRecover(t *testing.T) {
+	n := testShardCount(4)
+	devs := make([]*storage.MemDevice, n)
+	for i := range devs {
+		devs[i] = storage.NewMemDevice()
+	}
+	ckpts := storage.NewMemCheckpointStore()
+	cfg := shardedConfig(n)
+	cfg.Checkpoints = ckpts
+	cfg.DeviceFactory = func(i int) (storage.Device, error) { return devs[i], nil }
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.StartSession()
+	id := sess.ID()
+	const committed = 200
+	for k := uint64(1); k <= committed; k++ {
+		if st := sess.Upsert(key(k), u64(k)); st == Pending {
+			sess.CompletePending(true)
+		}
+	}
+	res := driveCommit(t, s, []*Session{sess}, CommitOptions{WithIndex: true})
+	if res.Serials[id] != committed {
+		t.Fatalf("commit point = %d, want %d", res.Serials[id], committed)
+	}
+	// Post-commit suffix that must NOT survive recovery.
+	for k := uint64(committed + 1); k <= committed+100; k++ {
+		if st := sess.Upsert(key(k), u64(k)); st == Pending {
+			sess.CompletePending(true)
+		}
+	}
+	sess.StopSession()
+	s.Close()
+
+	rcfg := shardedConfig(n)
+	rcfg.Checkpoints = ckpts
+	rcfg.DeviceFactory = func(i int) (storage.Device, error) { return devs[i], nil }
+	r, err := Recover(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < n; i++ {
+		if r.ShardVersion(i) != res.Version+1 {
+			t.Fatalf("shard %d recovered at version %d, want %d", i, r.ShardVersion(i), res.Version+1)
+		}
+	}
+	rs, point := r.ContinueSession(id)
+	if point != committed {
+		t.Fatalf("recovered commit point = %d, want %d", point, committed)
+	}
+	verifyPrefix(t, rs, committed, committed+100)
+	rs.StopSession()
+}
+
+// TestShardedPartialCommitCrash is the coordinated-commit crash test: a
+// cross-shard commit "crashes" after k of N shards finished wait-flush (their
+// shard checkpoints are durable, the manifest is not). Recovery must land on
+// the last commit durable on ALL shards — rolling the k finished shards back
+// — and ContinueSession must return the minimum cross-shard prefix serial.
+func TestShardedPartialCommitCrash(t *testing.T) {
+	n := testShardCount(4)
+	if n < 2 {
+		t.Skip("needs at least 2 shards")
+	}
+	k := n / 2 // shards that finish the second commit before the crash
+
+	devs := make([]*storage.MemDevice, n)
+	for i := range devs {
+		devs[i] = storage.NewMemDevice()
+	}
+	ckpts := storage.NewMemCheckpointStore()
+	cfg := shardedConfig(n)
+	cfg.Checkpoints = ckpts
+	cfg.DeviceFactory = func(i int) (storage.Device, error) { return devs[i], nil }
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.StartSession()
+	id := sess.ID()
+
+	const commit1 = 150
+	for kk := uint64(1); kk <= commit1; kk++ {
+		if st := sess.Upsert(key(kk), u64(kk)); st == Pending {
+			sess.CompletePending(true)
+		}
+	}
+	res1 := driveCommit(t, s, []*Session{sess}, CommitOptions{WithIndex: true})
+	if res1.Serials[id] != commit1 {
+		t.Fatalf("commit 1 point = %d, want %d", res1.Serials[id], commit1)
+	}
+
+	const total = 300
+	for kk := uint64(commit1 + 1); kk <= total; kk++ {
+		if st := sess.Upsert(key(kk), u64(kk)); st == Pending {
+			sess.CompletePending(true)
+		}
+	}
+
+	// Second commit reaches wait-flush completion on only k shards: drive
+	// their shard-level state machines directly, never writing the manifest —
+	// exactly the on-disk state of a coordinator crash mid-commit.
+	token2 := "ckpt-crash-000002"
+	for i := 0; i < k; i++ {
+		if _, err := s.shards[i].commit(CommitOptions{}, token2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; ; j++ {
+			if res, ok := s.shards[i].tryResult(token2); ok {
+				if res.Err != nil {
+					t.Fatalf("shard %d commit failed: %v", i, res.Err)
+				}
+				break
+			}
+			sess.Refresh()
+			sess.CompletePending(false)
+			if j > 1_000_000 {
+				t.Fatalf("shard %d commit stuck in phase %v", i, s.ShardPhase(i))
+			}
+		}
+		if s.ShardVersion(i) != res1.Version+2 {
+			t.Fatalf("shard %d version = %d after second commit, want %d",
+				i, s.ShardVersion(i), res1.Version+2)
+		}
+	}
+
+	// Crash: snapshot checkpoint store first, then the devices (matching
+	// write ordering — metadata follows its data).
+	snapCkpts := ckpts.Clone()
+	snapDevs := make([]*storage.MemDevice, n)
+	for i := range devs {
+		snapDevs[i] = devs[i].Clone()
+	}
+	sess.StopSession()
+	s.Close()
+
+	rcfg := shardedConfig(n)
+	rcfg.Checkpoints = snapCkpts
+	rcfg.DeviceFactory = func(i int) (storage.Device, error) { return snapDevs[i], nil }
+	r, err := Recover(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// The manifest for the partial commit was never written, so recovery must
+	// land on commit 1 — the last version durable on ALL shards — rolling the
+	// k finished shards back past their newer (orphaned) shard checkpoints.
+	for i := 0; i < n; i++ {
+		if r.ShardVersion(i) != res1.Version+1 {
+			t.Fatalf("shard %d recovered at version %d, want %d (commit 1)",
+				i, r.ShardVersion(i), res1.Version+1)
+		}
+	}
+	rs, point := r.ContinueSession(id)
+	if point != commit1 {
+		t.Fatalf("recovered commit point = %d, want min cross-shard prefix %d", point, commit1)
+	}
+	verifyPrefix(t, rs, commit1, total)
+	rs.StopSession()
+}
+
+// verifyPrefix asserts keys 1..present hold their own value and keys
+// present+1..absentMax are gone.
+func verifyPrefix(t *testing.T, sess *Session, present, absentMax uint64) {
+	t.Helper()
+	for kk := uint64(1); kk <= absentMax; kk++ {
+		var got uint64
+		var found, done bool
+		_, st := sess.Read(key(kk), func(v []byte, s2 Status) {
+			done = true
+			if s2 == Ok {
+				got, found = binary.LittleEndian.Uint64(v), true
+			}
+		})
+		if st == Pending {
+			sess.CompletePending(true)
+		}
+		if !done {
+			t.Fatalf("key %d: read never completed", kk)
+		}
+		if kk <= present {
+			if !found || got != kk {
+				t.Fatalf("key %d: got (%d,%v), want %d", kk, got, found, kk)
+			}
+		} else if found {
+			t.Fatalf("key %d: phantom value %d beyond the recovered prefix", kk, got)
+		}
+	}
+}
+
+// TestShardedConcurrentCommits runs concurrent sessions across shards with
+// repeated coordinated commits — the multi-shard analogue of the single-store
+// stress tests, primarily valuable under -race.
+func TestShardedConcurrentCommits(t *testing.T) {
+	n := testShardCount(2)
+	cfg := shardedConfig(n)
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const sessions = 3
+	const opsPer = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		i := i
+		sess := s.StartSession()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for nn := uint64(1); nn <= opsPer; nn++ {
+				if st := sess.Upsert(key(uint64(i)<<32|nn%64), u64(nn)); st == Pending {
+					sess.CompletePending(true)
+				}
+			}
+			sess.CompletePending(true)
+			for s.Phase() != Rest {
+				sess.Refresh()
+				sess.CompletePending(false)
+			}
+			sess.StopSession()
+		}()
+	}
+	pump := s.StartSession()
+	for c := 0; c < 3; c++ {
+		token, err := s.Commit(CommitOptions{})
+		if err == ErrCommitInProgress {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if res, ok := s.TryResult(token); ok {
+				if res.Err != nil {
+					t.Fatalf("commit %d failed: %v", c, res.Err)
+				}
+				break
+			}
+			pump.Refresh()
+			pump.CompletePending(false)
+		}
+	}
+	pump.StopSession()
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package faster
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -112,16 +113,30 @@ func (AddUint64) Update(cur, input []byte) []byte {
 
 // Config parameterizes a Store.
 type Config struct {
-	// IndexBuckets is the number of main hash buckets (power of two). The
-	// paper's default is #keys/2 with 7 entries per bucket.
+	// Shards partitions the store into independent CPR domains — each with
+	// its own hash index, HybridLog, epoch manager and checkpoint state
+	// machine — routed by key-hash high bits. The default (1) is the original
+	// unpartitioned store; commits on a multi-shard store are coordinated so
+	// every session still receives a single cross-shard commit point.
+	Shards int
+	// IndexBuckets is the number of main hash buckets (power of two), split
+	// across shards. The paper's default is #keys/2 with 7 entries per bucket.
 	IndexBuckets int
-	// PageBits, MemPages, MutableFraction configure the HybridLog.
+	// PageBits, MemPages, MutableFraction configure the HybridLog. MemPages
+	// is a store-wide budget: a multi-shard store divides it across shards.
 	PageBits        uint
 	MemPages        int
 	MutableFraction float64
 	// Device backs the HybridLog. Defaults to an in-memory device.
+	// Only valid for a single-shard store; use DeviceFactory otherwise.
 	Device storage.Device
+	// DeviceFactory supplies one device per shard (required if a multi-shard
+	// store should not default to per-shard in-memory devices). Mutually
+	// exclusive with Device.
+	DeviceFactory func(shard int) (storage.Device, error)
 	// Checkpoints stores commit artifacts. Defaults to an in-memory store.
+	// A multi-shard store namespaces each shard under "shard<i>/" and keeps
+	// the cross-shard commit manifests at the top level.
 	Checkpoints storage.CheckpointStore
 	// RMW supplies read-modify-write semantics. Defaults to AddUint64.
 	RMW RMWOps
@@ -129,11 +144,12 @@ type Config struct {
 	Kind CommitKind
 	// Transfer selects fine- or coarse-grained version transfer.
 	Transfer VersionTransfer
-	// IOWorkers sizes the async I/O pool.
+	// IOWorkers sizes the async I/O pool (per shard).
 	IOWorkers int
 	// Metrics receives the store's instrumentation (and the log's, epoch
 	// manager's and I/O pool's). Defaults to a fresh enabled registry; pass
-	// obs.NewNop() to disable collection.
+	// obs.NewNop() to disable collection. Multi-shard stores expose per-shard
+	// infrastructure metrics under a "shard<i>_" prefix.
 	Metrics *obs.Registry
 	// Tracer records checkpoint state-machine activity. Defaults to a fresh
 	// tracer with obs.DefaultTracerCapacity events.
@@ -141,13 +157,25 @@ type Config struct {
 }
 
 func (c *Config) fill() error {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("faster: Shards %d must be positive", c.Shards)
+	}
+	if c.Device != nil && c.DeviceFactory != nil {
+		return fmt.Errorf("faster: Device and DeviceFactory are mutually exclusive")
+	}
+	if c.Shards > 1 && c.Device != nil {
+		return fmt.Errorf("faster: Shards > 1 needs one device per shard; set DeviceFactory instead of Device")
+	}
 	if c.IndexBuckets == 0 {
 		c.IndexBuckets = 1 << 16
 	}
 	if c.IndexBuckets&(c.IndexBuckets-1) != 0 {
 		return fmt.Errorf("faster: IndexBuckets %d must be a power of two", c.IndexBuckets)
 	}
-	if c.Device == nil {
+	if c.Shards == 1 && c.Device == nil && c.DeviceFactory == nil {
 		c.Device = storage.NewMemDevice()
 	}
 	if c.Checkpoints == nil {
@@ -166,7 +194,8 @@ func (c *Config) fill() error {
 }
 
 // storeMetrics holds the store's hot-path metric handles, resolved once at
-// Open so operations never touch the registry.
+// Open so operations never touch the registry. All shards share one set: a
+// partitioned store reports store-wide operation counts.
 type storeMetrics struct {
 	reads, upserts, rmws, deletes *obs.Counter
 	pendings                      *obs.Counter // operations that went pending
@@ -190,36 +219,28 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 	}
 }
 
-// Store is a FASTER instance with CPR durability. All operations happen
-// through Sessions (Sec. 5.2); Commit triggers an asynchronous CPR
-// checkpoint; Recover rebuilds a store from its latest commit.
+// Store is a FASTER instance with CPR durability, partitioned into one or
+// more shards. All operations happen through Sessions (Sec. 5.2), which
+// route by key hash; Commit triggers an asynchronous CPR checkpoint across
+// every shard; Recover rebuilds a store from its latest commit. With
+// Shards == 1 the store behaves exactly like the original unpartitioned
+// implementation, including its checkpoint format.
 type Store struct {
-	cfg    Config
-	epochs *epoch.Manager
-	log    *hlog.Log
-	index  *index
+	cfg        Config
+	shards     []*shard
+	shardShift uint // 64 - log2(Shards) when Shards is a power of two
 
-	// state packs the global phase (high 8 bits) and version (low 32 bits).
-	state atomic.Uint64
-
-	ckptMu sync.Mutex
-	ckpt   *checkpointCtx // non-nil while a commit is active
-
-	sessionMu sync.Mutex
-	sessions  map[string]*Session
-	// recoveredSerials maps session IDs to their recovered CPR points.
+	// mu guards the session registry and serializes session registration
+	// against commit admission (lock order: mu, then ckptMu, then per-shard
+	// locks in shard order).
+	mu               sync.Mutex
+	sessions         map[string]*Session
 	recoveredSerials map[string]uint64
 
-	commitSeq atomic.Uint64 // token counter
-
-	// lastIndexToken/lastLis/lastLie identify the most recent fuzzy index
-	// checkpoint, carried into log-only commit metadata (Sec. 6.3). Written
-	// only from the single active checkpoint goroutine.
-	lastIndexToken   string
-	lastLis, lastLie uint64
-
-	// results retains completed commit results by token (guarded by ckptMu).
-	results map[string]CommitResult
+	ckptMu    sync.Mutex
+	multi     *multiCommit // non-nil while a cross-shard commit is active
+	results   map[string]CommitResult
+	commitSeq atomic.Uint64 // token counter, shared with the shards
 
 	metrics storeMetrics
 	tracer  *obs.Tracer
@@ -228,61 +249,193 @@ type Store struct {
 func packState(p Phase, v uint32) uint64   { return uint64(p)<<32 | uint64(v) }
 func unpackState(s uint64) (Phase, uint32) { return Phase(s >> 32), uint32(s) }
 
+func newStore(cfg Config) *Store {
+	s := &Store{
+		cfg:              cfg,
+		sessions:         make(map[string]*Session),
+		recoveredSerials: make(map[string]uint64),
+		results:          make(map[string]CommitResult),
+		metrics:          newStoreMetrics(cfg.Metrics),
+		tracer:           cfg.Tracer,
+	}
+	if n := cfg.Shards; n > 1 && n&(n-1) == 0 {
+		s.shardShift = 64 - uint(bits.Len(uint(n))-1)
+	}
+	return s
+}
+
+// shardConfig derives shard i's private configuration: its own device, a
+// namespaced view of the checkpoint store, a prefixed metrics view, and a
+// 1/N slice of the index and log-memory budgets. With Shards == 1 the
+// shard's configuration is the store's, untouched.
+func (s *Store) shardConfig(i int) (Config, error) {
+	sc := s.cfg
+	sc.DeviceFactory = nil
+	if s.cfg.DeviceFactory != nil {
+		d, err := s.cfg.DeviceFactory(i)
+		if err != nil {
+			return Config{}, fmt.Errorf("faster: shard %d device: %w", i, err)
+		}
+		sc.Device = d
+	}
+	if s.cfg.Shards == 1 {
+		return sc, nil
+	}
+	if sc.Device == nil {
+		sc.Device = storage.NewMemDevice()
+	}
+	sc.IndexBuckets = shardBuckets(s.cfg.IndexBuckets, s.cfg.Shards)
+	if s.cfg.MemPages > 0 {
+		sc.MemPages = s.cfg.MemPages / s.cfg.Shards
+		if sc.MemPages < hlog.MinMemPages {
+			sc.MemPages = hlog.MinMemPages
+		}
+	}
+	sc.Checkpoints = storage.NewPrefixCheckpointStore(s.cfg.Checkpoints, fmt.Sprintf("shard%d/", i))
+	sc.Metrics = s.cfg.Metrics.WithPrefix(fmt.Sprintf("shard%d_", i))
+	return sc, nil
+}
+
+// shardBuckets splits a power-of-two bucket budget across n shards, keeping
+// every shard's index a power of two with a sane floor.
+func shardBuckets(total, n int) int {
+	per := total / n
+	if per < 64 {
+		per = 64
+	}
+	if per&(per-1) != 0 {
+		per = 1 << bits.Len(uint(per)) // non-power-of-two shard count: round up
+	}
+	return per
+}
+
+// traceSuffix distinguishes per-shard checkpoint state machines in the
+// shared tracer; a single-shard store traces under the bare token.
+func (s *Store) traceSuffix(i int) string {
+	if s.cfg.Shards == 1 {
+		return ""
+	}
+	return fmt.Sprintf("/s%d", i)
+}
+
 // Open creates a Store ready for use at version 1.
 func Open(cfg Config) (*Store, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	em := epoch.New()
-	em.Instrument(cfg.Metrics)
-	l, err := hlog.New(hlog.Config{
-		PageBits:        cfg.PageBits,
-		MemPages:        cfg.MemPages,
-		MutableFraction: cfg.MutableFraction,
-		Device:          cfg.Device,
-		Epochs:          em,
-		IOWorkers:       cfg.IOWorkers,
-		Metrics:         cfg.Metrics,
-	})
-	if err != nil {
+	s := newStore(cfg)
+	for i := 0; i < cfg.Shards; i++ {
+		sc, err := s.shardConfig(i)
+		if err == nil {
+			var sh *shard
+			sh, err = openShard(sc, i, s.traceSuffix(i), s.metrics, &s.commitSeq)
+			if err == nil {
+				s.shards = append(s.shards, sh)
+				continue
+			}
+		}
+		s.Close()
 		return nil, err
 	}
-	idx, err := newIndex(cfg.IndexBuckets, 0)
-	if err != nil {
-		l.Close()
-		return nil, err
-	}
-	s := &Store{
-		cfg:              cfg,
-		epochs:           em,
-		log:              l,
-		index:            idx,
-		sessions:         make(map[string]*Session),
-		recoveredSerials: make(map[string]uint64),
-		metrics:          newStoreMetrics(cfg.Metrics),
-		tracer:           cfg.Tracer,
-	}
-	cfg.Metrics.GaugeFunc("faster_version", func() int64 { return int64(s.Version()) })
-	cfg.Metrics.GaugeFunc("faster_phase", func() int64 { return int64(s.Phase()) })
-	cfg.Metrics.GaugeFunc("faster_sessions", func() int64 { return int64(s.SessionCount()) })
-	s.state.Store(packState(Rest, 1))
+	s.registerStoreGauges()
 	return s, nil
 }
 
+// registerStoreGauges exposes store-wide aggregates. With one shard the
+// shard itself registered the unprefixed gauges, preserving the original
+// metric set exactly.
+func (s *Store) registerStoreGauges() {
+	if s.cfg.Shards == 1 {
+		return
+	}
+	reg := s.cfg.Metrics
+	reg.GaugeFunc("faster_shards", func() int64 { return int64(len(s.shards)) })
+	reg.GaugeFunc("faster_version", func() int64 { return int64(s.Version()) })
+	reg.GaugeFunc("faster_phase", func() int64 { return int64(s.Phase()) })
+	reg.GaugeFunc("faster_sessions", func() int64 { return int64(s.SessionCount()) })
+}
+
 // Close shuts down background I/O. Outstanding sessions become invalid.
-func (s *Store) Close() { s.log.Close() }
+func (s *Store) Close() {
+	for _, sh := range s.shards {
+		sh.close()
+	}
+}
 
-// Phase returns the current global phase.
-func (s *Store) Phase() Phase { p, _ := unpackState(s.state.Load()); return p }
+// shardOf routes a key hash to its shard. High bits are used so the
+// per-shard index distribution stays uniform (buckets select on low bits).
+func (s *Store) shardOf(hash uint64) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	if s.shardShift != 0 {
+		return int(hash >> s.shardShift)
+	}
+	return int((hash >> 32) % uint64(len(s.shards)))
+}
 
-// Version returns the current CPR version.
-func (s *Store) Version() uint32 { _, v := unpackState(s.state.Load()); return v }
+// Phase returns the store-wide CPR phase: the most advanced phase across
+// shards. While a cross-shard commit is finalizing its manifest (all shards
+// back at rest, manifest not yet durable) it reports wait-flush, so polling
+// Phase() == Rest observes completed commits only.
+func (s *Store) Phase() Phase {
+	p := s.shards[0].Phase()
+	for _, sh := range s.shards[1:] {
+		if sp := sh.Phase(); sp > p {
+			p = sp
+		}
+	}
+	if p == Rest && len(s.shards) > 1 {
+		s.ckptMu.Lock()
+		active := s.multi != nil
+		s.ckptMu.Unlock()
+		if active {
+			return WaitFlush
+		}
+	}
+	return p
+}
 
-// Log exposes the underlying HybridLog (diagnostics and experiments).
-func (s *Store) Log() *hlog.Log { return s.log }
+// Version returns the current CPR version (the minimum across shards while a
+// commit is completing).
+func (s *Store) Version() uint32 {
+	v := s.shards[0].Version()
+	for _, sh := range s.shards[1:] {
+		if sv := sh.Version(); sv < v {
+			v = sv
+		}
+	}
+	return v
+}
 
-// Epochs exposes the store's epoch manager (shared with helper goroutines).
-func (s *Store) Epochs() *epoch.Manager { return s.epochs }
+// NumShards reports the store's shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Log exposes shard 0's HybridLog (diagnostics and experiments; the only
+// log of a single-shard store). See ShardLog for the others.
+func (s *Store) Log() *hlog.Log { return s.shards[0].log }
+
+// ShardLog exposes shard i's HybridLog.
+func (s *Store) ShardLog(i int) *hlog.Log { return s.shards[i].log }
+
+// ShardPhase returns shard i's CPR phase.
+func (s *Store) ShardPhase(i int) Phase { return s.shards[i].Phase() }
+
+// ShardVersion returns shard i's CPR version.
+func (s *Store) ShardVersion(i int) uint32 { return s.shards[i].Version() }
+
+// LogBytes reports the total live log volume ([Begin, Tail)) across shards.
+func (s *Store) LogBytes() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += int64(sh.log.Tail() - sh.log.Begin())
+	}
+	return n
+}
+
+// Epochs exposes shard 0's epoch manager (shared with helper goroutines of
+// single-shard deployments).
+func (s *Store) Epochs() *epoch.Manager { return s.shards[0].epochs }
 
 // Metrics returns the store's metrics registry (never nil after Open, though
 // it may be the nop registry).
@@ -293,9 +446,17 @@ func (s *Store) Tracer() *obs.Tracer { return s.tracer }
 
 // SessionCount reports the number of live sessions.
 func (s *Store) SessionCount() int {
-	s.sessionMu.Lock()
-	defer s.sessionMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return len(s.sessions)
+}
+
+// waitForRest spins until every shard is at rest, driving epoch progress so
+// in-flight commits can advance even when all sessions are idle.
+func (s *Store) waitForRest() {
+	for _, sh := range s.shards {
+		sh.waitForRest()
+	}
 }
 
 // recVersion returns the 13-bit on-record version for store version v.

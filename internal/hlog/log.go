@@ -13,6 +13,10 @@ import (
 	"repro/internal/storage"
 )
 
+// MinMemPages is the smallest allowed MemPages value: the log needs room
+// for a mutable region, a fuzzy region and at least one flushing frame.
+const MinMemPages = 4
+
 // Config parameterizes a HybridLog.
 type Config struct {
 	// PageBits sets the page size to 1<<PageBits bytes (default 20 = 1 MiB).
@@ -43,8 +47,8 @@ func (c *Config) fill() error {
 	if c.MemPages == 0 {
 		c.MemPages = 16
 	}
-	if c.MemPages < 4 {
-		return fmt.Errorf("hlog: MemPages %d too small (min 4)", c.MemPages)
+	if c.MemPages < MinMemPages {
+		return fmt.Errorf("hlog: MemPages %d too small (min %d)", c.MemPages, MinMemPages)
 	}
 	if c.MutableFraction == 0 {
 		c.MutableFraction = 0.9

@@ -3,6 +3,8 @@ package kvserver
 import (
 	"bytes"
 	"encoding/binary"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -50,8 +52,17 @@ func serveAsync(srv *Server, addr string) (struct{}, error) {
 	return struct{}{}, nil
 }
 
+// smallCfg honors FASTER_TEST_SHARDS (CI's sharded job) so the whole server
+// suite also runs against a partitioned store.
 func smallCfg() faster.Config {
-	return faster.Config{IndexBuckets: 1 << 8, PageBits: 14, MemPages: 8}
+	cfg := faster.Config{IndexBuckets: 1 << 8, PageBits: 14, MemPages: 8}
+	if v := os.Getenv("FASTER_TEST_SHARDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 1 {
+			cfg.Shards = n
+			cfg.MemPages = 8 * n
+		}
+	}
+	return cfg
 }
 
 func u64(v uint64) []byte {
@@ -167,11 +178,21 @@ func TestConcurrentClients(t *testing.T) {
 }
 
 func TestServerRestartResumeSession(t *testing.T) {
-	dev := storage.NewMemDevice()
-	ckpts := storage.NewMemCheckpointStore()
 	cfg := smallCfg()
-	cfg.Device = dev
-	cfg.Checkpoints = ckpts
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	devs := make([]*storage.MemDevice, shards)
+	for i := range devs {
+		devs[i] = storage.NewMemDevice()
+	}
+	if cfg.Shards > 1 {
+		cfg.DeviceFactory = func(i int) (storage.Device, error) { return devs[i], nil }
+	} else {
+		cfg.Device = devs[0]
+	}
+	cfg.Checkpoints = storage.NewMemCheckpointStore()
 
 	srv, addr, store := startServer(t, cfg)
 	c, err := Dial(addr, "")
@@ -254,7 +275,7 @@ func TestAutoCommit(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	_, addr, _ := startServer(t, smallCfg())
+	_, addr, store := startServer(t, smallCfg())
 	c, err := Dial(addr, "")
 	if err != nil {
 		t.Fatal(err)
@@ -281,6 +302,18 @@ func TestStats(t *testing.T) {
 	}
 	if got := stats.Metrics.Counters["faster_upserts_total"]; got != 1 {
 		t.Fatalf("faster_upserts_total = %d, want 1", got)
+	}
+	if n := store.NumShards(); n > 1 {
+		if len(stats.Shards) != n {
+			t.Fatalf("snapshot has %d shard entries, want %d", len(stats.Shards), n)
+		}
+		for i, ss := range stats.Shards {
+			if ss.Phase != "rest" || ss.Version != 1 {
+				t.Fatalf("shard %d: version=%d phase=%q, want 1/rest", i, ss.Version, ss.Phase)
+			}
+		}
+	} else if len(stats.Shards) != 0 {
+		t.Fatalf("unsharded snapshot carries %d shard entries", len(stats.Shards))
 	}
 }
 

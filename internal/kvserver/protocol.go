@@ -48,6 +48,19 @@ type StatsSnapshot struct {
 	LogHead    uint64       `json:"log_head"`
 	Sessions   int          `json:"sessions"`
 	Metrics    obs.Snapshot `json:"metrics"`
+	// Shards carries per-shard state on a partitioned store (absent when the
+	// store is unsharded — an additive field, so StatsVersion stays 1). The
+	// top-level log offsets then refer to shard 0.
+	Shards []ShardStats `json:"shards,omitempty"`
+}
+
+// ShardStats is one shard's slice of a StatsSnapshot.
+type ShardStats struct {
+	Version    uint32 `json:"version"`
+	Phase      string `json:"phase"`
+	LogTail    uint64 `json:"log_tail"`
+	LogDurable uint64 `json:"log_durable"`
+	LogHead    uint64 `json:"log_head"`
 }
 
 // Response status bytes.

@@ -307,6 +307,19 @@ func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload 
 			Sessions:   s.store.SessionCount(),
 			Metrics:    s.store.Metrics().Snapshot(),
 		}
+		if n := s.store.NumShards(); n > 1 {
+			snap.Shards = make([]ShardStats, n)
+			for i := 0; i < n; i++ {
+				sl := s.store.ShardLog(i)
+				snap.Shards[i] = ShardStats{
+					Version:    s.store.ShardVersion(i),
+					Phase:      s.store.ShardPhase(i).String(),
+					LogTail:    sl.Tail(),
+					LogDurable: sl.Durable(),
+					LogHead:    sl.Head(),
+				}
+			}
+		}
 		buf, err := json.Marshal(snap)
 		if err != nil {
 			return writeFrame(conn, OpStats, appendValue([]byte{StatusError}, nil))

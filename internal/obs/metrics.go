@@ -228,6 +228,13 @@ type HistogramSnapshot struct {
 type Registry struct {
 	nop bool
 
+	// prefix is prepended to every metric name registered through this
+	// handle; root points at the registry owning the maps (nil = self).
+	// Prefixed views share the root's storage, so a single Snapshot of the
+	// root sees every subsystem's metrics. See WithPrefix.
+	prefix string
+	root   *Registry
+
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -249,17 +256,41 @@ func NewRegistry() *Registry {
 // returns nil pointers and Snapshot is empty. Use it to disable collection.
 func NewNop() *Registry { return &Registry{nop: true} }
 
+// base returns the registry owning the metric storage (self unless this is a
+// WithPrefix view).
+func (r *Registry) base() *Registry {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// WithPrefix returns a view of the registry that prepends prefix to every
+// metric name registered through it. The view shares the parent's storage —
+// Snapshot on the parent includes all prefixed metrics — so per-instance
+// subsystems (e.g. the shards of a partitioned store) can register their
+// fixed metric names without colliding. Prefixes compose: a view of a view
+// concatenates. A nil or nop registry returns itself.
+func (r *Registry) WithPrefix(prefix string) *Registry {
+	if r == nil || r.nop || prefix == "" {
+		return r
+	}
+	return &Registry{prefix: r.prefix + prefix, root: r.base()}
+}
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil || r.nop {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	name = r.prefix + name
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.counters[name]
 	if !ok {
 		c = newCounter(name)
-		r.counters[name] = c
+		b.counters[name] = c
 	}
 	return c
 }
@@ -269,12 +300,14 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil || r.nop {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	name = r.prefix + name
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g, ok := b.gauges[name]
 	if !ok {
 		g = &Gauge{name: name}
-		r.gauges[name] = g
+		b.gauges[name] = g
 	}
 	return g
 }
@@ -284,12 +317,14 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil || r.nop {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	name = r.prefix + name
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h, ok := b.hists[name]
 	if !ok {
 		h = &Histogram{name: name}
-		r.hists[name] = h
+		b.hists[name] = h
 	}
 	return h
 }
@@ -302,9 +337,11 @@ func (r *Registry) GaugeFunc(name string, fn func() int64) {
 	if r == nil || r.nop {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.gaugeFns[name] = fn
+	name = r.prefix + name
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gaugeFns[name] = fn
 }
 
 // Snapshot captures every registered metric. The result marshals to stable
@@ -315,12 +352,14 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
-// Snapshot evaluates all metrics, including gauge callbacks.
+// Snapshot evaluates all metrics, including gauge callbacks. Snapshotting a
+// WithPrefix view captures the whole underlying registry.
 func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if r == nil || r.nop {
 		return s
 	}
+	r = r.base()
 	r.mu.Lock()
 	counters := make([]*Counter, 0, len(r.counters))
 	for _, c := range r.counters {
