@@ -6,6 +6,14 @@
 // Clients (see internal/kvserver.Dial) hold one session per connection; a
 // client reconnecting with its session ID learns its recovered CPR point.
 // Without -dir the store is memory-backed (durable only within the process).
+//
+// With -repl the primary also ships commits and the durable log tail to
+// replicas; a replica runs with -replica-of and serves prefix-consistent
+// reads (writes are redirected to the primary). SIGHUP promotes a replica to
+// primary at its last installed commit:
+//
+//	cprserver -addr :7070 -repl :7071 -dir /var/lib/cprdb
+//	cprserver -addr :7080 -replica-of primary-host:7071
 package main
 
 import (
@@ -14,13 +22,17 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	cpr "repro"
 	"repro/internal/faster"
 	"repro/internal/kvserver"
 	"repro/internal/obs"
+	"repro/internal/repl"
 )
 
 func main() {
@@ -30,6 +42,8 @@ func main() {
 		shards     = flag.Int("shards", 1, "store partitions, each an independent CPR domain (commits stay coordinated)")
 		autocommit = flag.Duration("autocommit", 500*time.Millisecond, "automatic log-only commit cadence (0 = off)")
 		debugAddr  = flag.String("debug", "", "debug HTTP listen address serving /metrics, /timeline and /debug/pprof (empty = off)")
+		replAddr   = flag.String("repl", "", "replication listen address; replicas connect here (empty = off)")
+		replicaOf  = flag.String("replica-of", "", "run as a read replica of this primary replication address")
 	)
 	flag.Parse()
 
@@ -54,6 +68,11 @@ func main() {
 			log.Fatal(err)
 		}
 		cfg.Checkpoints = checkpoints
+	}
+
+	if *replicaOf != "" {
+		runReplica(cfg, *replicaOf, *addr, *replAddr, *autocommit, *debugAddr)
+		return
 	}
 
 	store, err := faster.Recover(cfg)
@@ -85,8 +104,70 @@ func main() {
 
 	srv := kvserver.NewServer(store)
 	srv.AutoCommit = *autocommit
+	if *replAddr != "" {
+		rsrv := repl.NewServer(store)
+		rsrv.ClientAddr = *addr
+		srv.ReplStats = rsrv.ReplStats
+		go func() {
+			log.Printf("shipping to replicas on %s", *replAddr)
+			if err := rsrv.Serve(*replAddr); err != nil {
+				log.Printf("replication listener: %v", err)
+			}
+		}()
+	}
 	log.Printf("serving on %s (autocommit %v)", *addr, *autocommit)
 	if err := srv.Serve(*addr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runReplica serves prefix-consistent reads from a replica of upstream,
+// promoting to primary on SIGHUP.
+func runReplica(cfg faster.Config, upstream, addr, replAddr string, autocommit time.Duration, debugAddr string) {
+	rep, err := repl.NewReplica(repl.Config{Upstream: upstream, StoreConfig: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rep.Store().Close()
+
+	if debugAddr != "" {
+		mux := obs.NewDebugMux(rep.Store().Metrics(), rep.Store().Tracer())
+		go func() {
+			log.Printf("debug endpoints on http://%s/{metrics,timeline,debug/pprof}", debugAddr)
+			if err := http.ListenAndServe(debugAddr, mux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
+	srv := kvserver.NewReplicaServer(rep)
+	srv.AutoCommit = autocommit // takes effect after promotion
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGHUP)
+	go func() {
+		<-sig
+		store, err := rep.Promote()
+		if err != nil {
+			log.Printf("promote: %v", err)
+			return
+		}
+		log.Printf("promoted to primary at version %d", store.Version())
+		if replAddr != "" {
+			rsrv := repl.NewServer(store)
+			rsrv.ClientAddr = addr
+			go func() {
+				log.Printf("shipping to replicas on %s", replAddr)
+				if err := rsrv.Serve(replAddr); err != nil {
+					log.Printf("replication listener: %v", err)
+				}
+			}()
+		}
+		srv.Promote(store)
+	}()
+
+	log.Printf("replica of %s serving reads on %s (SIGHUP promotes)", upstream, addr)
+	if err := srv.Serve(addr); err != nil {
 		log.Fatal(err)
 	}
 }

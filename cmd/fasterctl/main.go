@@ -6,10 +6,12 @@
 //	fasterctl -dir /tmp/db bulkload 100000
 //	fasterctl -dir /tmp/db stats
 //	fasterctl -dir /tmp/db metrics
+//	fasterctl repl-status localhost:7070
 //
 // Every mutating invocation recovers the store from -dir (if a commit
 // exists), applies the operation, and takes a fresh CPR commit before
-// exiting.
+// exiting. repl-status instead dials a running cprserver and reports its
+// replication role and lag.
 package main
 
 import (
@@ -23,14 +25,20 @@ import (
 	"strconv"
 
 	cpr "repro"
+	"repro/internal/kvserver"
 )
 
 func main() {
 	dir := flag.String("dir", "", "database directory (required)")
 	shards := flag.Int("shards", 1, "store partitions; must match the directory's existing layout")
 	flag.Parse()
+	if flag.NArg() >= 1 && flag.Arg(0) == "repl-status" {
+		replStatus(flag.Args())
+		return
+	}
 	if *dir == "" || flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: fasterctl -dir <dir> [-shards n] <set|get|del|rmw|bulkload|stats|metrics> [args]")
+		fmt.Fprintln(os.Stderr, "       fasterctl repl-status <server-addr>")
 		os.Exit(2)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -196,4 +204,35 @@ func need(args []string, n int) {
 	if len(args) < n {
 		log.Fatalf("%s: expected %d arguments", args[0], n-1)
 	}
+}
+
+// replStatus dials a running server and reports its replication role and,
+// on a replica, how far it trails the primary.
+func replStatus(args []string) {
+	need(args, 2)
+	client, err := kvserver.Dial(args[1], "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	snap, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if snap.Repl == nil {
+		fmt.Println("role:            standalone (replication not configured)")
+		fmt.Printf("version:         %d\n", snap.Version)
+		return
+	}
+	r := snap.Repl
+	fmt.Printf("role:            %s\n", r.Role)
+	if r.Upstream != "" {
+		fmt.Printf("upstream:        %s\n", r.Upstream)
+	}
+	if r.Role == "primary" || r.Replicas > 0 {
+		fmt.Printf("replicas:        %d\n", r.Replicas)
+	}
+	fmt.Printf("applied version: %d\n", r.AppliedVersion)
+	fmt.Printf("versions behind: %d\n", r.VersionsBehind)
+	fmt.Printf("bytes behind:    %d\n", r.BytesBehind)
 }

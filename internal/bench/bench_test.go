@@ -30,6 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig18a", "fig18b", "fig18c", "fig18d",
 		"ablate-incr", "ablate-flush", "ablate-recovery",
 		"shardscale",
+		"repllag",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -211,6 +211,9 @@ func (s *Store) finishMultiCommit(mc *multiCommit) {
 	if mc.opts.OnDone != nil {
 		mc.opts.OnDone(mc.res)
 	}
+	if firstErr == nil {
+		s.fireCommitHooks(mc.res)
+	}
 }
 
 // WaitForCommit blocks until the commit identified by token completes and
@@ -505,6 +508,9 @@ func (ck *checkpointCtx) waitFlush() {
 	close(ck.done)
 	if ck.opts.OnDone != nil {
 		ck.opts.OnDone(ck.res)
+	}
+	if err == nil && !ck.coordinated && sh.onCommit != nil {
+		sh.onCommit(ck.res)
 	}
 }
 

@@ -196,7 +196,15 @@ func recoverShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, 
 		}
 	}
 
-	if err := sh.replayLog(scanStart, end, meta.Version); err != nil {
+	if cfg.Replica {
+		// A replica must not rewrite shipped log bytes: records ahead of the
+		// recovered commit become live at the next installed commit.
+		err = sh.replayReplica(scanStart, end, meta.Version)
+	} else {
+		err = sh.replayLog(scanStart, end, meta.Version)
+		sh.recoveredScanStart = scanStart
+	}
+	if err != nil {
 		sh.close()
 		return nil, nil, err
 	}

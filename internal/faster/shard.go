@@ -46,6 +46,22 @@ type shard struct {
 	// results retains completed commit results by token (guarded by ckptMu).
 	results map[string]CommitResult
 
+	// onCommit, when set, fires after an uncoordinated commit completes with
+	// no error (the single-shard store's replication hook; coordinated
+	// commits fire at the store level instead).
+	onCommit func(CommitResult)
+
+	// recoveredScanStart is the address from which this shard's own recovery
+	// (or promotion) rewrote log state on the device — see Store.ResyncFrom.
+	// Zero when the shard was opened fresh. Written single-threaded at
+	// recovery/promotion time.
+	recoveredScanStart uint64
+
+	// replicaDead tracks records shipped ahead of their commit (replica mode
+	// only; see replayReplica). The replication applier serializes every
+	// access externally.
+	replicaDead map[uint64]bool
+
 	metrics storeMetrics // shared across shards: store-wide operation counts
 	tracer  *obs.Tracer
 }

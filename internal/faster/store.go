@@ -154,6 +154,12 @@ type Config struct {
 	// Tracer records checkpoint state-machine activity. Defaults to a fresh
 	// tracer with obs.DefaultTracerCapacity events.
 	Tracer *obs.Tracer
+	// Replica opens the store as a replication target: recovery replays
+	// non-destructively (records shipped ahead of their commit are hidden in
+	// memory instead of invalidated on the device, because the next installed
+	// commit makes them live) and ApplyCommitted may advance the visible
+	// state. See internal/repl and Store.Promote.
+	Replica bool
 }
 
 func (c *Config) fill() error {
@@ -241,6 +247,11 @@ type Store struct {
 	multi     *multiCommit // non-nil while a cross-shard commit is active
 	results   map[string]CommitResult
 	commitSeq atomic.Uint64 // token counter, shared with the shards
+
+	// hookMu guards commitHooks (see OnCommit; fired after every completed
+	// commit, used by the replication shipper).
+	hookMu      sync.Mutex
+	commitHooks []func(CommitResult)
 
 	metrics storeMetrics
 	tracer  *obs.Tracer

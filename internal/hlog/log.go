@@ -104,6 +104,7 @@ type Log struct {
 	durable     atomic.Uint64
 	durableMu   sync.Mutex
 	durableCond *sync.Cond
+	durableSubs []func(uint64) // durable-watermark hooks (guarded by durableMu)
 
 	// Observability (registered at construction; metrics are nil-safe).
 	flushBytes *obs.Counter
@@ -478,10 +479,39 @@ func (l *Log) completeSegment(seg *flushSegment) {
 		l.segments = l.segments[1:]
 		advanced = true
 	}
+	var subs []func(uint64)
+	if advanced {
+		subs = l.durableSubs
+	}
 	l.durableMu.Unlock()
 	if advanced {
 		l.durableCond.Broadcast()
+		watermark := l.durable.Load()
+		for _, fn := range subs {
+			fn(watermark)
+		}
 	}
+}
+
+// OnDurable registers fn to be called (from an I/O completion goroutine)
+// whenever the durable watermark advances, with the new watermark. Hooks must
+// be fast and must not block: they gate flush completion. The replication
+// shipper uses this to wake as soon as fresh log tail becomes durable.
+func (l *Log) OnDurable(fn func(durable uint64)) {
+	l.durableMu.Lock()
+	l.durableSubs = append(l.durableSubs, fn)
+	l.durableMu.Unlock()
+}
+
+// ReadRaw copies raw log bytes at logical offset off from the device into p.
+// The range [off, off+len(p)) must be durable (below Durable()); this is the
+// replication shipper's read primitive for the immutable log prefix.
+func (l *Log) ReadRaw(off uint64, p []byte) error {
+	if end := off + uint64(len(p)); end > l.durable.Load() {
+		return fmt.Errorf("hlog: raw read [%d,%d) beyond durable %d", off, end, l.durable.Load())
+	}
+	_, err := l.cfg.Device.ReadAt(p, int64(off))
+	return err
 }
 
 // WaitDurable blocks until all log data below target is durable on the

@@ -4,15 +4,35 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"time"
 )
+
+// DefaultCallTimeout bounds each client call's network I/O unless the caller
+// overrides Client.Timeout. Generous, because Commit legitimately waits for
+// a full checkpoint to become durable.
+const DefaultCallTimeout = 30 * time.Second
+
+// RedirectError is returned for writes sent to a read-only replica: retry
+// against Addr (the primary), or Reconnect there after a failover.
+type RedirectError struct{ Addr string }
+
+// Error implements error.
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("kvserver: server is a read-only replica (primary at %q)", e.Addr)
+}
 
 // Client is a synchronous client for one server session. It is not safe for
 // concurrent use (a session is a single logical thread); open one Client per
 // goroutine, as the paper opens one session per thread.
 type Client struct {
 	conn     net.Conn
+	addr     string
 	id       string
 	cprPoint uint64
+	// Timeout bounds each call's network I/O (request write + response
+	// read), so a dead server surfaces as an error instead of hanging the
+	// session forever. Zero disables deadlines.
+	Timeout time.Duration
 }
 
 // Dial connects and performs the Hello handshake. A non-empty clientID
@@ -21,11 +41,13 @@ type Client struct {
 // sessions). An empty clientID starts a fresh session whose server-assigned
 // ID is available via ID.
 func Dial(addr, clientID string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, DefaultCallTimeout)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn}
+	c := &Client{conn: conn, addr: addr, Timeout: DefaultCallTimeout}
+	conn.SetDeadline(time.Now().Add(DefaultCallTimeout)) //nolint:errcheck
+	defer conn.SetDeadline(time.Time{})                  //nolint:errcheck
 	payload := appendString(nil, []byte(clientID))
 	if err := writeFrame(conn, OpHello, payload); err != nil {
 		conn.Close()
@@ -54,13 +76,39 @@ func Dial(addr, clientID string) (*Client, error) {
 // ID returns the session ID (use it to resume after reconnecting).
 func (c *Client) ID() string { return c.id }
 
-// CPRPoint returns the recovered commit point from the handshake.
+// CPRPoint returns the recovered commit point from the most recent
+// handshake: the serial up to which this session's operations are durable.
+// After Reconnect it reflects the new server's recovered state — the offset
+// from which to replay input.
 func (c *Client) CPRPoint() uint64 { return c.cprPoint }
 
 // Close closes the connection (the server stops the session).
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Reconnect re-dials with the same client ID and refreshes CPRPoint from the
+// new server's handshake. addr selects a different server (a promoted
+// replica after failover, or a RedirectError's primary); "" re-dials the
+// previous address. The old connection is closed. On error the client keeps
+// its previous connection state (likely dead; call Reconnect again).
+func (c *Client) Reconnect(addr string) error {
+	if addr == "" {
+		addr = c.addr
+	}
+	nc, err := Dial(addr, c.id)
+	if err != nil {
+		return err
+	}
+	nc.Timeout = c.Timeout
+	c.conn.Close()
+	*c = *nc
+	return nil
+}
+
 func (c *Client) call(op byte, payload []byte) (byte, []byte, error) {
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+		defer c.conn.SetDeadline(time.Time{})         //nolint:errcheck
+	}
 	if err := writeFrame(c.conn, op, payload); err != nil {
 		return 0, nil, err
 	}
@@ -73,6 +121,13 @@ func (c *Client) call(op byte, payload []byte) (byte, []byte, error) {
 	}
 	if len(resp) < 1 {
 		return 0, nil, fmt.Errorf("kvserver: empty response")
+	}
+	if resp[0] == StatusRedirect {
+		primary, _, perr := takeString(resp[1:])
+		if perr != nil {
+			primary = nil
+		}
+		return 0, nil, &RedirectError{Addr: string(primary)}
 	}
 	return resp[0], resp[1:], nil
 }

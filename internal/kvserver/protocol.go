@@ -52,6 +52,26 @@ type StatsSnapshot struct {
 	// store is unsharded — an additive field, so StatsVersion stays 1). The
 	// top-level log offsets then refer to shard 0.
 	Shards []ShardStats `json:"shards,omitempty"`
+	// Repl carries replication state when the server participates in
+	// replication (absent otherwise — additive, StatsVersion stays 1).
+	Repl *ReplStats `json:"repl,omitempty"`
+}
+
+// ReplStats is the StatsSnapshot "repl" block: the server's replication role
+// and, on a replica, how far it trails its upstream primary.
+type ReplStats struct {
+	Role     string `json:"role"`               // "primary" or "replica"
+	Upstream string `json:"upstream,omitempty"` // replica: the primary's replication address
+	Replicas int    `json:"replicas,omitempty"` // primary: currently connected replicas
+	// AppliedVersion is the CPR version of the replica's installed commit
+	// (on a primary: its own current version).
+	AppliedVersion uint32 `json:"applied_version"`
+	// VersionsBehind is the primary's latest committed version minus
+	// AppliedVersion (0 on a primary).
+	VersionsBehind uint32 `json:"versions_behind"`
+	// BytesBehind is the log volume (across shards) the primary has made
+	// durable but the replica has not yet received.
+	BytesBehind uint64 `json:"bytes_behind"`
 }
 
 // ShardStats is one shard's slice of a StatsSnapshot.
@@ -68,6 +88,9 @@ const (
 	StatusOK       byte = 0
 	StatusNotFound byte = 1
 	StatusError    byte = 2
+	// StatusRedirect rejects a write on a read-only replica; the payload is
+	// the primary's client address (may be empty if unknown).
+	StatusRedirect byte = 3
 )
 
 // maxFrame bounds a frame to keep a malicious peer from forcing huge

@@ -1,0 +1,127 @@
+package kvserver
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestOversizedFrameRejected: a frame claiming more than maxFrame bytes is
+// rejected before any allocation, both by readFrame directly and by a live
+// server (which closes the connection).
+func TestOversizedFrameRejected(t *testing.T) {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], maxFrame+1)
+	hdr[4] = OpGet
+	if _, _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+
+	_, addr, _ := startServer(t, smallCfg())
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Valid hello first, then the bomb.
+	if err := writeFrame(conn, OpHello, appendString(nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readFrame(conn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		if _, err = conn.Read(buf); err == nil {
+			t.Fatal("server kept talking after oversized frame")
+		}
+	}
+}
+
+// TestUnknownOpcodeClosesConnection: an unrecognized opcode after a valid
+// handshake terminates the connection instead of wedging the session.
+func TestUnknownOpcodeClosesConnection(t *testing.T) {
+	_, addr, _ := startServer(t, smallCfg())
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, OpHello, appendString(nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readFrame(conn); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, 0xEE, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	if _, _, err := readFrame(conn); err == nil {
+		t.Fatal("server answered an unknown opcode")
+	}
+}
+
+// TestTruncatedFrameMidPayload: a frame header promising more bytes than the
+// peer ever sends must error out, not hang past the read deadline or return
+// a short frame.
+func TestTruncatedFrameMidPayload(t *testing.T) {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], 100)
+	hdr[4] = OpGet
+	r := io.MultiReader(bytes.NewReader(hdr[:]), bytes.NewReader([]byte("only ten b")))
+	if _, _, err := readFrame(r); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+// FuzzFrame round-trips arbitrary opcode/payload pairs through the codec and
+// feeds arbitrary raw bytes to readFrame, which must never panic and must
+// never return a frame larger than maxFrame.
+func FuzzFrame(f *testing.F) {
+	f.Add(byte(OpSet), []byte("hello"))
+	f.Add(byte(0), []byte{})
+	f.Add(byte(255), bytes.Repeat([]byte{0xAA}, 1024))
+	f.Fuzz(func(t *testing.T, opcode byte, payload []byte) {
+		if len(payload) >= maxFrame {
+			t.Skip()
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, opcode, payload); err != nil {
+			t.Fatal(err)
+		}
+		op, got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("round-trip: %v", err)
+		}
+		if op != opcode || !bytes.Equal(got, payload) {
+			t.Fatalf("round-trip mismatch: op %d/%d, %d/%d bytes", op, opcode, len(got), len(payload))
+		}
+
+		// The same bytes interpreted as a raw stream (header included) must
+		// decode identically; arbitrary prefixes must fail cleanly.
+		raw := append([]byte{opcode}, payload...)
+		if op2, got2, err := readFrame(bytes.NewReader(append(lenPrefix(uint32(len(raw))), raw...))); err != nil || op2 != opcode || !bytes.Equal(got2, payload) {
+			t.Fatalf("re-decode: op=%d err=%v", op2, err)
+		}
+		if _, _, err := readFrame(bytes.NewReader(payload)); err == nil && len(payload) > 0 {
+			n := binary.LittleEndian.Uint32(payload)
+			if int(n) > len(payload)-4 {
+				t.Fatalf("readFrame fabricated a frame from %d stray bytes", len(payload))
+			}
+		}
+	})
+}
+
+func lenPrefix(n uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], n)
+	return b[:]
+}

@@ -19,20 +19,42 @@ import (
 // connections still refresh their epoch entries periodically so in-flight
 // commits can complete.
 type Server struct {
-	store *faster.Store
-	ln    net.Listener
+	ln net.Listener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]bool
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	store   *faster.Store
+	replica ReplicaBackend // non-nil while serving in replica mode
+	conns   map[net.Conn]bool
+	closed  bool
+	wg      sync.WaitGroup
 
 	// AutoCommit, when positive, triggers a log-only commit at this cadence.
 	AutoCommit time.Duration
 	// Logger receives connection errors; defaults to the standard logger.
 	Logger *log.Logger
+	// ReplStats, when set, attaches a replication block to OpStats responses
+	// (the replication server's progress on a primary; set automatically by
+	// NewReplicaServer on a replica).
+	ReplStats func() *ReplStats
 
 	stopAuto chan struct{}
+}
+
+// ReplicaBackend is the read-only view a replica-mode server serves from
+// (implemented by repl.Replica). Its methods must be internally synchronized
+// against the replica's installs.
+type ReplicaBackend interface {
+	// Read returns key's value in the replica's installed prefix.
+	Read(key []byte) (val []byte, found bool, err error)
+	// RecoveredPoint returns the installed CPR point for a session ID.
+	RecoveredPoint(id string) uint64
+	// Upstream returns the primary's client-facing address for redirects
+	// (may be empty when unknown).
+	Upstream() string
+	// Store exposes the replica's underlying store (stats snapshots).
+	Store() *faster.Store
+	// ReplStats describes the replica's replication progress.
+	ReplStats() *ReplStats
 }
 
 // NewServer wraps an open store.
@@ -45,6 +67,55 @@ func NewServer(store *faster.Store) *Server {
 	}
 }
 
+// NewReplicaServer serves the read-only replica rb: reads come from the
+// installed committed prefix, writes are rejected with StatusRedirect, and a
+// Hello with a known session ID reports that session's installed CPR point.
+// Promote later switches the same server to full primary service.
+func NewReplicaServer(rb ReplicaBackend) *Server {
+	s := NewServer(rb.Store())
+	s.replica = rb
+	s.ReplStats = rb.ReplStats
+	return s
+}
+
+// Promote switches a replica-mode server to primary service over store (the
+// replica's store after faster.Store.Promote). Open replica connections are
+// closed so their clients reconnect into real sessions and learn their
+// prefix-consistent CPR points; the auto-committer starts if configured.
+func (s *Server) Promote(store *faster.Store) {
+	s.mu.Lock()
+	wasReplica := s.replica != nil
+	s.store = store
+	s.replica = nil
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	if wasReplica && !closed && s.AutoCommit > 0 {
+		s.wg.Add(1)
+		go s.autoCommitter()
+	}
+}
+
+// getStore returns the currently served store (swapped by Promote).
+func (s *Server) getStore() *faster.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store
+}
+
+// replicaBackend returns the replica backend, or nil in primary mode.
+func (s *Server) replicaBackend() ReplicaBackend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replica
+}
+
 // Serve listens on addr (e.g. "127.0.0.1:0") and blocks accepting
 // connections until Close. It returns the bound address via Addr.
 func (s *Server) Serve(addr string) error {
@@ -54,8 +125,10 @@ func (s *Server) Serve(addr string) error {
 	}
 	s.mu.Lock()
 	s.ln = ln
+	replica := s.replica != nil
 	s.mu.Unlock()
-	if s.AutoCommit > 0 {
+	if s.AutoCommit > 0 && !replica {
+		// A replica never commits on its own; Promote starts the committer.
 		s.wg.Add(1)
 		go s.autoCommitter()
 	}
@@ -118,7 +191,7 @@ func (s *Server) autoCommitter() {
 		case <-t.C:
 			// Log-only fold-over commits at the configured cadence; skipped
 			// while another commit is still in flight.
-			s.store.Commit(faster.CommitOptions{}) //nolint:errcheck
+			s.getStore().Commit(faster.CommitOptions{}) //nolint:errcheck
 		}
 	}
 }
@@ -144,12 +217,16 @@ func (s *Server) handle(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	if rb := s.replicaBackend(); rb != nil {
+		s.handleReplica(conn, rb, string(clientID))
+		return
+	}
 	var sess *faster.Session
 	var cprPoint uint64
 	if len(clientID) > 0 {
-		sess, cprPoint = s.store.ContinueSession(string(clientID))
+		sess, cprPoint = s.getStore().ContinueSession(string(clientID))
 	} else {
-		sess = s.store.StartSession()
+		sess = s.getStore().StartSession()
 	}
 	defer sess.StopSession()
 	resp := appendU64([]byte{StatusOK}, cprPoint)
@@ -270,7 +347,7 @@ func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload 
 			return fmt.Errorf("commit: missing flags")
 		}
 		withIndex := payload[0] != 0
-		token, err := s.store.Commit(faster.CommitOptions{WithIndex: withIndex})
+		token, err := s.getStore().Commit(faster.CommitOptions{WithIndex: withIndex})
 		if err == faster.ErrCommitInProgress {
 			// Piggyback on the commit already in flight.
 			token = ""
@@ -280,7 +357,7 @@ func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload 
 		// Drive until some commit completes and this session is at rest.
 		for {
 			if token != "" {
-				if res, ok := s.store.TryResult(token); ok {
+				if res, ok := s.getStore().TryResult(token); ok {
 					point := res.Serials[sess.ID()]
 					status := StatusOK
 					if res.Err != nil {
@@ -288,7 +365,7 @@ func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload 
 					}
 					return writeFrame(conn, OpCommit, appendU64([]byte{status}, point))
 				}
-			} else if s.store.Phase() == faster.Rest {
+			} else if s.getStore().Phase() == faster.Rest {
 				return writeFrame(conn, OpCommit, appendU64([]byte{StatusOK}, sess.Serial()))
 			}
 			sess.Refresh()
@@ -296,35 +373,98 @@ func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload 
 		}
 
 	case OpStats:
-		lg := s.store.Log()
-		snap := StatsSnapshot{
-			V:          StatsVersion,
-			Version:    s.store.Version(),
-			Phase:      s.store.Phase().String(),
-			LogTail:    lg.Tail(),
-			LogDurable: lg.Durable(),
-			LogHead:    lg.Head(),
-			Sessions:   s.store.SessionCount(),
-			Metrics:    s.store.Metrics().Snapshot(),
-		}
-		if n := s.store.NumShards(); n > 1 {
-			snap.Shards = make([]ShardStats, n)
-			for i := 0; i < n; i++ {
-				sl := s.store.ShardLog(i)
-				snap.Shards[i] = ShardStats{
-					Version:    s.store.ShardVersion(i),
-					Phase:      s.store.ShardPhase(i).String(),
-					LogTail:    sl.Tail(),
-					LogDurable: sl.Durable(),
-					LogHead:    sl.Head(),
-				}
+		return s.writeStats(conn, s.getStore())
+	}
+	return fmt.Errorf("unknown opcode %d", op)
+}
+
+// writeStats marshals and sends the OpStats response for store.
+func (s *Server) writeStats(conn net.Conn, store *faster.Store) error {
+	lg := store.Log()
+	snap := StatsSnapshot{
+		V:          StatsVersion,
+		Version:    store.Version(),
+		Phase:      store.Phase().String(),
+		LogTail:    lg.Tail(),
+		LogDurable: lg.Durable(),
+		LogHead:    lg.Head(),
+		Sessions:   store.SessionCount(),
+		Metrics:    store.Metrics().Snapshot(),
+	}
+	if n := store.NumShards(); n > 1 {
+		snap.Shards = make([]ShardStats, n)
+		for i := 0; i < n; i++ {
+			sl := store.ShardLog(i)
+			snap.Shards[i] = ShardStats{
+				Version:    store.ShardVersion(i),
+				Phase:      store.ShardPhase(i).String(),
+				LogTail:    sl.Tail(),
+				LogDurable: sl.Durable(),
+				LogHead:    sl.Head(),
 			}
 		}
-		buf, err := json.Marshal(snap)
+	}
+	if s.ReplStats != nil {
+		snap.Repl = s.ReplStats()
+	}
+	buf, err := json.Marshal(snap)
+	if err != nil {
+		return writeFrame(conn, OpStats, appendValue([]byte{StatusError}, nil))
+	}
+	return writeFrame(conn, OpStats, appendValue([]byte{StatusOK}, buf))
+}
+
+// handleReplica runs a connection against the replica backend: reads are
+// served from the installed committed prefix; writes get StatusRedirect with
+// the primary's address. The loop ends (closing the connection) when the
+// server is promoted, so clients reconnect into real sessions.
+func (s *Server) handleReplica(conn net.Conn, rb ReplicaBackend, clientID string) {
+	resp := appendU64([]byte{StatusOK}, rb.RecoveredPoint(clientID))
+	resp = appendString(resp, []byte(clientID))
+	if err := writeFrame(conn, OpHello, resp); err != nil {
+		return
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+		op, payload, err := readFrame(conn)
 		if err != nil {
-			return writeFrame(conn, OpStats, appendValue([]byte{StatusError}, nil))
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && s.replicaBackend() != nil {
+				continue // idle replica reader; keep waiting
+			}
+			return
 		}
-		return writeFrame(conn, OpStats, appendValue([]byte{StatusOK}, buf))
+		if s.replicaBackend() == nil {
+			return // promoted mid-stream: force the client to reconnect
+		}
+		if err := s.dispatchReplica(conn, rb, op, payload); err != nil {
+			s.Logger.Printf("replica conn %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatchReplica(conn net.Conn, rb ReplicaBackend, op byte, payload []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+	switch op {
+	case OpGet:
+		key, _, err := takeString(payload)
+		if err != nil {
+			return err
+		}
+		val, found, err := rb.Read(key)
+		status := StatusOK
+		if err != nil {
+			status, val = StatusError, nil
+		} else if !found {
+			status, val = StatusNotFound, nil
+		}
+		return writeFrame(conn, OpGet, appendValue([]byte{status}, val))
+	case OpSet, OpRMW, OpDelete, OpCommit:
+		// Writes belong on the primary; tell the client where to go.
+		return writeFrame(conn, op, appendString([]byte{StatusRedirect}, []byte(rb.Upstream())))
+	case OpStats:
+		return s.writeStats(conn, rb.Store())
 	}
 	return fmt.Errorf("unknown opcode %d", op)
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -23,6 +24,45 @@ type CheckpointStore interface {
 	List() ([]string, error)
 	// Remove deletes an artifact; removing a missing artifact is an error.
 	Remove(name string) error
+}
+
+// ReadArtifact reads a whole named artifact into memory.
+func ReadArtifact(cs CheckpointStore, name string) ([]byte, error) {
+	r, err := cs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// WriteArtifact persists one named artifact in a single call.
+func WriteArtifact(cs CheckpointStore, name string, data []byte) error {
+	w, err := cs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// ListPrefix enumerates the artifacts whose names start with prefix (sorted,
+// prefix retained). It is the replication shipper's enumeration primitive.
+func ListPrefix(cs CheckpointStore, prefix string) ([]string, error) {
+	all, err := cs.List()
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, n := range all {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	return names, nil
 }
 
 // MemCheckpointStore keeps artifacts in process memory. It is the default
