@@ -44,30 +44,75 @@ func main() {
 		debugAddr  = flag.String("debug", "", "debug HTTP listen address serving /metrics, /timeline and /debug/pprof (empty = off)")
 		replAddr   = flag.String("repl", "", "replication listen address; replicas connect here (empty = off)")
 		replicaOf  = flag.String("replica-of", "", "run as a read replica of this primary replication address")
+
+		faultRate    = flag.Float64("fault-rate", 0, "injected transient I/O fault probability per op, in [0,1] (testing)")
+		faultTorn    = flag.Float64("fault-torn-rate", 0, "injected torn-write probability per artifact write, in [0,1] (testing)")
+		faultSeed    = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
+		faultLatency = flag.Duration("fault-latency", 0, "injected latency spike duration; applied at -fault-rate (testing)")
 	)
 	flag.Parse()
 
-	cfg := faster.Config{Shards: *shards}
+	// With -fault-rate/-fault-torn-rate the storage layer is wrapped in a
+	// seeded fault injector: transient read/write errors, torn artifact
+	// writes and optional latency spikes exercise the retry and
+	// verified-recovery paths under an otherwise normal workload.
+	metrics := obs.NewRegistry()
+	var injector *cpr.FaultInjector
+	if *faultRate > 0 || *faultTorn > 0 {
+		fc := cpr.FaultConfig{
+			Seed:           *faultSeed,
+			ReadErrorRate:  *faultRate,
+			WriteErrorRate: *faultRate,
+			TornWriteRate:  *faultTorn,
+			Metrics:        metrics,
+		}
+		if *faultLatency > 0 {
+			fc.LatencyRate = *faultRate
+			fc.Latency = *faultLatency
+		}
+		injector = cpr.NewFaultInjector(fc)
+		log.Printf("fault injection on: rate=%g torn=%g seed=%d latency=%v",
+			*faultRate, *faultTorn, *faultSeed, *faultLatency)
+	}
+	wrapDevice := func(d cpr.Device) cpr.Device {
+		if injector == nil {
+			return d
+		}
+		return cpr.NewFaultDevice(d, injector)
+	}
+
+	cfg := faster.Config{Shards: *shards, Metrics: metrics}
 	if *dir != "" {
 		if *shards > 1 {
 			// One log file per shard; checkpoints share the directory store
 			// (the store namespaces each shard under shard<i>/).
 			base := *dir
 			cfg.DeviceFactory = func(i int) (cpr.Device, error) {
-				return cpr.OpenFileDevice(filepath.Join(base, fmt.Sprintf("hybridlog-shard%d.dat", i)))
+				d, err := cpr.OpenFileDevice(filepath.Join(base, fmt.Sprintf("hybridlog-shard%d.dat", i)))
+				if err != nil {
+					return nil, err
+				}
+				return wrapDevice(d), nil
 			}
 		} else {
 			device, err := cpr.OpenFileDevice(filepath.Join(*dir, "hybridlog.dat"))
 			if err != nil {
 				log.Fatal(err)
 			}
-			cfg.Device = device
+			cfg.Device = wrapDevice(device)
 		}
 		checkpoints, err := cpr.NewDirCheckpointStore(filepath.Join(*dir, "checkpoints"))
 		if err != nil {
 			log.Fatal(err)
 		}
 		cfg.Checkpoints = checkpoints
+		if injector != nil {
+			cfg.Checkpoints = cpr.NewFaultCheckpointStore(checkpoints, injector)
+		}
+	} else if injector != nil {
+		// In-memory mode still exercises the fault paths.
+		cfg.Device = wrapDevice(cpr.NewMemDevice())
+		cfg.Checkpoints = cpr.NewFaultCheckpointStore(cpr.NewMemCheckpointStore(), injector)
 	}
 
 	if *replicaOf != "" {
@@ -75,7 +120,7 @@ func main() {
 		return
 	}
 
-	store, err := faster.Recover(cfg)
+	store, report, err := faster.RecoverWithReport(cfg)
 	if err != nil {
 		if !errors.Is(err, faster.ErrNoCheckpoint) {
 			// Shard-count mismatch, corrupt artifact, ...: starting fresh
@@ -88,7 +133,10 @@ func main() {
 			log.Fatal(err)
 		}
 	} else {
-		log.Printf("recovered store at version %d", store.Version())
+		for _, sk := range report.Skipped {
+			log.Printf("recovery skipped unverifiable commit %s: %v", sk.Token, sk.Reason)
+		}
+		log.Printf("recovered store at version %d (commit %s)", store.Version(), report.Token)
 	}
 	defer store.Close()
 

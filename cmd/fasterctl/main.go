@@ -22,7 +22,9 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 
 	cpr "repro"
 	"repro/internal/kvserver"
@@ -36,9 +38,22 @@ func main() {
 		replStatus(flag.Args())
 		return
 	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "verify" {
+		// Offline integrity walk — never opens the store, so it is safe to
+		// run against a directory another process is serving from.
+		ckDir := filepath.Join(*dir, "checkpoints")
+		if flag.NArg() >= 2 {
+			ckDir = flag.Arg(1)
+		} else if *dir == "" {
+			fmt.Fprintln(os.Stderr, "usage: fasterctl -dir <dir> verify | fasterctl verify <checkpoint-dir>")
+			os.Exit(2)
+		}
+		os.Exit(verifyCheckpoints(ckDir))
+	}
 	if *dir == "" || flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: fasterctl -dir <dir> [-shards n] <set|get|del|rmw|bulkload|stats|metrics> [args]")
+		fmt.Fprintln(os.Stderr, "usage: fasterctl -dir <dir> [-shards n] <set|get|del|rmw|bulkload|stats|metrics|verify> [args]")
 		fmt.Fprintln(os.Stderr, "       fasterctl repl-status <server-addr>")
+		fmt.Fprintln(os.Stderr, "       fasterctl verify <checkpoint-dir>")
 		os.Exit(2)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -204,6 +219,83 @@ func need(args []string, n int) {
 	if len(args) < n {
 		log.Fatalf("%s: expected %d arguments", args[0], n-1)
 	}
+}
+
+// verifyCheckpoints walks every artifact in a checkpoint directory offline,
+// checking each checksum envelope, and prints a per-commit verdict. Returns
+// the process exit code: 0 when every commit verifies, 1 when any artifact
+// is corrupt or a commit references a missing artifact.
+func verifyCheckpoints(dir string) int {
+	cs, err := cpr.NewDirCheckpointStore(dir)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	names, err := cs.List()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if len(names) == 0 {
+		fmt.Printf("%s: no artifacts\n", dir)
+		return 0
+	}
+
+	// Verify every artifact's envelope, grouping verdicts by commit token.
+	// Artifact names look like "[shardN/]<kind>-<token>" plus the pointer
+	// artifacts "latest"/"cpr-latest" (token "-" groups pointers).
+	badByToken := make(map[string][]string)
+	okCount, badCount := 0, 0
+	tokenOf := func(name string) string {
+		base := name
+		if i := strings.LastIndex(base, "/"); i >= 0 {
+			base = base[i+1:]
+		}
+		for _, kind := range []string{"meta-", "index-", "snapshot-", "pagecrc-", "cpr-manifest-"} {
+			if strings.HasPrefix(base, kind) {
+				return base[len(kind):]
+			}
+		}
+		return "-"
+	}
+	tokens := make(map[string]bool)
+	for _, name := range names {
+		tokens[tokenOf(name)] = true
+		if err := cpr.VerifyArtifact(cs, name); err != nil {
+			badCount++
+			badByToken[tokenOf(name)] = append(badByToken[tokenOf(name)], fmt.Sprintf("%s: %v", name, err))
+		} else {
+			okCount++
+		}
+	}
+
+	sorted := make([]string, 0, len(tokens))
+	for tok := range tokens {
+		sorted = append(sorted, tok)
+	}
+	sort.Strings(sorted)
+	corrupt := 0
+	for _, tok := range sorted {
+		label := "commit " + tok
+		if tok == "-" {
+			label = "pointers"
+		}
+		if bad := badByToken[tok]; len(bad) > 0 {
+			corrupt++
+			fmt.Printf("%-22s CORRUPT\n", label)
+			for _, line := range bad {
+				fmt.Printf("    %s\n", line)
+			}
+		} else {
+			fmt.Printf("%-22s OK\n", label)
+		}
+	}
+	fmt.Printf("%d artifacts verified, %d corrupt, %d commit(s) affected\n",
+		okCount, badCount, corrupt)
+	if corrupt > 0 {
+		return 1
+	}
+	return 0
 }
 
 // replStatus dials a running server and reports its replication role and,

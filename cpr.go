@@ -99,6 +99,21 @@ func OpenStore(cfg StoreConfig) (*Store, error) { return faster.Open(cfg) }
 // instance used; sessions re-establish with Store.ContinueSession.
 func RecoverStore(cfg StoreConfig) (*Store, error) { return faster.Recover(cfg) }
 
+// RecoverStoreWithReport is RecoverStore plus a RecoveryReport describing
+// which commit was recovered and which newer commits (if any) were skipped as
+// unverifiable.
+func RecoverStoreWithReport(cfg StoreConfig) (*Store, *RecoveryReport, error) {
+	return faster.RecoverWithReport(cfg)
+}
+
+// RecoveryReport describes the outcome of a Store recovery: the commit
+// recovered and any newer commits skipped because their artifacts failed
+// verification.
+type RecoveryReport = faster.RecoveryReport
+
+// SkippedCommit is one unrecoverable commit noted in a RecoveryReport.
+type SkippedCommit = faster.SkippedCommit
+
 // ErrNoCheckpoint is wrapped by RecoverStore when the checkpoint store holds
 // no commit at all. Fall back to OpenStore only on this error (errors.Is);
 // any other recovery error indicates existing data that must not be shadowed
@@ -190,4 +205,38 @@ func NewMemCheckpointStore() *storage.MemCheckpointStore {
 // NewDirCheckpointStore returns a CheckpointStore over a directory.
 func NewDirCheckpointStore(dir string) (*storage.DirCheckpointStore, error) {
 	return storage.NewDirCheckpointStore(dir)
+}
+
+// ---- Fault injection & artifact integrity (internal/storage) ----
+
+// FaultConfig parameterizes deterministic, seeded storage fault injection:
+// transient and permanent I/O errors, torn writes, bit flips and latency
+// spikes.
+type FaultConfig = storage.FaultConfig
+
+// FaultInjector owns a fault schedule shared by the devices and checkpoint
+// stores wrapped with it.
+type FaultInjector = storage.Injector
+
+// NewFaultInjector creates an injector for cfg.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return storage.NewInjector(cfg) }
+
+// NewFaultDevice wraps a Device with fault injection.
+func NewFaultDevice(inner Device, inj *FaultInjector) *storage.FaultDevice {
+	return storage.NewFaultDevice(inner, inj)
+}
+
+// NewFaultCheckpointStore wraps a CheckpointStore with fault injection.
+func NewFaultCheckpointStore(inner CheckpointStore, inj *FaultInjector) *storage.FaultCheckpointStore {
+	return storage.NewFaultCheckpointStore(inner, inj)
+}
+
+// ErrCorruptArtifact is wrapped by artifact reads whose checksum envelope
+// fails verification (errors.Is).
+var ErrCorruptArtifact = storage.ErrCorruptArtifact
+
+// VerifyArtifact checks the named artifact's checksum envelope without
+// returning its payload.
+func VerifyArtifact(cs CheckpointStore, name string) error {
+	return storage.VerifyArtifact(cs, name)
 }

@@ -31,6 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablate-incr", "ablate-flush", "ablate-recovery",
 		"shardscale",
 		"repllag",
+		"faulttolerance",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

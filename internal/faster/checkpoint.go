@@ -1,6 +1,7 @@
 package faster
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"sync/atomic"
@@ -206,6 +207,8 @@ func (s *Store) finishMultiCommit(mc *multiCommit) {
 		s.metrics.commits.Inc()
 		s.metrics.commitBytes.Add(uint64(bytes))
 		s.metrics.commitNs.Observe(time.Since(mc.started))
+	} else {
+		s.metrics.commitFailures.Inc()
 	}
 	close(mc.done)
 	if mc.opts.OnDone != nil {
@@ -411,7 +414,7 @@ func (ck *checkpointCtx) checkPendingDone() {
 // rest at version v+1.
 func (ck *checkpointCtx) waitFlush() {
 	sh := ck.store
-	var bytes int64
+	var written int64
 	var err error
 
 	// Record the commit's log end, then take the fuzzy index checkpoint (if
@@ -424,15 +427,13 @@ func (ck *checkpointCtx) waitFlush() {
 	if ck.opts.WithIndex {
 		ck.lis = sh.log.Tail()
 		indexToken = ck.token
-		w, cerr := sh.cfg.Checkpoints.Create("index-" + ck.token)
-		err = cerr
+		// Buffer the index image so it can be framed in the checksum
+		// envelope (and the write retried whole on a transient fault).
+		var ibuf bytes.Buffer
+		err = sh.index.writeTo(&ibuf)
 		if err == nil {
-			cw := &countingWriter{w: w}
-			err = sh.index.writeTo(cw)
-			if cerr := w.Close(); err == nil {
-				err = cerr
-			}
-			bytes += cw.n
+			err = ck.writeArtifact("index-"+ck.token, ibuf.Bytes())
+			written += int64(ibuf.Len())
 		}
 		ck.lie = sh.log.Tail()
 	} else {
@@ -450,19 +451,44 @@ func (ck *checkpointCtx) waitFlush() {
 		case FoldOver:
 			sh.log.ShiftReadOnlyTo(captureEnd)
 			// Drive epoch progress ourselves so the shift's trigger action
-			// and flush run even if every session is momentarily idle.
+			// and flush run even if every session is momentarily idle. A
+			// permanent flush failure (transient errors are retried inside
+			// the I/O pool) aborts the commit cleanly: the metadata is never
+			// written, the commit is never announced, and the store keeps
+			// serving at v+1 so the next commit attempt proceeds.
 			g := sh.epochs.Acquire()
 			for sh.log.Durable() < captureEnd {
+				if ferr := sh.log.FlushErr(); ferr != nil {
+					err = fmt.Errorf("faster: commit %s: %w", ck.token, ferr)
+					break
+				}
 				g.Refresh()
 				time.Sleep(50 * time.Microsecond)
 			}
 			g.Release()
-			bytes += int64(captureEnd - ck.lhs)
+			if err == nil {
+				written += int64(captureEnd - ck.lhs)
+			}
 		case Snapshot:
 			ck.snapshotStart = sh.log.Durable()
-			data := sh.log.SnapshotRange(ck.snapshotStart, captureEnd)
-			err = ck.writeArtifact("snapshot-"+ck.token, data)
-			bytes += int64(len(data))
+			var data []byte
+			data, err = sh.log.SnapshotRange(ck.snapshotStart, captureEnd)
+			if err == nil {
+				err = ck.writeArtifact("snapshot-"+ck.token, data)
+				written += int64(len(data))
+			}
+		}
+	}
+
+	// Persist the log's per-page checksum table so recovery can verify the
+	// device written it is about to trust (covers every page fully flushed
+	// under this Log's watch; see hlog.PageChecksums).
+	if err == nil {
+		var crcBuf []byte
+		crcBuf, err = json.Marshal(sh.log.PageChecksums())
+		if err == nil {
+			err = ck.writeArtifact("pagecrc-"+ck.token, crcBuf)
+			written += int64(len(crcBuf))
 		}
 	}
 
@@ -490,7 +516,7 @@ func (ck *checkpointCtx) waitFlush() {
 
 	ck.res = CommitResult{
 		Token: ck.token, Version: ck.version, Kind: ck.kind,
-		Serials: serials, Bytes: bytes, Err: err,
+		Serials: serials, Bytes: written, Err: err,
 	}
 	// Return to rest at version v+1 and detach the context.
 	sh.ckptMu.Lock()
@@ -502,8 +528,11 @@ func (ck *checkpointCtx) waitFlush() {
 	ck.bumpTraced(Rest)
 	if err == nil && !ck.coordinated {
 		sh.metrics.commits.Inc()
-		sh.metrics.commitBytes.Add(uint64(bytes))
+		sh.metrics.commitBytes.Add(uint64(written))
 		sh.metrics.commitNs.Observe(time.Since(ck.started))
+	}
+	if err != nil && !ck.coordinated {
+		sh.metrics.commitFailures.Inc()
 	}
 	close(ck.done)
 	if ck.opts.OnDone != nil {
@@ -518,26 +547,8 @@ func (ck *checkpointCtx) writeArtifact(name string, data []byte) error {
 	return writeArtifact(ck.store.cfg.Checkpoints, name, data)
 }
 
-// writeArtifact persists one named artifact to a checkpoint store.
+// writeArtifact persists one named artifact inside the checksum envelope,
+// retrying transient store errors (see storage.WriteArtifactChecked).
 func writeArtifact(cs storage.CheckpointStore, name string, data []byte) error {
-	w, err := cs.Create(name)
-	if err != nil {
-		return err
-	}
-	if _, err := w.Write(data); err != nil {
-		w.Close()
-		return err
-	}
-	return w.Close()
-}
-
-type countingWriter struct {
-	w interface{ Write([]byte) (int, error) }
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
+	return storage.WriteArtifactChecked(cs, name, data)
 }

@@ -1,114 +1,243 @@
 package faster
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/hashfn"
 	"repro/internal/hlog"
+	"repro/internal/storage"
 )
 
 // ErrNoCheckpoint is wrapped by Recover when the checkpoint store holds no
 // commit to recover from. Callers that fall back to a fresh store on this
 // error (errors.Is) still fail hard on real recovery problems — a corrupt
-// artifact or a shard-count mismatch must never silently discard data.
+// store with no surviving commit or a shard-count mismatch must never
+// silently discard data.
 var ErrNoCheckpoint = errors.New("no checkpoint to recover from")
 
-// Recover rebuilds a Store from its most recent CPR commit (Sec. 6.4). The
-// Config must reference the same Device contents and CheckpointStore the
-// failed instance used. The recovered store is CPR-consistent: for every
-// session, exactly the operations up to its recovered CPR point are present;
-// clients learn those points via ContinueSession.
+// SkippedCommit records one commit that recovery examined and rejected.
+type SkippedCommit struct {
+	Token  string `json:"token"`
+	Reason string `json:"reason"`
+}
+
+// RecoveryReport describes what Recover did: which commit it landed on and
+// which newer commits it had to skip because an artifact was torn, corrupt,
+// or unreadable. A non-empty Skipped list means the newest commit on disk was
+// not fully verifiable and the store fell back to an older — still valid —
+// CPR prefix.
+type RecoveryReport struct {
+	Token   string          `json:"token"`
+	Version uint32          `json:"version"`
+	Skipped []SkippedCommit `json:"skipped,omitempty"`
+}
+
+// Recover rebuilds a Store from its most recent fully-verifiable CPR commit
+// (Sec. 6.4). The Config must reference the same Device contents and
+// CheckpointStore the failed instance used. The recovered store is
+// CPR-consistent: for every session, exactly the operations up to its
+// recovered CPR point are present; clients learn those points via
+// ContinueSession.
 //
-// A partitioned store (Shards > 1) recovers from the latest cross-shard
-// manifest: a commit counts only if every shard's checkpoint became durable
-// before the crash, so shards that finished a newer commit individually roll
-// back to the manifest's version and the recovered prefix is consistent
-// across shards. A session's recovered CPR point is the minimum of its
-// per-shard points (they are equal when the commit completed normally).
+// Every artifact read during recovery is verified against its checksum
+// envelope, and log pages are verified against the commit's per-page
+// checksums. If the newest commit fails verification — a torn manifest, a
+// corrupt snapshot, a damaged log page — recovery falls back to the most
+// recent commit that verifies end to end (an older commit is still a valid
+// CPR prefix) and notes the skips in the store's RecoveryReport.
+//
+// A partitioned store (Shards > 1) recovers from the latest verifiable
+// cross-shard manifest: a commit counts only if every shard's checkpoint
+// became durable before the crash, so shards that finished a newer commit
+// individually roll back to the manifest's version and the recovered prefix
+// is consistent across shards. A session's recovered CPR point is the
+// minimum of its per-shard points (they are equal when the commit completed
+// normally).
 func Recover(cfg Config) (*Store, error) {
+	s, _, err := RecoverWithReport(cfg)
+	return s, err
+}
+
+// RecoverWithReport is Recover, also returning the recovery report (which
+// commit was chosen and which newer ones were skipped as unverifiable).
+func RecoverWithReport(cfg Config) (*Store, *RecoveryReport, error) {
 	if err := cfg.fill(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s := newStore(cfg)
 	s.shards = make([]*shard, cfg.Shards)
 
 	if len(s.shards) == 1 {
-		sc, err := s.shardConfig(0)
-		if err != nil {
-			return nil, err
+		return s.recoverSingle()
+	}
+	return s.recoverMulti()
+}
+
+// recoverSingle recovers an unpartitioned store, walking commit candidates
+// newest-first until one verifies.
+func (s *Store) recoverSingle() (*Store, *RecoveryReport, error) {
+	sc, err := s.shardConfig(0)
+	if err != nil {
+		return nil, nil, err
+	}
+	cands, err := commitCandidates(sc.Checkpoints, "meta")
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(cands) == 0 {
+		// No single-shard commit — but a cross-shard manifest means the store
+		// was written partitioned; opening it unpartitioned would silently
+		// shadow that data.
+		if _, merr := storage.ReadArtifact(s.cfg.Checkpoints, "cpr-latest"); merr == nil {
+			return nil, nil, fmt.Errorf("faster: store was written partitioned (cross-shard manifest present); set Config.Shards to match")
 		}
-		sh, serials, err := recoverShard(sc, 0, s.traceSuffix(0), s.metrics, &s.commitSeq, "")
-		if err != nil {
-			if errors.Is(err, ErrNoCheckpoint) {
-				// No single-shard commit — but a cross-shard manifest means
-				// the store was written partitioned; opening it unpartitioned
-				// would silently shadow that data.
-				if _, merr := readArtifact(cfg.Checkpoints, "cpr-latest"); merr == nil {
-					return nil, fmt.Errorf("faster: store was written partitioned (cross-shard manifest present); set Config.Shards to match")
-				}
-			}
-			return nil, err
+		return nil, nil, fmt.Errorf("faster: %w: no commit metadata found", ErrNoCheckpoint)
+	}
+	report := &RecoveryReport{}
+	for _, tok := range cands {
+		sh, serials, rerr := recoverShard(sc, 0, s.traceSuffix(0), s.metrics, &s.commitSeq, tok)
+		if rerr != nil {
+			report.Skipped = append(report.Skipped, SkippedCommit{Token: tok, Reason: rerr.Error()})
+			s.metrics.recoverySkips.Inc()
+			continue
 		}
 		s.shards[0] = sh
 		for id, serial := range serials {
 			s.recoveredSerials[id] = serial
 		}
-		s.registerStoreGauges()
-		return s, nil
+		report.Token = tok
+		report.Version = sh.Version() - 1
+		s.finishRecovery(cands, report)
+		return s, report, nil
 	}
+	return nil, nil, fmt.Errorf("faster: no verifiable commit among %d candidate(s); newest (%s): %s",
+		len(cands), report.Skipped[0].Token, report.Skipped[0].Reason)
+}
 
-	tok, err := readArtifact(s.cfg.Checkpoints, "cpr-latest")
+// recoverMulti recovers a partitioned store from the newest cross-shard
+// manifest whose every shard verifies.
+func (s *Store) recoverMulti() (*Store, *RecoveryReport, error) {
+	cands, err := commitCandidates(s.cfg.Checkpoints, "cpr-manifest")
 	if err != nil {
+		return nil, nil, err
+	}
+	if len(cands) == 0 {
 		// No cross-shard commit — but a shard-0-unprefixed "latest" means the
 		// store was written unpartitioned; recovering it as shard 0 of a
 		// partitioned store would scatter its keys across empty shards.
-		if _, lerr := readArtifact(s.cfg.Checkpoints, "latest"); lerr == nil {
-			return nil, fmt.Errorf("faster: store was written unpartitioned; set Config.Shards to 1")
+		if _, lerr := storage.ReadArtifact(s.cfg.Checkpoints, "latest"); lerr == nil {
+			return nil, nil, fmt.Errorf("faster: store was written unpartitioned; set Config.Shards to 1")
 		}
-		return nil, fmt.Errorf("faster: %w: %v", ErrNoCheckpoint, err)
+		return nil, nil, fmt.Errorf("faster: %w: no cross-shard manifest found", ErrNoCheckpoint)
 	}
-	buf, err := readArtifact(s.cfg.Checkpoints, "cpr-manifest-"+string(tok))
-	if err != nil {
-		return nil, fmt.Errorf("faster: cross-shard manifest: %w", err)
+	report := &RecoveryReport{}
+	skip := func(tok string, err error) {
+		report.Skipped = append(report.Skipped, SkippedCommit{Token: tok, Reason: err.Error()})
+		s.metrics.recoverySkips.Inc()
 	}
-	var man manifest
-	if err := json.Unmarshal(buf, &man); err != nil {
-		return nil, fmt.Errorf("faster: cross-shard manifest: %w", err)
-	}
-	if man.Shards != cfg.Shards {
-		return nil, fmt.Errorf("faster: manifest has %d shards, config has %d", man.Shards, cfg.Shards)
-	}
-	for i := range s.shards {
-		sc, err := s.shardConfig(i)
-		if err != nil {
-			s.closeShards(i)
-			return nil, err
+candidates:
+	for _, tok := range cands {
+		buf, merr := storage.ReadArtifactChecked(s.cfg.Checkpoints, "cpr-manifest-"+tok)
+		if merr != nil {
+			skip(tok, fmt.Errorf("cross-shard manifest: %w", merr))
+			continue
 		}
-		sh, serials, err := recoverShard(sc, i, s.traceSuffix(i), s.metrics, &s.commitSeq, man.Token)
-		if err != nil {
-			s.closeShards(i)
-			return nil, fmt.Errorf("faster: recover shard %d: %w", i, err)
+		var man manifest
+		if err := json.Unmarshal(buf, &man); err != nil {
+			skip(tok, fmt.Errorf("cross-shard manifest: %w", err))
+			continue
 		}
-		s.shards[i] = sh
-		// Min-merge: the recovered prefix for a session is bounded by the
-		// weakest shard (equal across shards for a completed commit).
-		for id, serial := range serials {
-			if cur, ok := s.recoveredSerials[id]; !ok || serial < cur {
-				s.recoveredSerials[id] = serial
+		if man.Shards != s.cfg.Shards {
+			// Configuration error, not corruption: no older manifest can fix a
+			// store opened with the wrong shard count.
+			return nil, nil, fmt.Errorf("faster: manifest has %d shards, config has %d", man.Shards, s.cfg.Shards)
+		}
+		clear(s.recoveredSerials)
+		for i := range s.shards {
+			sc, err := s.shardConfig(i)
+			if err != nil {
+				s.closeShards(i)
+				return nil, nil, err
+			}
+			sh, serials, rerr := recoverShard(sc, i, s.traceSuffix(i), s.metrics, &s.commitSeq, man.Token)
+			if rerr != nil {
+				s.closeShards(i)
+				clear(s.shards[:i])
+				skip(tok, fmt.Errorf("shard %d: %w", i, rerr))
+				continue candidates
+			}
+			s.shards[i] = sh
+			// Min-merge: the recovered prefix for a session is bounded by the
+			// weakest shard (equal across shards for a completed commit).
+			for id, serial := range serials {
+				if cur, ok := s.recoveredSerials[id]; !ok || serial < cur {
+					s.recoveredSerials[id] = serial
+				}
 			}
 		}
+		report.Token = man.Token
+		report.Version = man.Version
+		s.finishRecovery(cands, report)
+		return s, report, nil
 	}
-	// Resume the token sequence past the recovered commit so new commits
-	// never overwrite artifacts the live manifest chain references.
-	if seq, ok := tokenSeq(man.Token); ok && seq > s.commitSeq.Load() {
-		s.commitSeq.Store(seq)
+	return nil, nil, fmt.Errorf("faster: no verifiable cross-shard commit among %d candidate(s); newest (%s): %s",
+		len(cands), report.Skipped[0].Token, report.Skipped[0].Reason)
+}
+
+// finishRecovery resumes the token sequence past every enumerated candidate
+// (so fresh commits never collide with a skipped-but-present newer token, nor
+// overwrite artifacts the live chain references) and publishes the report.
+func (s *Store) finishRecovery(cands []string, report *RecoveryReport) {
+	for _, tok := range cands {
+		if seq, ok := tokenSeq(tok); ok && seq > s.commitSeq.Load() {
+			s.commitSeq.Store(seq)
+		}
 	}
+	s.report = report
 	s.registerStoreGauges()
-	return s, nil
+}
+
+// commitCandidates enumerates commit tokens present in the store for the
+// given artifact kind ("meta" or "cpr-manifest"), newest first by token
+// sequence number. Enumerating artifacts — rather than trusting the "latest"
+// pointer — is what makes fallback possible when the pointer or the newest
+// commit is damaged.
+func commitCandidates(cs storage.CheckpointStore, kind string) ([]string, error) {
+	names, err := storage.ListPrefix(cs, kind+"-")
+	if err != nil {
+		return nil, err
+	}
+	type cand struct {
+		token string
+		seq   uint64
+		hasN  bool
+	}
+	cands := make([]cand, 0, len(names))
+	for _, n := range names {
+		tok := n[len(kind)+1:]
+		seq, ok := tokenSeq(tok)
+		cands = append(cands, cand{token: tok, seq: seq, hasN: ok})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].hasN != cands[j].hasN {
+			return cands[i].hasN // parseable tokens first (ordered), foreign tokens last
+		}
+		if cands[i].hasN {
+			return cands[i].seq > cands[j].seq
+		}
+		return cands[i].token > cands[j].token
+	})
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.token
+	}
+	return out, nil
 }
 
 // closeShards closes the shards recovered so far ([0, n)).
@@ -129,17 +258,13 @@ func tokenSeq(token string) (uint64, bool) {
 	return seq, true
 }
 
-// recoverShard rebuilds one shard from the commit identified by token (the
-// shard's latest commit when token is empty). cfg must be the shard's private
-// configuration, exactly as for openShard.
+// recoverShard rebuilds one shard from the commit identified by token,
+// verifying every artifact it reads and the log pages the commit's checksum
+// table covers. cfg must be the shard's private configuration, exactly as
+// for openShard. Any verification failure returns an error; the caller falls
+// back to an older commit.
 func recoverShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, seq *atomic.Uint64, token string) (*shard, map[string]uint64, error) {
-	var meta *metadata
-	var err error
-	if token == "" {
-		meta, err = loadLatestMetadata(cfg.Checkpoints)
-	} else {
-		meta, err = loadMetadata(cfg.Checkpoints, token)
-	}
+	meta, err := loadMetadata(cfg.Checkpoints, token)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -151,7 +276,7 @@ func recoverShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, 
 	// Snapshot commits keep the captured volatile region in a separate
 	// artifact; slot it back into the log's address space first (App. D).
 	if meta.Kind == Snapshot.String() {
-		data, err := readArtifact(cfg.Checkpoints, "snapshot-"+meta.Token)
+		data, err := storage.ReadArtifactChecked(cfg.Checkpoints, "snapshot-"+meta.Token)
 		if err != nil {
 			sh.close()
 			return nil, nil, fmt.Errorf("faster: recover snapshot: %w", err)
@@ -174,17 +299,34 @@ func recoverShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, 
 		return nil, nil, err
 	}
 
+	// Verify the device's log pages against the commit's per-page checksums
+	// (seeding the recovered log's checksum table with the pages that pass).
+	// Commits predating page checksums carry no table and skip this.
+	if crcBuf, cerr := storage.ReadArtifactChecked(cfg.Checkpoints, "pagecrc-"+meta.Token); cerr == nil {
+		var crcs []hlog.PageCRC
+		if err := json.Unmarshal(crcBuf, &crcs); err != nil {
+			sh.close()
+			return nil, nil, fmt.Errorf("faster: page checksums: %w", err)
+		}
+		if err := sh.log.VerifyPages(crcs, end); err != nil {
+			sh.close()
+			return nil, nil, fmt.Errorf("faster: log page verification: %w", err)
+		}
+	} else if !storage.IsNotFound(cerr) {
+		sh.close()
+		return nil, nil, fmt.Errorf("faster: page checksums: %w", cerr)
+	}
+
 	// Load the most recent fuzzy index checkpoint, or start empty and
 	// replay the whole log.
 	scanStart := uint64(hlog.FirstAddress)
 	if meta.IndexToken != "" {
-		r, err := cfg.Checkpoints.Open("index-" + meta.IndexToken)
+		data, err := storage.ReadArtifactChecked(cfg.Checkpoints, "index-"+meta.IndexToken)
 		if err != nil {
 			sh.close()
 			return nil, nil, fmt.Errorf("faster: recover index: %w", err)
 		}
-		idx, err := readIndex(r)
-		r.Close()
+		idx, err := readIndex(bytes.NewReader(data))
 		if err != nil {
 			sh.close()
 			return nil, nil, err
@@ -223,7 +365,8 @@ func recoverShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, 
 // them (or a later address) is unwound to their predecessor.
 func (sh *shard) replayLog(start, end uint64, v uint32) error {
 	var keyBuf []byte
-	return sh.log.Scan(start, end, func(addr uint64, rec hlog.RecordRef) bool {
+	var replayErr error
+	err := sh.log.Scan(start, end, func(addr uint64, rec hlog.RecordRef) bool {
 		keyBuf = rec.Key(keyBuf[:0])
 		h := hashfn.Hash64(keyBuf)
 		slot := sh.index.findOrCreateSlot(h)
@@ -233,8 +376,9 @@ func (sh *shard) replayLog(start, end uint64, v uint32) error {
 		}
 		if err := sh.log.PersistInvalid(addr); err != nil {
 			// Recovery is single-threaded; surface the first error by
-			// stopping the scan (the outer call re-checks consistency).
-			panic(fmt.Sprintf("faster: invalidate %d: %v", addr, err))
+			// stopping the scan (the caller fails this commit candidate).
+			replayErr = fmt.Errorf("faster: invalidate %d: %w", addr, err)
+			return false
 		}
 		if entryAddr(slot.Load()) >= addr {
 			prev := rec.Prev()
@@ -246,6 +390,10 @@ func (sh *shard) replayLog(start, end uint64, v uint32) error {
 		}
 		return true
 	})
+	if err != nil {
+		return err
+	}
+	return replayErr
 }
 
 // clampIndex clears index entries that reference addresses at or beyond the
@@ -274,20 +422,8 @@ func (sh *shard) clampIndex(end uint64) {
 	}
 }
 
-func loadLatestMetadata(store interface {
-	Open(string) (io.ReadCloser, error)
-}) (*metadata, error) {
-	tok, err := readArtifact(store, "latest")
-	if err != nil {
-		return nil, fmt.Errorf("faster: %w: %v", ErrNoCheckpoint, err)
-	}
-	return loadMetadata(store, string(tok))
-}
-
-func loadMetadata(store interface {
-	Open(string) (io.ReadCloser, error)
-}, token string) (*metadata, error) {
-	buf, err := readArtifact(store, "meta-"+token)
+func loadMetadata(store storage.CheckpointStore, token string) (*metadata, error) {
+	buf, err := storage.ReadArtifactChecked(store, "meta-"+token)
 	if err != nil {
 		return nil, fmt.Errorf("faster: commit metadata: %w", err)
 	}

@@ -83,7 +83,7 @@ func (s *Store) LatestCommitToken() (string, bool) {
 	if s.cfg.Shards > 1 {
 		name = "cpr-latest"
 	}
-	tok, err := storage.ReadArtifact(s.cfg.Checkpoints, name)
+	tok, err := storage.ReadArtifactChecked(s.cfg.Checkpoints, name)
 	if err != nil || len(tok) == 0 {
 		return "", false
 	}
@@ -127,6 +127,11 @@ func (s *Store) CommitShipInfo(token string) (*ShipInfo, error) {
 		}
 		info.Version = meta.Version
 		info.Artifacts = append(info.Artifacts, prefix+"meta-"+token)
+		if artifactExists(sh.cfg.Checkpoints, "pagecrc-"+token) {
+			// Page checksums ride along so the replica can verify its own
+			// artifacts on restart. Absent only for pre-integrity commits.
+			info.Artifacts = append(info.Artifacts, prefix+"pagecrc-"+token)
+		}
 		if meta.IndexToken != "" {
 			info.Artifacts = append(info.Artifacts, prefix+"index-"+meta.IndexToken)
 		}
@@ -149,6 +154,16 @@ func (s *Store) CommitShipInfo(token string) (*ShipInfo, error) {
 	return info, nil
 }
 
+// artifactExists reports whether the named artifact can be opened.
+func artifactExists(cs storage.CheckpointStore, name string) bool {
+	r, err := cs.Open(name)
+	if err != nil {
+		return false
+	}
+	r.Close()
+	return true
+}
+
 // ResyncFrom reports, per shard, the address from which this store's own
 // recovery rewrote log state (invalidating uncommitted records on the
 // device). A replica that replicated from the pre-crash instance must
@@ -168,7 +183,7 @@ func (s *Store) ApplyCommitted(token string) error {
 		return ErrNotReplica
 	}
 	if s.cfg.Shards > 1 {
-		buf, err := storage.ReadArtifact(s.cfg.Checkpoints, "cpr-manifest-"+token)
+		buf, err := storage.ReadArtifactChecked(s.cfg.Checkpoints, "cpr-manifest-"+token)
 		if err != nil {
 			return fmt.Errorf("faster: install manifest: %w", err)
 		}
@@ -206,7 +221,7 @@ func (s *Store) ApplyCommitted(token string) error {
 	if s.cfg.Shards > 1 {
 		name = "cpr-latest"
 	}
-	if err := storage.WriteArtifact(s.cfg.Checkpoints, name, []byte(token)); err != nil {
+	if err := storage.WriteArtifactChecked(s.cfg.Checkpoints, name, []byte(token)); err != nil {
 		return fmt.Errorf("faster: install pointer: %w", err)
 	}
 	if seq, ok := tokenSeq(token); ok && seq > s.commitSeq.Load() {
@@ -228,7 +243,7 @@ func (sh *shard) applyCommitted(meta *metadata) error {
 		end = meta.Lie
 	}
 	if meta.Kind == Snapshot.String() {
-		data, err := storage.ReadArtifact(sh.cfg.Checkpoints, "snapshot-"+meta.Token)
+		data, err := storage.ReadArtifactChecked(sh.cfg.Checkpoints, "snapshot-"+meta.Token)
 		if err != nil {
 			return fmt.Errorf("install snapshot: %w", err)
 		}

@@ -80,6 +80,7 @@ func openShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, seq
 		Epochs:          em,
 		IOWorkers:       cfg.IOWorkers,
 		Metrics:         cfg.Metrics,
+		VerifyReads:     cfg.VerifyReads,
 	})
 	if err != nil {
 		return nil, err

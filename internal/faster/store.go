@@ -146,6 +146,10 @@ type Config struct {
 	Transfer VersionTransfer
 	// IOWorkers sizes the async I/O pool (per shard).
 	IOWorkers int
+	// VerifyReads makes cold-record reads fetch and verify the record's whole
+	// log page against its recorded checksum (when known), healing read-path
+	// bit flips by retrying instead of returning corrupt data.
+	VerifyReads bool
 	// Metrics receives the store's instrumentation (and the log's, epoch
 	// manager's and I/O pool's). Defaults to a fresh enabled registry; pass
 	// obs.NewNop() to disable collection. Multi-shard stores expose per-shard
@@ -209,19 +213,23 @@ type storeMetrics struct {
 	commits                       *obs.Counter
 	commitBytes                   *obs.Counter
 	commitNs                      *obs.Histogram
+	commitFailures                *obs.Counter // commits aborted by I/O failure
+	recoverySkips                 *obs.Counter // commits skipped as unverifiable
 }
 
 func newStoreMetrics(reg *obs.Registry) storeMetrics {
 	return storeMetrics{
-		reads:       reg.Counter("faster_reads_total"),
-		upserts:     reg.Counter("faster_upserts_total"),
-		rmws:        reg.Counter("faster_rmws_total"),
-		deletes:     reg.Counter("faster_deletes_total"),
-		pendings:    reg.Counter("faster_pending_ops_total"),
-		ioReads:     reg.Counter("faster_io_reads_total"),
-		commits:     reg.Counter("faster_commits_total"),
-		commitBytes: reg.Counter("faster_commit_bytes_total"),
-		commitNs:    reg.Histogram("faster_commit_ns"),
+		reads:          reg.Counter("faster_reads_total"),
+		upserts:        reg.Counter("faster_upserts_total"),
+		rmws:           reg.Counter("faster_rmws_total"),
+		deletes:        reg.Counter("faster_deletes_total"),
+		pendings:       reg.Counter("faster_pending_ops_total"),
+		ioReads:        reg.Counter("faster_io_reads_total"),
+		commits:        reg.Counter("faster_commits_total"),
+		commitBytes:    reg.Counter("faster_commit_bytes_total"),
+		commitNs:       reg.Histogram("faster_commit_ns"),
+		commitFailures: reg.Counter("faster_commit_failures_total"),
+		recoverySkips:  reg.Counter("faster_recovery_skipped_commits_total"),
 	}
 }
 
@@ -255,7 +263,15 @@ type Store struct {
 
 	metrics storeMetrics
 	tracer  *obs.Tracer
+
+	// report describes how the store was recovered (nil when opened fresh).
+	report *RecoveryReport
 }
+
+// RecoveryReport returns the report from the Recover call that produced this
+// store: the commit recovered and any newer commits skipped as unverifiable.
+// It is nil for a store created with Open.
+func (s *Store) RecoveryReport() *RecoveryReport { return s.report }
 
 func packState(p Phase, v uint32) uint64   { return uint64(p)<<32 | uint64(v) }
 func unpackState(s uint64) (Phase, uint32) { return Phase(s >> 32), uint32(s) }

@@ -299,7 +299,10 @@ func TestSnapshotAndRestore(t *testing.T) {
 		}
 	}
 	end := l.Tail()
-	snap := l.SnapshotRange(FirstAddress, end)
+	snap, err := l.SnapshotRange(FirstAddress, end)
+	if err != nil {
+		t.Fatal(err)
+	}
 	g.Release()
 	l.Close()
 

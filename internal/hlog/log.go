@@ -3,7 +3,9 @@ package hlog
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,10 @@ import (
 	"repro/internal/obs"
 	"repro/internal/storage"
 )
+
+// crcTable is the CRC32-C polynomial used for per-page checksums (matching
+// the storage package's artifact envelope).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // MinMemPages is the smallest allowed MemPages value: the log needs room
 // for a mutable region, a fuzzy region and at least one flushing frame.
@@ -35,6 +41,10 @@ type Config struct {
 	// Metrics, when non-nil, receives the log's instrumentation (region
 	// offsets, flush volume/latency, async reads) and the I/O pool's.
 	Metrics *obs.Registry
+	// VerifyReads makes AsyncRead serve records from a full-page device read
+	// verified against the page's checksum (when one is known), retrying on
+	// mismatch, instead of trusting the raw record bytes.
+	VerifyReads bool
 }
 
 func (c *Config) fill() error {
@@ -74,6 +84,7 @@ type flushSegment struct {
 	from, to uint64
 	done     bool
 	issued   time.Time // when the write was submitted (flush-latency metric)
+	buf      []byte    // written bytes, retained until absorbed into page CRCs
 }
 
 // Log is a HybridLog instance. See the package comment for the region
@@ -105,12 +116,27 @@ type Log struct {
 	durableMu   sync.Mutex
 	durableCond *sync.Cond
 	durableSubs []func(uint64) // durable-watermark hooks (guarded by durableMu)
+	flushErr    error          // first permanent flush failure (guarded by durableMu)
+
+	// Per-page checksums of flushed data (guarded by durableMu). pageCRCs
+	// holds CRC32-C over each fully-flushed page's bytes ([FirstAddress,
+	// pageEnd) for page 0); crcRun/crcNext accumulate the in-progress page as
+	// the durable watermark advances in address order. A page whose flushed
+	// history this Log did not observe end to end (recovery landed mid-page,
+	// or a record on it was re-written by PersistInvalid/RestoreRange) is
+	// left without an entry rather than given a wrong one.
+	pageCRCs   map[uint64]uint32
+	crcRun     uint32
+	crcNext    uint64
+	crcTainted bool
 
 	// Observability (registered at construction; metrics are nil-safe).
-	flushBytes *obs.Counter
-	flushSegs  *obs.Counter
-	flushNs    *obs.Histogram
-	asyncReads *obs.Counter
+	flushBytes    *obs.Counter
+	flushSegs     *obs.Counter
+	flushNs       *obs.Histogram
+	asyncReads    *obs.Counter
+	verifiedReads *obs.Counter
+	verifyFails   *obs.Counter
 
 	closed atomic.Bool
 }
@@ -146,6 +172,8 @@ func New(cfg Config) (*Log, error) {
 	l.flushIssued = FirstAddress
 	l.durable.Store(FirstAddress)
 	l.durableCond = sync.NewCond(&l.durableMu)
+	l.pageCRCs = make(map[uint64]uint32)
+	l.crcNext = FirstAddress
 	l.pool = storage.NewPool(cfg.IOWorkers, 256)
 	l.instrument(cfg.Metrics)
 	return l, nil
@@ -164,6 +192,8 @@ func (l *Log) instrument(reg *obs.Registry) {
 	l.flushSegs = reg.Counter("hlog_flush_segments_total")
 	l.flushNs = reg.Histogram("hlog_flush_ns")
 	l.asyncReads = reg.Counter("hlog_async_reads_total")
+	l.verifiedReads = reg.Counter("hlog_verified_reads_total")
+	l.verifyFails = reg.Counter("hlog_page_verify_failures_total")
 	reg.GaugeFunc("hlog_tail_bytes", func() int64 { return int64(l.tail.Load()) })
 	reg.GaugeFunc("hlog_read_only_bytes", func() int64 { return int64(l.readOnly.Load()) })
 	reg.GaugeFunc("hlog_safe_read_only_bytes", func() int64 { return int64(l.safeReadOnly.Load()) })
@@ -449,18 +479,45 @@ func (l *Log) issueFlushUntil(target uint64) {
 	for _, seg := range segs {
 		seg := seg
 		buf := l.serializeRange(seg.from, seg.to)
+		seg.buf = buf
 		l.pool.Submit(storage.IORequest{
 			Dev: l.cfg.Device, Buf: buf, Off: int64(seg.from), Write: true,
 			Done: func(_ int, err error) {
 				if err != nil {
-					// A failed flush is fatal for durability guarantees;
-					// surface loudly rather than silently losing a commit.
-					panic(fmt.Sprintf("hlog: flush [%d,%d) failed: %v", seg.from, seg.to, err))
+					// The pool already retried transient errors; what reaches
+					// here is permanent. Record it — the durable watermark
+					// stalls below this segment, so no commit covering it can
+					// ever be announced — and wake waiters so in-flight
+					// commits abort cleanly instead of blocking forever.
+					l.recordFlushError(seg, err)
+					return
 				}
 				l.completeSegment(seg)
 			},
 		})
 	}
+}
+
+// recordFlushError notes a permanent flush failure and wakes durability
+// waiters. The failed segment stays pending, pinning the durable watermark
+// below it: durability is never claimed for data that did not reach the
+// device.
+func (l *Log) recordFlushError(seg *flushSegment, err error) {
+	l.durableMu.Lock()
+	if l.flushErr == nil {
+		l.flushErr = fmt.Errorf("hlog: flush [%d,%d) failed: %w", seg.from, seg.to, err)
+	}
+	l.durableMu.Unlock()
+	l.durableCond.Broadcast()
+}
+
+// FlushErr reports the first permanent flush failure, if any. Once set, the
+// durable watermark can no longer advance past the failed segment and
+// commits waiting on it must abort.
+func (l *Log) FlushErr() error {
+	l.durableMu.Lock()
+	defer l.durableMu.Unlock()
+	return l.flushErr
 }
 
 // completeSegment marks seg done and advances the durable watermark across
@@ -475,6 +532,7 @@ func (l *Log) completeSegment(seg *flushSegment) {
 	seg.done = true
 	advanced := false
 	for len(l.segments) > 0 && l.segments[0].done {
+		l.absorbSegment(l.segments[0])
 		l.durable.Store(l.segments[0].to)
 		l.segments = l.segments[1:]
 		advanced = true
@@ -491,6 +549,115 @@ func (l *Log) completeSegment(seg *flushSegment) {
 			fn(watermark)
 		}
 	}
+}
+
+// absorbSegment feeds a completed flush segment's bytes into the running
+// per-page CRC accumulator, recording a page's checksum when its last byte
+// becomes durable. Called under durableMu, in address order.
+func (l *Log) absorbSegment(seg *flushSegment) {
+	if seg.from != l.crcNext {
+		// Accumulation gap (should not happen — segments advance contiguously
+		// from the flush origin): restart at this segment, abandoning any
+		// partial page.
+		l.crcRun = 0
+		l.crcTainted = l.offset(seg.from) != 0
+		l.crcNext = seg.from
+	}
+	data := seg.buf
+	for len(data) > 0 {
+		pageEnd := (l.page(l.crcNext) + 1) << l.cfg.PageBits
+		n := pageEnd - l.crcNext
+		if n > uint64(len(data)) {
+			n = uint64(len(data))
+		}
+		l.crcRun = crc32.Update(l.crcRun, crcTable, data[:n])
+		l.crcNext += n
+		data = data[n:]
+		if l.crcNext == pageEnd {
+			if !l.crcTainted {
+				l.pageCRCs[l.page(pageEnd-1)] = l.crcRun
+			}
+			l.crcRun = 0
+			l.crcTainted = false
+		}
+	}
+	seg.buf = nil
+}
+
+// PageCRC is one page's checksum: CRC32-C over the page's flushed bytes
+// ([FirstAddress, pageEnd) for the first page, the full page otherwise).
+type PageCRC struct {
+	Page uint64 `json:"page"`
+	CRC  uint32 `json:"crc"`
+}
+
+// PageChecksums returns the checksums of every fully-flushed page this Log
+// has observed, sorted by page number. Commits persist them as the
+// "pagecrc-<token>" artifact; recovery verifies the device against them.
+func (l *Log) PageChecksums() []PageCRC {
+	l.durableMu.Lock()
+	out := make([]PageCRC, 0, len(l.pageCRCs))
+	for p, c := range l.pageCRCs {
+		out = append(out, PageCRC{Page: p, CRC: c})
+	}
+	l.durableMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Page < out[j].Page })
+	return out
+}
+
+// invalidatePageCRCs drops checksum entries for pages overlapping [from, to):
+// their device bytes are being rewritten out of flush order, so the recorded
+// CRCs no longer describe them.
+func (l *Log) invalidatePageCRCs(from, to uint64) {
+	l.durableMu.Lock()
+	for p := l.page(from); p <= l.page(to-1); p++ {
+		delete(l.pageCRCs, p)
+		if p == l.page(l.crcNext) {
+			l.crcTainted = true
+		}
+	}
+	l.durableMu.Unlock()
+}
+
+// VerifyPages checks the device contents of every page in crcs that lies
+// fully below end against its recorded checksum, seeding the log's checksum
+// table with the pages that verify. Transient read errors and bit flips on
+// the verification read itself are absorbed by retrying; a page that still
+// mismatches after retries fails recovery of this commit (the caller falls
+// back to an older one).
+func (l *Log) VerifyPages(crcs []PageCRC, end uint64) error {
+	for _, pc := range crcs {
+		start := pc.Page << l.cfg.PageBits
+		if start < FirstAddress {
+			start = FirstAddress
+		}
+		stop := (pc.Page + 1) << l.cfg.PageBits
+		if stop > end {
+			continue // page extends past the recovered prefix
+		}
+		buf := make([]byte, stop-start)
+		var lastErr error
+		ok := false
+		for attempt := 0; attempt < 3 && !ok; attempt++ {
+			if _, err := storage.ReadAtRetry(l.cfg.Device, buf, int64(start)); err != nil {
+				lastErr = err
+				continue
+			}
+			if got := crc32.Checksum(buf, crcTable); got != pc.CRC {
+				l.verifyFails.Inc()
+				lastErr = fmt.Errorf("hlog: page %d checksum mismatch (stored %08x, device %08x)", pc.Page, pc.CRC, got)
+				continue
+			}
+			ok = true
+		}
+		if !ok {
+			return lastErr
+		}
+		l.durableMu.Lock()
+		l.pageCRCs[pc.Page] = pc.CRC
+		l.durableMu.Unlock()
+	}
+	return nil
 }
 
 // OnDurable registers fn to be called (from an I/O completion goroutine)
@@ -510,16 +677,17 @@ func (l *Log) ReadRaw(off uint64, p []byte) error {
 	if end := off + uint64(len(p)); end > l.durable.Load() {
 		return fmt.Errorf("hlog: raw read [%d,%d) beyond durable %d", off, end, l.durable.Load())
 	}
-	_, err := l.cfg.Device.ReadAt(p, int64(off))
+	_, err := storage.ReadAtRetry(l.cfg.Device, p, int64(off))
 	return err
 }
 
 // WaitDurable blocks until all log data below target is durable on the
-// device. The caller must previously have caused a flush covering target
-// (e.g. via ShiftReadOnlyTo) or it will block forever.
+// device, or until a permanent flush failure makes that impossible (check
+// FlushErr / Durable afterwards). The caller must previously have caused a
+// flush covering target (e.g. via ShiftReadOnlyTo) or it will block forever.
 func (l *Log) WaitDurable(target uint64) {
 	l.durableMu.Lock()
-	for l.durable.Load() < target {
+	for l.durable.Load() < target && l.flushErr == nil {
 		l.durableCond.Wait()
 	}
 	l.durableMu.Unlock()
@@ -539,9 +707,18 @@ func (l *Log) serializeRange(from, to uint64) []byte {
 
 // AsyncRead fetches the record at addr from the device and invokes done from
 // an I/O worker with a private copy of the record (or an error). It models
-// FASTER's asynchronous retrieval of cold records.
+// FASTER's asynchronous retrieval of cold records. With Config.VerifyReads
+// and a known checksum for the record's page, the whole page is read and
+// verified and the record served from the verified bytes, retrying on
+// mismatch — a flipped bit on the read path is healed instead of returned.
 func (l *Log) AsyncRead(addr uint64, done func(rec RecordRef, err error)) {
 	l.asyncReads.Inc()
+	if l.cfg.VerifyReads {
+		if start, stop, want, ok := l.pageCRCFor(addr); ok {
+			l.verifiedRead(addr, start, stop, want, done, 3)
+			return
+		}
+	}
 	hdr := make([]byte, 16)
 	l.pool.Submit(storage.IORequest{
 		Dev: l.cfg.Device, Buf: hdr, Off: int64(addr),
@@ -569,10 +746,11 @@ func (l *Log) AsyncRead(addr uint64, done func(rec RecordRef, err error)) {
 	})
 }
 
-// ReadRecordSync synchronously reads a record from the device (recovery path).
+// ReadRecordSync synchronously reads a record from the device (recovery
+// path). Transient device errors are retried.
 func (l *Log) ReadRecordSync(addr uint64) (RecordRef, error) {
 	hdr := make([]byte, 16)
-	if _, err := l.cfg.Device.ReadAt(hdr, int64(addr)); err != nil {
+	if _, err := storage.ReadAtRetry(l.cfg.Device, hdr, int64(addr)); err != nil {
 		return RecordRef{}, err
 	}
 	lens := binary.LittleEndian.Uint64(hdr[8:])
@@ -581,11 +759,64 @@ func (l *Log) ReadRecordSync(addr uint64) (RecordRef, error) {
 	buf := make([]byte, size)
 	copy(buf, hdr)
 	if size > 16 {
-		if _, err := l.cfg.Device.ReadAt(buf[16:], int64(addr)+16); err != nil {
+		if _, err := storage.ReadAtRetry(l.cfg.Device, buf[16:], int64(addr)+16); err != nil {
 			return RecordRef{}, err
 		}
 	}
 	return bytesToRecord(buf), nil
+}
+
+// pageCRCFor looks up addr's page checksum; ok is false when the page has no
+// recorded CRC (still mutable, or its flushed history was not observed).
+func (l *Log) pageCRCFor(addr uint64) (start, stop uint64, crc uint32, ok bool) {
+	page := l.page(addr)
+	l.durableMu.Lock()
+	crc, ok = l.pageCRCs[page]
+	l.durableMu.Unlock()
+	if !ok {
+		return 0, 0, 0, false
+	}
+	start = page << l.cfg.PageBits
+	if start < FirstAddress {
+		start = FirstAddress
+	}
+	return start, (page + 1) << l.cfg.PageBits, crc, true
+}
+
+// verifiedRead serves the record at addr from a checksum-verified read of its
+// whole page, retrying (fresh read) on mismatch up to attempts times.
+func (l *Log) verifiedRead(addr, start, stop uint64, want uint32, done func(RecordRef, error), attempts int) {
+	buf := make([]byte, stop-start)
+	l.pool.Submit(storage.IORequest{
+		Dev: l.cfg.Device, Buf: buf, Off: int64(start),
+		Done: func(_ int, err error) {
+			if err == nil {
+				if got := crc32.Checksum(buf, crcTable); got != want {
+					l.verifyFails.Inc()
+					err = fmt.Errorf("hlog: page %d checksum mismatch on read-back (stored %08x, device %08x)",
+						l.page(addr), want, got)
+				}
+			}
+			if err != nil {
+				if attempts > 1 {
+					l.verifiedRead(addr, start, stop, want, done, attempts-1)
+					return
+				}
+				done(RecordRef{}, err)
+				return
+			}
+			l.verifiedReads.Inc()
+			base := addr - start
+			lens := binary.LittleEndian.Uint64(buf[base+8:])
+			k, _, c := splitLens(lens)
+			size := uint64(RecordSize(k, c))
+			if base+size > uint64(len(buf)) {
+				done(RecordRef{}, fmt.Errorf("hlog: record at %d overruns its verified page", addr))
+				return
+			}
+			done(bytesToRecord(buf[base:base+size]), nil)
+		},
+	})
 }
 
 func bytesToRecord(b []byte) RecordRef {
@@ -670,21 +901,23 @@ func (l *Log) readRecordCopy(addr uint64) (RecordRef, error) {
 // from its frame with an owner check before and after the copy, falling back
 // to the device when the frame was reclaimed (an evicted page is durable by
 // construction).
-func (l *Log) SnapshotRange(from, to uint64) []byte {
+func (l *Log) SnapshotRange(from, to uint64) ([]byte, error) {
 	buf := make([]byte, to-from)
 	for addr := from; addr < to; {
 		end := (l.page(addr) + 1) << l.cfg.PageBits
 		if end > to {
 			end = to
 		}
-		l.snapshotPage(addr, end, buf[addr-from:end-from])
+		if err := l.snapshotPage(addr, end, buf[addr-from:end-from]); err != nil {
+			return nil, err
+		}
 		addr = end
 	}
-	return buf
+	return buf, nil
 }
 
 // snapshotPage copies [from, to) (within one page) into out.
-func (l *Log) snapshotPage(from, to uint64, out []byte) {
+func (l *Log) snapshotPage(from, to uint64, out []byte) error {
 	page := l.page(from)
 	idx := page % uint64(len(l.frames))
 	if l.frameOwner[idx].Load() == page+1 {
@@ -693,15 +926,15 @@ func (l *Log) snapshotPage(from, to uint64, out []byte) {
 			binary.LittleEndian.PutUint64(out[a-from:], atomic.LoadUint64(&frame[l.offset(a)/8]))
 		}
 		if l.frameOwner[idx].Load() == page+1 {
-			return // frame stayed owned throughout the copy
+			return nil // frame stayed owned throughout the copy
 		}
 	}
 	// Evicted (or reclaimed mid-copy): the page is durable on the device.
 	if to <= l.durable.Load() {
-		if _, err := l.cfg.Device.ReadAt(out, int64(from)); err != nil {
-			panic(fmt.Sprintf("hlog: snapshot read [%d,%d) from device: %v", from, to, err))
+		if _, err := storage.ReadAtRetry(l.cfg.Device, out, int64(from)); err != nil {
+			return fmt.Errorf("hlog: snapshot read [%d,%d) from device: %w", from, to, err)
 		}
-		return
+		return nil
 	}
 	// Not owned and not durable: this is the log's tail page before its
 	// frame claim completed. Only unpublished post-commit allocations can
@@ -709,13 +942,19 @@ func (l *Log) snapshotPage(from, to uint64, out []byte) {
 	// v+1 records and treats zero headers as end-of-page) — so zeros are a
 	// correct capture of this chunk.
 	clear(out)
+	return nil
 }
 
 // RestoreRange writes raw log bytes at their logical offsets into the device
 // (used when recovering a snapshot commit: the snapshot file's contents slot
-// back into the main log address space).
+// back into the main log address space). Checksum entries for the touched
+// pages are dropped: the rewrite happened outside flush order.
 func (l *Log) RestoreRange(from uint64, data []byte) error {
-	_, err := l.cfg.Device.WriteAt(data, int64(from))
+	if len(data) == 0 {
+		return nil
+	}
+	l.invalidatePageCRCs(from, from+uint64(len(data)))
+	_, err := storage.WriteAtRetry(l.cfg.Device, data, int64(from))
 	return err
 }
 
@@ -749,7 +988,7 @@ func (l *Log) RecoverTo(end uint64) error {
 			continue
 		}
 		buf := make([]byte, stop-start)
-		if _, err := l.cfg.Device.ReadAt(buf, int64(start)); err != nil {
+		if _, err := storage.ReadAtRetry(l.cfg.Device, buf, int64(start)); err != nil {
 			return fmt.Errorf("hlog: recover page %d: %w", p, err)
 		}
 		frame := l.frames[idx]
@@ -765,6 +1004,11 @@ func (l *Log) RecoverTo(end uint64) error {
 	l.flushIssued = end
 	l.flushMu.Unlock()
 	l.durable.Store(end)
+	l.durableMu.Lock()
+	l.crcNext = end
+	l.crcRun = 0
+	l.crcTainted = l.offset(end) != 0 // mid-page landing: that page gets no CRC
+	l.durableMu.Unlock()
 	return nil
 }
 
@@ -784,13 +1028,14 @@ func (l *Log) PersistInvalid(addr uint64) error {
 		hdr = rec.Header()
 	} else {
 		var buf [8]byte
-		if _, err := l.cfg.Device.ReadAt(buf[:], int64(addr)); err != nil {
+		if _, err := storage.ReadAtRetry(l.cfg.Device, buf[:], int64(addr)); err != nil {
 			return err
 		}
 		hdr = binary.LittleEndian.Uint64(buf[:]) | invalidBit
 	}
+	l.invalidatePageCRCs(addr, addr+8)
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], hdr)
-	_, err := l.cfg.Device.WriteAt(buf[:], int64(addr))
+	_, err := storage.WriteAtRetry(l.cfg.Device, buf[:], int64(addr))
 	return err
 }

@@ -41,6 +41,7 @@ type Server struct {
 	shippedBytes *obs.Counter
 	shippedArts  *obs.Counter
 	announced    *obs.Counter
+	verifyFails  *obs.Counter
 }
 
 // NewServer wraps an open (primary) store. Commits completed from here on
@@ -56,6 +57,7 @@ func NewServer(store *faster.Store) *Server {
 		shippedBytes: reg.Counter("repl_shipped_log_bytes_total"),
 		shippedArts:  reg.Counter("repl_shipped_artifacts_total"),
 		announced:    reg.Counter("repl_commits_announced_total"),
+		verifyFails:  reg.Counter("repl_artifact_verify_failures_total"),
 	}
 	store.OnCommit(func(res faster.CommitResult) { s.broadcast(res.Token) })
 	return s
@@ -364,6 +366,15 @@ func (s *Server) shipCommit(conn net.Conn, token string, sent []uint64, shipped 
 		data, err := storage.ReadArtifact(s.store.Checkpoints(), name)
 		if err != nil {
 			return fmt.Errorf("artifact %s: %w", name, err)
+		}
+		// Verify the checksum envelope before shipping: a locally corrupted
+		// artifact must fail the ship (the commit is never announced and the
+		// replica stays at the previous prefix) rather than propagate garbage.
+		// The framed bytes themselves go on the wire verbatim, so the replica
+		// re-verifies on its own restart.
+		if _, verr := storage.DecodeArtifact(data); verr != nil {
+			s.verifyFails.Inc()
+			return fmt.Errorf("artifact %s failed verification, not shipping: %w", name, verr)
 		}
 		for off := 0; off == 0 || off < len(data); off += artifactChunk {
 			end := off + artifactChunk

@@ -40,10 +40,17 @@ type Pool struct {
 	wg       sync.WaitGroup
 	inFlight atomic.Int64
 
+	// Retry governs transient-error handling in workers (self-healing I/O):
+	// a failed operation classified by IsTransient is retried in place with
+	// bounded exponential backoff before its error reaches Done. Set before
+	// submitting work; defaults to DefaultRetry.
+	Retry RetryPolicy
+
 	// Observability (set under mu by Instrument; metrics are nil-safe).
 	reads, writes         *obs.Counter
 	readBytes, writeBytes *obs.Counter
 	readNs, writeNs       *obs.Histogram
+	retries               *obs.Counter
 	timed                 bool
 }
 
@@ -64,6 +71,7 @@ func (p *Pool) Instrument(reg *obs.Registry) {
 	p.writeBytes = reg.Counter("storage_io_write_bytes_total")
 	p.readNs = reg.Histogram("storage_io_read_ns")
 	p.writeNs = reg.Histogram("storage_io_write_ns")
+	p.retries = reg.Counter("storage_io_retries_total")
 	p.timed = p.readNs != nil
 	reg.GaugeFunc("storage_io_inflight", func() int64 { return p.inFlight.Load() })
 	reg.GaugeFunc("storage_io_queue_depth", func() int64 {
@@ -110,15 +118,36 @@ func (p *Pool) worker() {
 		if p.timed {
 			t0 = time.Now()
 		}
+		retry := p.Retry
+		if retry.Attempts == 0 {
+			retry = DefaultRetry
+		}
+		first := true
 		if req.Write {
-			n, err = req.Dev.WriteAt(req.Buf, req.Off)
+			err = retry.Do(func() error {
+				if !first {
+					p.retries.Inc()
+				}
+				first = false
+				var e error
+				n, e = req.Dev.WriteAt(req.Buf, req.Off)
+				return e
+			})
 			p.writes.Inc()
 			p.writeBytes.Add(uint64(n))
 			if p.timed {
 				p.writeNs.Observe(time.Since(t0))
 			}
 		} else {
-			n, err = req.Dev.ReadAt(req.Buf, req.Off)
+			err = retry.Do(func() error {
+				if !first {
+					p.retries.Inc()
+				}
+				first = false
+				var e error
+				n, e = req.Dev.ReadAt(req.Buf, req.Off)
+				return e
+			})
 			p.reads.Inc()
 			p.readBytes.Add(uint64(n))
 			if p.timed {

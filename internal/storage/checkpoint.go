@@ -104,7 +104,7 @@ func (s *MemCheckpointStore) Open(name string) (io.ReadCloser, error) {
 	data, ok := s.files[name]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("storage: checkpoint artifact %q not found", name)
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	return io.NopCloser(bytes.NewReader(data)), nil
 }
@@ -126,7 +126,7 @@ func (s *MemCheckpointStore) Remove(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.files[name]; !ok {
-		return fmt.Errorf("storage: checkpoint artifact %q not found", name)
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(s.files, name)
 	return nil
@@ -217,13 +217,73 @@ func NewDirCheckpointStore(dir string) (*DirCheckpointStore, error) {
 	return &DirCheckpointStore{dir: dir}, nil
 }
 
-// Create implements CheckpointStore.
+// Create implements CheckpointStore. The artifact is staged in a temp file,
+// fsynced, and renamed into place (then the directory is fsynced) so a crash
+// mid-write can never leave a half-written artifact under its final name:
+// readers see either the previous complete artifact or the new complete one.
 func (s *DirCheckpointStore) Create(name string) (io.WriteCloser, error) {
 	path := filepath.Join(s.dir, filepath.FromSlash(name))
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return os.Create(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	return &atomicFileWriter{f: tmp, dir: dir, final: path}, nil
+}
+
+// atomicFileWriter stages writes in a temp file; Close makes them visible
+// atomically under the final name.
+type atomicFileWriter struct {
+	f     *os.File
+	dir   string
+	final string
+	err   error
+}
+
+func (w *atomicFileWriter) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	return n, err
+}
+
+func (w *atomicFileWriter) Close() error {
+	if w.err != nil {
+		w.f.Close()
+		os.Remove(w.f.Name())
+		return w.err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		os.Remove(w.f.Name())
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.f.Name())
+		return err
+	}
+	if err := os.Rename(w.f.Name(), w.final); err != nil {
+		os.Remove(w.f.Name())
+		return err
+	}
+	return syncDir(w.dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Open implements CheckpointStore.
@@ -241,6 +301,10 @@ func (s *DirCheckpointStore) List() ([]string, error) {
 		rel, err := filepath.Rel(s.dir, path)
 		if err != nil {
 			return err
+		}
+		// Skip in-flight (or crash-orphaned) staging files from Create.
+		if strings.HasPrefix(filepath.Base(rel), ".") {
+			return nil
 		}
 		names = append(names, filepath.ToSlash(rel))
 		return nil

@@ -137,9 +137,10 @@ func (d *MemDevice) Clone() *MemDevice {
 
 // FileDevice is a Device backed by a file on the host filesystem.
 type FileDevice struct {
-	f  *os.File
-	mu sync.Mutex // guards size tracking only; I/O uses pread/pwrite
-	sz int64
+	f      *os.File
+	mu     sync.Mutex // guards size tracking and the closed flag; I/O uses pread/pwrite
+	sz     int64
+	closed bool
 }
 
 // OpenFileDevice opens (creating if necessary) a file-backed device.
@@ -156,24 +157,68 @@ func OpenFileDevice(path string) (*FileDevice, error) {
 	return &FileDevice{f: f, sz: st.Size()}, nil
 }
 
-// ReadAt implements Device.
-func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) { return d.f.ReadAt(p, off) }
+// isClosed reports whether Close has been called (matching MemDevice's
+// contract of returning ErrClosed rather than an os-level "file already
+// closed" error).
+func (d *FileDevice) isClosed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.closed
+}
 
-// WriteAt implements Device.
-func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) {
-	n, err := d.f.WriteAt(p, off)
-	if err == nil {
-		d.mu.Lock()
-		if end := off + int64(n); end > d.sz {
-			d.sz = end
-		}
-		d.mu.Unlock()
+// ReadAt implements Device, looping on partial reads so a successful return
+// always fills p (os.File.ReadAt already loops, but the Device contract must
+// not depend on that implementation detail).
+func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) {
+	if d.isClosed() {
+		return 0, ErrClosed
 	}
-	return n, err
+	total := 0
+	for total < len(p) {
+		n, err := d.f.ReadAt(p[total:], off+int64(total))
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, fmt.Errorf("storage: read at %d stalled after %d of %d bytes", off, total, len(p))
+		}
+	}
+	return total, nil
+}
+
+// WriteAt implements Device, looping on partial writes so a successful
+// return always persists all of p.
+func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) {
+	if d.isClosed() {
+		return 0, ErrClosed
+	}
+	total := 0
+	for total < len(p) {
+		n, err := d.f.WriteAt(p[total:], off+int64(total))
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, fmt.Errorf("storage: write at %d stalled after %d of %d bytes", off, total, len(p))
+		}
+	}
+	d.mu.Lock()
+	if end := off + int64(total); end > d.sz {
+		d.sz = end
+	}
+	d.mu.Unlock()
+	return total, nil
 }
 
 // Sync implements Device.
-func (d *FileDevice) Sync() error { return d.f.Sync() }
+func (d *FileDevice) Sync() error {
+	if d.isClosed() {
+		return ErrClosed
+	}
+	return d.f.Sync()
+}
 
 // Size implements Device.
 func (d *FileDevice) Size() int64 {
@@ -182,5 +227,14 @@ func (d *FileDevice) Size() int64 {
 	return d.sz
 }
 
-// Close implements Device.
-func (d *FileDevice) Close() error { return d.f.Close() }
+// Close implements Device. Closing twice is a no-op, like MemDevice.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	return d.f.Close()
+}

@@ -1,0 +1,96 @@
+package storage
+
+import (
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// ErrTransient marks an I/O error worth retrying: the operation failed but
+// the device/store is expected to recover (controller hiccup, queue-full,
+// injected fault). Wrap with fmt.Errorf("%w: ...", ErrTransient) or implement
+// interface{ Transient() bool }. Everything else — ErrClosed,
+// ErrCorruptArtifact, not-found, media death — is permanent and not retried.
+var ErrTransient = errors.New("storage: transient I/O error")
+
+// IsTransient reports whether err should be retried.
+func IsTransient(err error) bool {
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// RetryPolicy bounds a retry loop: up to Attempts tries with exponential
+// backoff from Base, capped at Max, with full jitter. The zero value never
+// retries (one attempt, no sleep).
+type RetryPolicy struct {
+	Attempts int
+	Base     time.Duration
+	Max      time.Duration
+}
+
+// DefaultRetry is the policy used by the I/O pool and the checked artifact
+// helpers: 6 attempts spanning roughly 200µs … 50ms of backoff, enough to
+// ride out transient device hiccups without stalling a commit noticeably.
+var DefaultRetry = RetryPolicy{Attempts: 6, Base: 200 * time.Microsecond, Max: 50 * time.Millisecond}
+
+// Do runs op, retrying transient failures per the policy. It returns nil on
+// the first success, the last error once attempts are exhausted, and a
+// permanent error immediately.
+func (p RetryPolicy) Do(op func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(p.backoff(i))
+		}
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// backoff returns the sleep before retry attempt i (1-based), exponential
+// with full jitter.
+func (p RetryPolicy) backoff(i int) time.Duration {
+	d := p.Base << (i - 1)
+	if p.Max > 0 && (d > p.Max || d <= 0) {
+		d = p.Max
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(d))) + d/2
+}
+
+// ReadAtRetry is dev.ReadAt with DefaultRetry applied to transient errors.
+// It is the synchronous-read primitive for recovery and page verification,
+// where a transient fault must not fail the whole operation.
+func ReadAtRetry(dev Device, p []byte, off int64) (int, error) {
+	var n int
+	err := DefaultRetry.Do(func() error {
+		var e error
+		n, e = dev.ReadAt(p, off)
+		return e
+	})
+	return n, err
+}
+
+// WriteAtRetry is dev.WriteAt with DefaultRetry applied to transient errors.
+// A torn write followed by a successful retry rewrites the full range, so the
+// final on-device bytes are whole.
+func WriteAtRetry(dev Device, p []byte, off int64) (int, error) {
+	var n int
+	err := DefaultRetry.Do(func() error {
+		var e error
+		n, e = dev.WriteAt(p, off)
+		return e
+	})
+	return n, err
+}

@@ -3,11 +3,11 @@ package txdb
 import (
 	"encoding/json"
 	"fmt"
-	"io"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/wal"
 )
 
@@ -261,18 +261,10 @@ func (ck *commitCtx) persist(values []byte, delta bool) error {
 	return nil
 }
 
-func writeArtifact(store interface {
-	Create(string) (io.WriteCloser, error)
-}, name string, data []byte) error {
-	w, err := store.Create(name)
-	if err != nil {
-		return err
-	}
-	if _, err := w.Write(data); err != nil {
-		w.Close()
-		return err
-	}
-	return w.Close()
+// writeArtifact persists one checkpoint artifact in the checksum envelope,
+// retrying transient device faults (storage.DefaultRetry).
+func writeArtifact(store storage.CheckpointStore, name string, data []byte) error {
+	return storage.WriteArtifactChecked(store, name, data)
 }
 
 // Recover loads a database from its most recent checkpoint (Sec. 4.4: no
@@ -285,21 +277,11 @@ func Recover(cfg Config) (*DB, error) {
 	if cfg.Engine == EngineWAL {
 		return recoverWAL(cfg)
 	}
-	r, err := cfg.Checkpoints.Open("latest")
+	tok, err := readArtifactFrom(cfg.Checkpoints, "latest")
 	if err != nil {
 		return nil, fmt.Errorf("txdb: no checkpoint to recover from: %w", err)
 	}
-	tok, err := io.ReadAll(r)
-	r.Close()
-	if err != nil {
-		return nil, err
-	}
-	mr, err := cfg.Checkpoints.Open("meta-" + string(tok))
-	if err != nil {
-		return nil, err
-	}
-	mbuf, err := io.ReadAll(mr)
-	mr.Close()
+	mbuf, err := readArtifactFrom(cfg.Checkpoints, "meta-"+string(tok))
 	if err != nil {
 		return nil, err
 	}

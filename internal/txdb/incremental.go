@@ -3,7 +3,8 @@ package txdb
 import (
 	"encoding/binary"
 	"fmt"
-	"io"
+
+	"repro/internal/storage"
 )
 
 // Incremental checkpoints are the orthogonal optimization noted in Sec. 4.1:
@@ -77,14 +78,8 @@ func (db *DB) applyDelta(data []byte) error {
 	return nil
 }
 
-// readArtifactFrom reads a whole named artifact.
-func readArtifactFrom(store interface {
-	Open(string) (io.ReadCloser, error)
-}, name string) ([]byte, error) {
-	r, err := store.Open(name)
-	if err != nil {
-		return nil, err
-	}
-	defer r.Close()
-	return io.ReadAll(r)
+// readArtifactFrom reads a whole named artifact, verifying its checksum
+// envelope and retrying transient device faults.
+func readArtifactFrom(store storage.CheckpointStore, name string) ([]byte, error) {
+	return storage.ReadArtifactChecked(store, name)
 }
