@@ -49,6 +49,8 @@ func main() {
 		faultTorn    = flag.Float64("fault-torn-rate", 0, "injected torn-write probability per artifact write, in [0,1] (testing)")
 		faultSeed    = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 		faultLatency = flag.Duration("fault-latency", 0, "injected latency spike duration; applied at -fault-rate (testing)")
+
+		flightCap = flag.Int("flightrec", obs.DefaultFlightCapacity, "flight-recorder ring capacity per CPU (events; 0 = off)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,10 @@ func main() {
 	// writes and optional latency spikes exercise the retry and
 	// verified-recovery paths under an otherwise normal workload.
 	metrics := obs.NewRegistry()
+	var flight *obs.FlightRecorder
+	if *flightCap > 0 {
+		flight = obs.NewFlightRecorder(*flightCap)
+	}
 	var injector *cpr.FaultInjector
 	if *faultRate > 0 || *faultTorn > 0 {
 		fc := cpr.FaultConfig{
@@ -65,6 +71,7 @@ func main() {
 			WriteErrorRate: *faultRate,
 			TornWriteRate:  *faultTorn,
 			Metrics:        metrics,
+			Flight:         flight,
 		}
 		if *faultLatency > 0 {
 			fc.LatencyRate = *faultRate
@@ -81,7 +88,7 @@ func main() {
 		return cpr.NewFaultDevice(d, injector)
 	}
 
-	cfg := faster.Config{Shards: *shards, Metrics: metrics}
+	cfg := faster.Config{Shards: *shards, Metrics: metrics, Flight: flight}
 	if *dir != "" {
 		if *shards > 1 {
 			// One log file per shard; checkpoints share the directory store
@@ -141,9 +148,9 @@ func main() {
 	defer store.Close()
 
 	if *debugAddr != "" {
-		mux := obs.NewDebugMux(store.Metrics(), store.Tracer())
+		mux := obs.NewDebugMux(store.Metrics(), store.Tracer(), store.Flight())
 		go func() {
-			log.Printf("debug endpoints on http://%s/{metrics,timeline,debug/pprof}", *debugAddr)
+			log.Printf("debug endpoints on http://%s/{metrics,metrics.prom,timeline,flight,debug/pprof}", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
 				log.Printf("debug listener: %v", err)
 			}
@@ -164,9 +171,27 @@ func main() {
 		}()
 	}
 	log.Printf("serving on %s (autocommit %v)", *addr, *autocommit)
+	defer dumpFlightOnPanic(store)
 	if err := srv.Serve(*addr); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// dumpFlightOnPanic persists the flight recorder's rings as a crash-dump
+// artifact ("flight-panic" in the checkpoint store) before letting the panic
+// continue, so the last moments before the crash survive for
+// `fasterctl flight -dump`.
+func dumpFlightOnPanic(store *faster.Store) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if err := store.DumpFlight("panic"); err != nil {
+		log.Printf("flight dump: %v", err)
+	} else {
+		log.Printf("flight recorder dumped to checkpoint artifact flight-panic")
+	}
+	panic(r)
 }
 
 // runReplica serves prefix-consistent reads from a replica of upstream,
@@ -179,9 +204,9 @@ func runReplica(cfg faster.Config, upstream, addr, replAddr string, autocommit t
 	defer rep.Store().Close()
 
 	if debugAddr != "" {
-		mux := obs.NewDebugMux(rep.Store().Metrics(), rep.Store().Tracer())
+		mux := obs.NewDebugMux(rep.Store().Metrics(), rep.Store().Tracer(), rep.Store().Flight())
 		go func() {
-			log.Printf("debug endpoints on http://%s/{metrics,timeline,debug/pprof}", debugAddr)
+			log.Printf("debug endpoints on http://%s/{metrics,metrics.prom,timeline,flight,debug/pprof}", debugAddr)
 			if err := http.ListenAndServe(debugAddr, mux); err != nil {
 				log.Printf("debug listener: %v", err)
 			}
@@ -215,6 +240,7 @@ func runReplica(cfg faster.Config, upstream, addr, replAddr string, autocommit t
 	}()
 
 	log.Printf("replica of %s serving reads on %s (SIGHUP promotes)", upstream, addr)
+	defer dumpFlightOnPanic(rep.Store())
 	if err := srv.Serve(addr); err != nil {
 		log.Fatal(err)
 	}

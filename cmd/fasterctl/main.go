@@ -7,6 +7,8 @@
 //	fasterctl -dir /tmp/db stats
 //	fasterctl -dir /tmp/db metrics
 //	fasterctl repl-status localhost:7070
+//	fasterctl flight -addr localhost:7070 ckpt-000042
+//	fasterctl flight -dump /tmp/db/checkpoints/flight-panic
 //
 // Every mutating invocation recovers the store from -dir (if a commit
 // exists), applies the operation, and takes a fresh CPR commit before
@@ -38,6 +40,10 @@ func main() {
 		replStatus(flag.Args())
 		return
 	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "flight" {
+		flightCmd(flag.Args()[1:])
+		return
+	}
 	if flag.NArg() >= 1 && flag.Arg(0) == "verify" {
 		// Offline integrity walk — never opens the store, so it is safe to
 		// run against a directory another process is serving from.
@@ -54,6 +60,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: fasterctl -dir <dir> [-shards n] <set|get|del|rmw|bulkload|stats|metrics|verify> [args]")
 		fmt.Fprintln(os.Stderr, "       fasterctl repl-status <server-addr>")
 		fmt.Fprintln(os.Stderr, "       fasterctl verify <checkpoint-dir>")
+		fmt.Fprintln(os.Stderr, "       fasterctl flight [-addr <server-addr> | -dump <file>] [token]")
 		os.Exit(2)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {

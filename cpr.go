@@ -181,6 +181,25 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // NopMetrics returns a registry whose metrics are no-op sinks.
 func NopMetrics() *MetricsRegistry { return obs.NewNop() }
 
+// FlightRecorder is the always-on black box: lock-free per-core rings of
+// binary commit-lifecycle events (StoreConfig.Flight; nil disables). One
+// commit's causal timeline filters out by its token; Store.DumpFlight
+// persists the rings as a CRC-framed crash-dump artifact.
+type FlightRecorder = obs.FlightRecorder
+
+// FlightEvent is one decoded flight-recorder event.
+type FlightEvent = obs.FlightEvent
+
+// NewFlightRecorder returns a recorder holding capacity events per ring
+// (rounded up to a power of two, minimum 64).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return obs.NewFlightRecorder(capacity)
+}
+
+// SessionLag is one session's durability lag: how far its issued serial
+// runs ahead of its committed CPR point t_i (Store.SessionLags).
+type SessionLag = faster.SessionLag
+
 // ---- Storage substrates ----
 
 // Device is a random-access block device backing the HybridLog or WAL.

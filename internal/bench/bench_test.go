@@ -32,6 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 		"shardscale",
 		"repllag",
 		"faulttolerance",
+		"durabilitylag",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -51,10 +51,13 @@ type Manager struct {
 	drainMu    sync.Mutex
 	drain      []action
 
-	// Observability (set once by Instrument before concurrent use; nil-safe).
-	bumps   *obs.Counter
-	drains  *obs.Counter
-	drainNs *obs.Histogram
+	// Observability (set once by Instrument/InstrumentFlight before
+	// concurrent use; nil-safe).
+	bumps       *obs.Counter
+	drains      *obs.Counter
+	drainNs     *obs.Histogram
+	flight      *obs.FlightRecorder
+	flightShard int
 }
 
 // Instrument registers the manager's metrics with reg:
@@ -73,6 +76,15 @@ func (m *Manager) Instrument(reg *obs.Registry) {
 	reg.GaugeFunc("epoch_current", func() int64 { return int64(m.current.Load()) })
 	reg.GaugeFunc("epoch_safe", func() int64 { return int64(m.safe.Load()) })
 	reg.GaugeFunc("epoch_registered", func() int64 { return int64(m.Registered()) })
+}
+
+// InstrumentFlight attaches a flight recorder: every epoch bump emits an
+// epoch-bump event and every drained trigger an epoch-drain event, tagged
+// with shard. Call it once, before the manager is shared across goroutines.
+// A nil recorder is a no-op.
+func (m *Manager) InstrumentFlight(fr *obs.FlightRecorder, shard int) {
+	m.flight = fr
+	m.flightShard = shard
 }
 
 // New returns a Manager with the current epoch initialized to 1 so that a
@@ -132,15 +144,18 @@ func (m *Manager) Safe() uint64 { return m.safe.Load() }
 func (m *Manager) BumpEpoch(fn func()) {
 	prev := m.current.Add(1) - 1
 	m.bumps.Inc()
+	m.flight.Emit(obs.FlightEpochBump, m.flightShard, 0, "", "", prev, 0)
 	if fn == nil {
 		return
 	}
-	if m.drainNs != nil {
+	if m.drainNs != nil || m.flight != nil {
 		inner := fn
 		t0 := time.Now()
 		fn = func() {
+			d := time.Since(t0)
 			m.drains.Inc()
-			m.drainNs.Observe(time.Since(t0))
+			m.drainNs.Observe(d)
+			m.flight.Emit(obs.FlightEpochDrain, m.flightShard, 0, "", "", prev, uint64(d.Nanoseconds()))
 			inner()
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -188,10 +189,15 @@ func (s *Store) finishMultiCommit(mc *multiCommit) {
 		man := manifest{Token: mc.token, Version: mc.version, Shards: len(s.shards), Kind: kind.String()}
 		buf, err := json.Marshal(man)
 		if err == nil {
-			err = writeArtifact(s.cfg.Checkpoints, "cpr-manifest-"+mc.token, buf)
+			err = writeArtifactFlight(s.cfg.Checkpoints, "cpr-manifest-"+mc.token, buf, s.cfg.Flight, -1, mc.version)
 		}
 		if err == nil {
-			err = writeArtifact(s.cfg.Checkpoints, "cpr-latest", []byte(mc.token))
+			err = writeArtifactFlight(s.cfg.Checkpoints, "cpr-latest", []byte(mc.token), s.cfg.Flight, -1, mc.version)
+		}
+		if err == nil {
+			// The manifest and latest-pointer are durable: the commit is now
+			// recoverable on every shard.
+			s.cfg.Flight.Emit(obs.FlightManifestWrite, -1, uint64(mc.version), mc.token, "", 0, 0)
 		}
 		firstErr = err
 	}
@@ -207,8 +213,11 @@ func (s *Store) finishMultiCommit(mc *multiCommit) {
 		s.metrics.commits.Inc()
 		s.metrics.commitBytes.Add(uint64(bytes))
 		s.metrics.commitNs.Observe(time.Since(mc.started))
+		s.cfg.Flight.Emit(obs.FlightCommitDone, -1, uint64(mc.version), mc.token, "", uint64(bytes), 0)
+		s.noteCommitted(mc.res)
 	} else {
 		s.metrics.commitFailures.Inc()
+		s.cfg.Flight.Emit(obs.FlightCommitFail, -1, uint64(mc.version), mc.token, "", 0, 0)
 	}
 	close(mc.done)
 	if mc.opts.OnDone != nil {
@@ -297,6 +306,8 @@ func (sh *shard) commit(opts CommitOptions, token string) (string, error) {
 	sh.ckpt = ck
 	// Publish the prepare phase; sessions observe it on refresh.
 	sh.state.Store(packState(Prepare, ck.version))
+	sh.flight.Emit(obs.FlightCommitStart, sh.id, uint64(ck.version), ck.token, "", 0, 0)
+	ck.emitPhase(Rest, Prepare)
 	sh.tracer.Phase(ck.traceToken, uint64(ck.version), Rest.String(), Prepare.String())
 	ck.bumpTraced(Prepare)
 	sh.ckptMu.Unlock()
@@ -350,8 +361,16 @@ func (ck *checkpointCtx) bumpTraced(published Phase) {
 	})
 }
 
+// emitPhase records a state-machine transition in the flight recorder (phase
+// codes match the Phase constants; obs.FlightPhaseName renders them).
+func (ck *checkpointCtx) emitPhase(from, to Phase) {
+	ck.store.flight.Emit(obs.FlightPhase, ck.store.id, uint64(ck.version), ck.token, "",
+		uint64(from), uint64(to))
+}
+
 func (ck *checkpointCtx) advanceToInProgress() {
 	ck.store.state.Store(packState(InProgress, ck.version))
+	ck.emitPhase(Prepare, InProgress)
 	ck.store.tracer.Phase(ck.traceToken, uint64(ck.version), Prepare.String(), InProgress.String())
 	ck.bumpTraced(InProgress)
 }
@@ -363,6 +382,7 @@ func (ck *checkpointCtx) ackInProgress(sess *shardSession, cprSerial uint64) {
 
 func (ck *checkpointCtx) advanceToWaitPending() {
 	ck.store.state.Store(packState(WaitPending, ck.version))
+	ck.emitPhase(InProgress, WaitPending)
 	ck.store.tracer.Phase(ck.traceToken, uint64(ck.version), InProgress.String(), WaitPending.String())
 	ck.checkPendingDone()
 }
@@ -372,11 +392,13 @@ func (ck *checkpointCtx) advanceToWaitPending() {
 // nothing further).
 func (ck *checkpointCtx) dropParticipant(sess *shardSession) {
 	sameVersion := sess.version == ck.version
-	ck.store.tracer.Session(ck.traceToken, sess.owner.id, "drop", uint64(ck.version), sess.owner.serial)
+	ck.store.flight.Emit(obs.FlightDrop, ck.store.id, uint64(ck.version), ck.token,
+		sess.owner.id, sess.owner.Serial(), 0)
+	ck.store.tracer.Session(ck.traceToken, sess.owner.id, "drop", uint64(ck.version), sess.owner.Serial())
 	ck.coord.Drop(sess,
 		sameVersion && sess.phase >= Prepare,
 		sameVersion && sess.phase >= InProgress,
-		sess.owner.serial)
+		sess.owner.Serial())
 }
 
 // serialsByID converts the coordinator's per-session commit points to the
@@ -403,6 +425,7 @@ func (ck *checkpointCtx) checkPendingDone() {
 		return
 	}
 	ck.store.state.Store(packState(WaitFlush, ck.version))
+	ck.emitPhase(WaitPending, WaitFlush)
 	ck.store.tracer.Phase(ck.traceToken, uint64(ck.version), WaitPending.String(), WaitFlush.String())
 	go ck.waitFlush()
 }
@@ -513,6 +536,13 @@ func (ck *checkpointCtx) waitFlush() {
 			sh.lastIndexToken, sh.lastLis, sh.lastLie = indexToken, ck.lis, ck.lie
 		}
 	}
+	if err == nil {
+		// This shard's checkpoint — log capture, page CRCs, metadata and
+		// latest-pointer — is fully durable.
+		sh.flight.Emit(obs.FlightPersistDone, sh.id, uint64(ck.version), ck.token, "", uint64(written), 0)
+	} else {
+		sh.flight.Emit(obs.FlightCommitFail, sh.id, uint64(ck.version), ck.token, "", 0, 0)
+	}
 
 	ck.res = CommitResult{
 		Token: ck.token, Version: ck.version, Kind: ck.kind,
@@ -524,12 +554,17 @@ func (ck *checkpointCtx) waitFlush() {
 	sh.results[ck.token] = ck.res
 	sh.state.Store(packState(Rest, ck.version+1))
 	sh.ckptMu.Unlock()
+	ck.emitPhase(WaitFlush, Rest)
 	sh.tracer.Phase(ck.traceToken, uint64(ck.version), WaitFlush.String(), Rest.String())
 	ck.bumpTraced(Rest)
 	if err == nil && !ck.coordinated {
 		sh.metrics.commits.Inc()
 		sh.metrics.commitBytes.Add(uint64(written))
 		sh.metrics.commitNs.Observe(time.Since(ck.started))
+		sh.flight.Emit(obs.FlightCommitDone, sh.id, uint64(ck.version), ck.token, "", uint64(written), 0)
+		if sh.noteCommitted != nil {
+			sh.noteCommitted(ck.res)
+		}
 	}
 	if err != nil && !ck.coordinated {
 		sh.metrics.commitFailures.Inc()
@@ -544,11 +579,26 @@ func (ck *checkpointCtx) waitFlush() {
 }
 
 func (ck *checkpointCtx) writeArtifact(name string, data []byte) error {
-	return writeArtifact(ck.store.cfg.Checkpoints, name, data)
+	return writeArtifactFlight(ck.store.cfg.Checkpoints, name, data,
+		ck.store.flight, ck.store.id, ck.version)
 }
 
 // writeArtifact persists one named artifact inside the checksum envelope,
 // retrying transient store errors (see storage.WriteArtifactChecked).
 func writeArtifact(cs storage.CheckpointStore, name string, data []byte) error {
 	return storage.WriteArtifactChecked(cs, name, data)
+}
+
+// writeArtifactFlight is writeArtifact plus flight events: one artifact-retry
+// per transient failure that gets retried and one artifact-write on success
+// (token = artifact name, so filtering by commit token matches every artifact
+// of that commit).
+func writeArtifactFlight(cs storage.CheckpointStore, name string, data []byte, fr *obs.FlightRecorder, shard int, version uint32) error {
+	err := storage.WriteArtifactCheckedObserved(cs, name, data, func(attempt int, _ error) {
+		fr.Emit(obs.FlightArtifactRetry, shard, uint64(version), name, "", uint64(attempt), 0)
+	})
+	if err == nil {
+		fr.Emit(obs.FlightArtifactWrite, shard, uint64(version), name, "", uint64(len(data)), 0)
+	}
+	return err
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/hashfn"
 	"repro/internal/hlog"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -105,6 +106,7 @@ func (s *Store) recoverSingle() (*Store, *RecoveryReport, error) {
 		if rerr != nil {
 			report.Skipped = append(report.Skipped, SkippedCommit{Token: tok, Reason: rerr.Error()})
 			s.metrics.recoverySkips.Inc()
+			s.cfg.Flight.Emit(obs.FlightRecoverFallback, 0, 0, tok, "", 0, 0)
 			continue
 		}
 		s.shards[0] = sh
@@ -140,6 +142,7 @@ func (s *Store) recoverMulti() (*Store, *RecoveryReport, error) {
 	skip := func(tok string, err error) {
 		report.Skipped = append(report.Skipped, SkippedCommit{Token: tok, Reason: err.Error()})
 		s.metrics.recoverySkips.Inc()
+		s.cfg.Flight.Emit(obs.FlightRecoverFallback, -1, 0, tok, "", 0, 0)
 	}
 candidates:
 	for _, tok := range cands {
@@ -199,8 +202,16 @@ func (s *Store) finishRecovery(cands []string, report *RecoveryReport) {
 			s.commitSeq.Store(seq)
 		}
 	}
+	for _, sh := range s.shards {
+		sh.noteCommitted = s.noteCommitted
+	}
 	s.report = report
 	s.registerStoreGauges()
+	s.registerLagGauges()
+	// arg1 = number of skipped newer commits: zero means the newest commit on
+	// disk verified end to end.
+	s.cfg.Flight.Emit(obs.FlightRecoverVerdict, -1, uint64(report.Version), report.Token, "",
+		uint64(len(report.Skipped)), 0)
 }
 
 // commitCandidates enumerates commit tokens present in the store for the

@@ -10,6 +10,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/hashfn"
 	"repro/internal/hlog"
+	"repro/internal/obs"
 )
 
 // Status is the result of a session operation.
@@ -87,8 +88,19 @@ type Session struct {
 	store *Store
 	id    string
 
-	serial uint64 // serial of the most recently issued operation
+	// serial is the serial of the most recently issued operation. Atomic so
+	// the durability-lag scans (Store.SessionLags, commit completion) can read
+	// it from other goroutines; the owning goroutine is still the only writer.
+	serial atomic.Uint64
 	ctxs   []*shardSession
+
+	// committedSerial/committedAtNanos track the session's durable prefix
+	// t_i: updated by Store.noteCommitted whenever a commit completes, read by
+	// the durability-lag metrics. demarcAtNanos is when the session last fixed
+	// a CPR point, giving the wall-time component of the lag histograms.
+	committedSerial  atomic.Uint64
+	committedAtNanos atomic.Int64
+	demarcAtNanos    atomic.Int64
 
 	// demarcVersion/demarcSerial cache the session's CPR point for commit
 	// version demarcVersion: the first shard context to enter in-progress
@@ -190,11 +202,15 @@ func (s *Store) tryStartSession(id string, serial uint64) (*Session, bool) {
 		}
 	}
 	sess := &Session{
-		store:  s,
-		id:     id,
-		serial: serial,
-		ctxs:   make([]*shardSession, len(s.shards)),
+		store: s,
+		id:    id,
+		ctxs:  make([]*shardSession, len(s.shards)),
 	}
+	sess.serial.Store(serial)
+	// Everything issued so far (the recovered prefix) is durable by
+	// definition; the lag clock starts now.
+	sess.committedSerial.Store(serial)
+	sess.committedAtNanos.Store(nowNanos())
 	for i, sh := range s.shards {
 		ctx := &shardSession{store: sh, owner: sess}
 		ctx.guard = sh.epochs.Acquire()
@@ -210,7 +226,26 @@ func (s *Store) tryStartSession(id string, serial uint64) (*Session, bool) {
 func (sess *Session) ID() string { return sess.id }
 
 // Serial returns the serial number of the most recently issued operation.
-func (sess *Session) Serial() uint64 { return sess.serial }
+func (sess *Session) Serial() uint64 { return sess.serial.Load() }
+
+// CommittedSerial returns the session's durable commit point t_i: every
+// operation with serial <= t_i survives failure.
+func (sess *Session) CommittedSerial() uint64 { return sess.committedSerial.Load() }
+
+// lag computes the session's durability lag at wall-clock instant now (a
+// nowNanos value). Callers hold store.mu (the session registry lock).
+func (sess *Session) lag(id string, now int64) SessionLag {
+	issued := sess.serial.Load()
+	committed := sess.committedSerial.Load()
+	l := SessionLag{ID: id, IssuedSerial: issued, CommittedSerial: committed}
+	if issued > committed {
+		l.LagOps = issued - committed
+		if at := sess.committedAtNanos.Load(); at != 0 && now > at {
+			l.LagNanos = now - at
+		}
+	}
+	return l
+}
 
 // StopSession completes pending work and unregisters the session.
 func (sess *Session) StopSession() {
@@ -301,7 +336,9 @@ func (sess *shardSession) enterPrepare() {
 		ck.pendingV.Add(1)
 	}
 	sess.phase = Prepare
-	sh.tracer.Session(ck.traceToken, sess.owner.id, "ack-prepare", uint64(ck.version), sess.owner.serial)
+	serial := sess.owner.serial.Load()
+	sh.flight.Emit(obs.FlightAckPrepare, sh.id, uint64(ck.version), ck.token, sess.owner.id, serial, 0)
+	sh.tracer.Session(ck.traceToken, sess.owner.id, "ack-prepare", uint64(ck.version), serial)
 	ck.ackPrepare(sess)
 }
 
@@ -319,6 +356,7 @@ func (sess *shardSession) enterInProgress() {
 		return
 	}
 	cpr := sess.owner.cprPoint(sess.version)
+	sh.flight.Emit(obs.FlightDemarcate, sh.id, uint64(ck.version), ck.token, sess.owner.id, cpr, 0)
 	sh.tracer.Session(ck.traceToken, sess.owner.id, "demarcate", uint64(ck.version), cpr)
 	ck.ackInProgress(sess, cpr)
 }
@@ -331,13 +369,14 @@ func (sess *Session) cprPoint(v uint32) uint64 {
 	if sess.demarcVersion == v {
 		return sess.demarcSerial
 	}
-	cpr := sess.serial
+	cpr := sess.serial.Load()
 	if sess.abortedSerial != 0 && sess.abortedSerial <= cpr {
 		// The operation that detected the shift belongs to v+1.
 		cpr = sess.abortedSerial - 1
 	}
 	sess.abortedSerial = 0
 	sess.demarcVersion, sess.demarcSerial = v, cpr
+	sess.demarcAtNanos.Store(nowNanos())
 	return cpr
 }
 
@@ -372,12 +411,12 @@ func (sess *Session) ctx(hash uint64) *shardSession {
 func (sess *Session) Upsert(key, value []byte) Status {
 	sess.store.metrics.upserts.Inc()
 	sess.maybeRefresh()
-	sess.serial++
+	serial := sess.serial.Add(1)
 	h := hashfn.Hash64(key)
 	ctx := sess.ctx(h)
 	op := &pendingOp{kind: opUpsert, key: append([]byte(nil), key...),
 		input: append([]byte(nil), value...), hash: h,
-		serial: sess.serial, version: ctx.targetVersion()}
+		serial: serial, version: ctx.targetVersion()}
 	return ctx.run(op)
 }
 
@@ -385,12 +424,12 @@ func (sess *Session) Upsert(key, value []byte) Status {
 func (sess *Session) RMW(key, input []byte) Status {
 	sess.store.metrics.rmws.Inc()
 	sess.maybeRefresh()
-	sess.serial++
+	serial := sess.serial.Add(1)
 	h := hashfn.Hash64(key)
 	ctx := sess.ctx(h)
 	op := &pendingOp{kind: opRMW, key: append([]byte(nil), key...),
 		input: append([]byte(nil), input...), hash: h,
-		serial: sess.serial, version: ctx.targetVersion()}
+		serial: serial, version: ctx.targetVersion()}
 	return ctx.run(op)
 }
 
@@ -398,11 +437,11 @@ func (sess *Session) RMW(key, input []byte) Status {
 func (sess *Session) Delete(key []byte) Status {
 	sess.store.metrics.deletes.Inc()
 	sess.maybeRefresh()
-	sess.serial++
+	serial := sess.serial.Add(1)
 	h := hashfn.Hash64(key)
 	ctx := sess.ctx(h)
 	op := &pendingOp{kind: opDelete, key: append([]byte(nil), key...),
-		hash: h, serial: sess.serial, version: ctx.targetVersion()}
+		hash: h, serial: serial, version: ctx.targetVersion()}
 	return ctx.run(op)
 }
 
@@ -412,11 +451,11 @@ func (sess *Session) Delete(key []byte) Status {
 func (sess *Session) Read(key []byte, cb func(val []byte, st Status)) ([]byte, Status) {
 	sess.store.metrics.reads.Inc()
 	sess.maybeRefresh()
-	sess.serial++
+	serial := sess.serial.Add(1)
 	h := hashfn.Hash64(key)
 	ctx := sess.ctx(h)
 	op := &pendingOp{kind: opRead, key: append([]byte(nil), key...),
-		hash: h, serial: sess.serial,
+		hash: h, serial: serial,
 		version: ctx.targetVersion(), readCB: cb}
 	st := ctx.run(op)
 	if st == Ok {

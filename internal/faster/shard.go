@@ -64,6 +64,12 @@ type shard struct {
 
 	metrics storeMetrics // shared across shards: store-wide operation counts
 	tracer  *obs.Tracer
+	flight  *obs.FlightRecorder // nil-safe; events tagged with sh.id
+
+	// noteCommitted, when set, records a successful commit's session points
+	// in the store's durability-lag metrics. Fired from the uncoordinated
+	// completion path only; coordinated commits record at the store level.
+	noteCommitted func(CommitResult)
 }
 
 // openShard creates one shard at version 1. cfg must already be the shard's
@@ -72,6 +78,7 @@ type shard struct {
 func openShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, seq *atomic.Uint64) (*shard, error) {
 	em := epoch.New()
 	em.Instrument(cfg.Metrics)
+	em.InstrumentFlight(cfg.Flight, id)
 	l, err := hlog.New(hlog.Config{
 		PageBits:        cfg.PageBits,
 		MemPages:        cfg.MemPages,
@@ -81,6 +88,8 @@ func openShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, seq
 		IOWorkers:       cfg.IOWorkers,
 		Metrics:         cfg.Metrics,
 		VerifyReads:     cfg.VerifyReads,
+		Flight:          cfg.Flight,
+		FlightShard:     id,
 	})
 	if err != nil {
 		return nil, err
@@ -102,6 +111,7 @@ func openShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, seq
 		results:     make(map[string]CommitResult),
 		metrics:     metrics,
 		tracer:      cfg.Tracer,
+		flight:      cfg.Flight,
 	}
 	cfg.Metrics.GaugeFunc("faster_version", func() int64 { return int64(sh.Version()) })
 	cfg.Metrics.GaugeFunc("faster_phase", func() int64 { return int64(sh.Phase()) })

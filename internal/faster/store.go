@@ -4,14 +4,19 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/epoch"
 	"repro/internal/hlog"
 	"repro/internal/obs"
 	"repro/internal/storage"
 )
+
+// nowNanos is the wall clock used by the durability-lag bookkeeping.
+func nowNanos() int64 { return time.Now().UnixNano() }
 
 // Phase is a state of the CPR commit state machine (Fig. 9a).
 type Phase uint8
@@ -158,6 +163,10 @@ type Config struct {
 	// Tracer records checkpoint state-machine activity. Defaults to a fresh
 	// tracer with obs.DefaultTracerCapacity events.
 	Tracer *obs.Tracer
+	// Flight, when non-nil, records the causal commit-lifecycle event stream
+	// (epoch bumps, phase transitions, artifact writes, log flushes, ...) for
+	// every shard. Nil disables the flight recorder at zero hot-path cost.
+	Flight *obs.FlightRecorder
 	// Replica opens the store as a replication target: recovery replays
 	// non-destructively (records shipped ahead of their commit are hidden in
 	// memory instead of invalidated on the device, because the next installed
@@ -215,6 +224,8 @@ type storeMetrics struct {
 	commitNs                      *obs.Histogram
 	commitFailures                *obs.Counter // commits aborted by I/O failure
 	recoverySkips                 *obs.Counter // commits skipped as unverifiable
+	lagOps                        *obs.Histogram
+	lagNs                         *obs.Histogram
 }
 
 func newStoreMetrics(reg *obs.Registry) storeMetrics {
@@ -230,6 +241,12 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 		commitNs:       reg.Histogram("faster_commit_ns"),
 		commitFailures: reg.Counter("faster_commit_failures_total"),
 		recoverySkips:  reg.Counter("faster_recovery_skipped_commits_total"),
+		// Durability lag, observed per session at every completed commit:
+		// how far the session's issued operations ran ahead of its committed
+		// point t_i, in operations and in wall time since its commit point was
+		// demarcated.
+		lagOps: reg.Histogram("faster_session_lag_ops"),
+		lagNs:  reg.Histogram("faster_session_lag_ns"),
 	}
 }
 
@@ -364,7 +381,11 @@ func Open(cfg Config) (*Store, error) {
 		s.Close()
 		return nil, err
 	}
+	for _, sh := range s.shards {
+		sh.noteCommitted = s.noteCommitted
+	}
 	s.registerStoreGauges()
+	s.registerLagGauges()
 	return s, nil
 }
 
@@ -470,6 +491,105 @@ func (s *Store) Metrics() *obs.Registry { return s.cfg.Metrics }
 
 // Tracer returns the store's CPR phase tracer.
 func (s *Store) Tracer() *obs.Tracer { return s.tracer }
+
+// Flight returns the store's flight recorder (nil when not configured).
+func (s *Store) Flight() *obs.FlightRecorder { return s.cfg.Flight }
+
+// DumpFlight snapshots the flight recorder and writes it as a CRC-framed
+// artifact named "flight-<reason>" in the checkpoint store, overwriting any
+// earlier dump with the same reason. Call it from a panic handler or a crash
+// point; decode with `fasterctl flight -dump` (or obs.DecodeFlightDump after
+// storage.ReadArtifactChecked). A nil recorder is a no-op.
+func (s *Store) DumpFlight(reason string) error {
+	if s.cfg.Flight == nil {
+		return nil
+	}
+	return storage.WriteArtifactChecked(s.cfg.Checkpoints, "flight-"+reason, s.cfg.Flight.EncodeDump())
+}
+
+// SessionLag is one live session's durability lag: how far its issued
+// operations run ahead of its committed prefix t_i.
+type SessionLag struct {
+	ID string `json:"id"`
+	// IssuedSerial is the session's latest issued operation serial;
+	// CommittedSerial is its durable commit point t_i.
+	IssuedSerial    uint64 `json:"issued_serial"`
+	CommittedSerial uint64 `json:"committed_serial"`
+	// LagOps = IssuedSerial - CommittedSerial.
+	LagOps uint64 `json:"lag_ops"`
+	// LagNanos is the wall-clock age of the uncommitted suffix: time since
+	// the oldest issued-but-uncommitted state changed (0 when fully durable).
+	LagNanos int64 `json:"lag_ns"`
+}
+
+// SessionLags reports the durability lag of every live session, sorted by
+// session ID.
+func (s *Store) SessionLags() []SessionLag {
+	now := nowNanos()
+	s.mu.Lock()
+	out := make([]SessionLag, 0, len(s.sessions))
+	for id, sess := range s.sessions {
+		out = append(out, sess.lag(id, now))
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// maxSessionLag scans live sessions for the largest lag (ops and ns) — the
+// faster_session_lag_*_max gauges.
+func (s *Store) maxSessionLag() (ops uint64, ns int64) {
+	now := nowNanos()
+	s.mu.Lock()
+	for id, sess := range s.sessions {
+		l := sess.lag(id, now)
+		if l.LagOps > ops {
+			ops = l.LagOps
+		}
+		if l.LagNanos > ns {
+			ns = l.LagNanos
+		}
+	}
+	s.mu.Unlock()
+	return ops, ns
+}
+
+// noteCommitted records a completed commit's session points in the
+// durability-lag metrics and advances each session's committed watermark.
+// Invoked on the commit-completion path of both the coordinated (multi-shard)
+// and uncoordinated (single-shard) protocols.
+func (s *Store) noteCommitted(res CommitResult) {
+	now := nowNanos()
+	s.mu.Lock()
+	for id, pt := range res.Serials {
+		sess, ok := s.sessions[id]
+		if !ok {
+			continue
+		}
+		s.metrics.lagOps.ObserveValue(sess.serial.Load() - pt)
+		if d := sess.demarcAtNanos.Load(); d != 0 && now > d {
+			s.metrics.lagNs.ObserveValue(uint64(now - d))
+		}
+		sess.committedSerial.Store(pt)
+		sess.committedAtNanos.Store(now)
+	}
+	s.mu.Unlock()
+}
+
+// registerLagGauges exposes the worst-case live durability lag. Registered at
+// store level for every shard count (the lag is a session property, not a
+// shard property).
+func (s *Store) registerLagGauges() {
+	reg := s.cfg.Metrics
+	reg.GaugeFunc("faster_session_lag_ops_max", func() int64 {
+		ops, _ := s.maxSessionLag()
+		return int64(ops)
+	})
+	reg.GaugeFunc("faster_session_lag_ns_max", func() int64 {
+		_, ns := s.maxSessionLag()
+		return ns
+	})
+}
 
 // SessionCount reports the number of live sessions.
 func (s *Store) SessionCount() int {

@@ -45,6 +45,10 @@ type Config struct {
 	// verified against the page's checksum (when one is known), retrying on
 	// mismatch, instead of trusting the raw record bytes.
 	VerifyReads bool
+	// Flight, when non-nil, receives flush and page-CRC flight events tagged
+	// with FlightShard (the owning CPR domain).
+	Flight      *obs.FlightRecorder
+	FlightShard int
 }
 
 func (c *Config) fill() error {
@@ -525,9 +529,12 @@ func (l *Log) FlushErr() error {
 func (l *Log) completeSegment(seg *flushSegment) {
 	l.flushSegs.Inc()
 	l.flushBytes.Add(seg.to - seg.from)
+	lat := time.Since(seg.issued)
 	if l.flushNs != nil {
-		l.flushNs.Observe(time.Since(seg.issued))
+		l.flushNs.Observe(lat)
 	}
+	l.cfg.Flight.Emit(obs.FlightFlush, l.cfg.FlightShard, 0, "", "",
+		seg.to-seg.from, uint64(lat.Nanoseconds()))
 	l.durableMu.Lock()
 	seg.done = true
 	advanced := false
@@ -576,6 +583,8 @@ func (l *Log) absorbSegment(seg *flushSegment) {
 		if l.crcNext == pageEnd {
 			if !l.crcTainted {
 				l.pageCRCs[l.page(pageEnd-1)] = l.crcRun
+				l.cfg.Flight.Emit(obs.FlightPageCRC, l.cfg.FlightShard, 0, "", "",
+					l.page(pageEnd-1), uint64(l.crcRun))
 			}
 			l.crcRun = 0
 			l.crcTainted = false

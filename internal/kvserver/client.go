@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // DefaultCallTimeout bounds each client call's network I/O unless the caller
@@ -230,4 +232,30 @@ func (c *Client) Stats() (StatsSnapshot, error) {
 		return snap, fmt.Errorf("kvserver: stats schema v%d, want v%d", snap.V, StatsVersion)
 	}
 	return snap, nil
+}
+
+// Flight fetches the server's flight-recorder contents: the causal event
+// timeline the store has been recording, filtered to events carrying the
+// given commit token when token is non-empty. Returns an error when the
+// server runs without a flight recorder.
+func (c *Client) Flight(token string) (obs.FlightDump, error) {
+	var dump obs.FlightDump
+	status, resp, err := c.call(OpFlight, appendString(nil, []byte(token)))
+	if err != nil {
+		return dump, err
+	}
+	v, _, verr := takeValue(resp)
+	if status != StatusOK {
+		if verr == nil && len(v) > 0 {
+			return dump, fmt.Errorf("kvserver: flight failed: %s", v)
+		}
+		return dump, fmt.Errorf("kvserver: flight failed")
+	}
+	if verr != nil {
+		return dump, verr
+	}
+	if err := json.Unmarshal(v, &dump); err != nil {
+		return dump, fmt.Errorf("kvserver: flight payload: %w", err)
+	}
+	return dump, nil
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/faster"
 	"repro/internal/obs"
 )
 
@@ -31,6 +32,7 @@ const (
 	OpDelete byte = 5 // payload: key string       -> resp: u64 serial
 	OpCommit byte = 6 // payload: u8 withIndex     -> resp: u64 CPR point
 	OpStats  byte = 7 // payload: none             -> resp: StatsSnapshot JSON
+	OpFlight byte = 8 // payload: token string (may be empty) -> resp: obs.FlightDump JSON
 )
 
 // StatsVersion is the current StatsSnapshot schema version; bump on any
@@ -55,6 +57,10 @@ type StatsSnapshot struct {
 	// Repl carries replication state when the server participates in
 	// replication (absent otherwise — additive, StatsVersion stays 1).
 	Repl *ReplStats `json:"repl,omitempty"`
+	// SessionLags reports per-session durability lag — how far each session's
+	// issued serial runs ahead of its committed CPR point t_i, and for how
+	// long (absent when no sessions exist — additive, StatsVersion stays 1).
+	SessionLags []faster.SessionLag `json:"session_lags,omitempty"`
 }
 
 // ReplStats is the StatsSnapshot "repl" block: the server's replication role

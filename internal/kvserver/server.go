@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/faster"
+	"repro/internal/obs"
 )
 
 // Server serves a CPR-enabled FASTER store over TCP. Each accepted
@@ -374,8 +375,40 @@ func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload 
 
 	case OpStats:
 		return s.writeStats(conn, s.getStore())
+
+	case OpFlight:
+		return s.writeFlight(conn, s.getStore(), payload)
 	}
 	return fmt.Errorf("unknown opcode %d", op)
+}
+
+// writeFlight sends the OpFlight response: the store's flight-recorder
+// contents as an obs.FlightDump JSON document, filtered to events whose
+// commit token matches the requested token when one is given.
+func (s *Server) writeFlight(conn net.Conn, store *faster.Store, payload []byte) error {
+	var token string
+	if len(payload) > 0 {
+		tok, _, err := takeString(payload)
+		if err != nil {
+			return err
+		}
+		token = string(tok)
+	}
+	fr := store.Flight()
+	if fr == nil {
+		return writeFrame(conn, OpFlight, appendValue([]byte{StatusError},
+			[]byte("flight recorder disabled")))
+	}
+	events, dropped := fr.Events()
+	if token != "" {
+		events = obs.FilterFlightEvents(events, token)
+	}
+	dump := obs.FlightDump{WallStartNanos: fr.WallStart(), Dropped: dropped, Events: events}
+	buf, err := json.Marshal(dump)
+	if err != nil {
+		return writeFrame(conn, OpFlight, appendValue([]byte{StatusError}, nil))
+	}
+	return writeFrame(conn, OpFlight, appendValue([]byte{StatusOK}, buf))
 }
 
 // writeStats marshals and sends the OpStats response for store.
@@ -407,6 +440,7 @@ func (s *Server) writeStats(conn net.Conn, store *faster.Store) error {
 	if s.ReplStats != nil {
 		snap.Repl = s.ReplStats()
 	}
+	snap.SessionLags = store.SessionLags()
 	buf, err := json.Marshal(snap)
 	if err != nil {
 		return writeFrame(conn, OpStats, appendValue([]byte{StatusError}, nil))
@@ -465,6 +499,8 @@ func (s *Server) dispatchReplica(conn net.Conn, rb ReplicaBackend, op byte, payl
 		return writeFrame(conn, op, appendString([]byte{StatusRedirect}, []byte(rb.Upstream())))
 	case OpStats:
 		return s.writeStats(conn, rb.Store())
+	case OpFlight:
+		return s.writeFlight(conn, rb.Store(), payload)
 	}
 	return fmt.Errorf("unknown opcode %d", op)
 }

@@ -1,0 +1,651 @@
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder is the causal counterpart to the metrics registry: a
+// lock-free, fixed-size set of per-core ring buffers of structured binary
+// events covering the full lifecycle of a CPR commit — epoch bumps, per-shard
+// phase transitions, HybridLog flushes and page-CRC records, artifact writes
+// and retries, fault injections, replication ship/install/promote, recovery
+// verdicts. Every event is stamped with the commit token, CPR version, shard
+// and session it belongs to, so one commit's end-to-end timeline can be
+// reassembled across all layers (`fasterctl flight <token>`).
+//
+// Emit is allocation-free and nil-receiver-safe, like Counter.Add: the hot
+// path is one clock read, one atomic ticket fetch-add and a dozen atomic word
+// stores into a preallocated slot. When a ring wraps, the oldest events are
+// dropped (and counted) — never torn: each slot is guarded by a per-slot
+// seqlock, so a reader either observes a fully-written event or skips the
+// slot.
+
+// FlightKind identifies the class of a flight-recorder event.
+type FlightKind uint8
+
+// Flight event kinds. The names (see String) are a stable interface: the
+// crash-dump CI job and the causality tests grep for them.
+const (
+	FlightNone FlightKind = iota
+	// FlightEpochBump: the epoch counter was incremented. Arg1 is the epoch
+	// that was bumped.
+	FlightEpochBump
+	// FlightEpochDrain: a bump's trigger action fired after every registered
+	// thread refreshed. Arg1 is the drained epoch, Arg2 the drain latency (ns).
+	FlightEpochDrain
+	// FlightPhase: a checkpoint state-machine transition. Arg1/Arg2 are the
+	// from/to phase codes (see FlightPhaseName).
+	FlightPhase
+	// FlightAckPrepare: a session acknowledged the prepare phase. Arg1 is the
+	// session's serial at the crossing.
+	FlightAckPrepare
+	// FlightDemarcate: a session fixed its CPR point. Arg1 is the point.
+	FlightDemarcate
+	// FlightDrop: a session left an active commit. Arg1 is its serial.
+	FlightDrop
+	// FlightCommitStart: a shard's commit state machine left rest.
+	FlightCommitStart
+	// FlightPersistDone: a shard's checkpoint (log capture + metadata) is
+	// fully durable. Arg1 is the bytes written.
+	FlightPersistDone
+	// FlightManifestWrite: the cross-shard manifest and latest-pointer are
+	// durable; the commit is now recoverable on every shard.
+	FlightManifestWrite
+	// FlightCommitDone: the commit completed successfully. Arg1 is the total
+	// bytes written.
+	FlightCommitDone
+	// FlightCommitFail: the commit aborted with an error.
+	FlightCommitFail
+	// FlightCommitAnnounced: the replication primary announced the commit to
+	// a replica (only after every artifact shipped).
+	FlightCommitAnnounced
+	// FlightFlush: a HybridLog flush segment became durable. Arg1 is the
+	// segment bytes, Arg2 the submit-to-durable latency (ns).
+	FlightFlush
+	// FlightPageCRC: a fully-flushed log page's checksum was recorded.
+	// Arg1 is the page number, Arg2 the CRC32-C value.
+	FlightPageCRC
+	// FlightArtifactWrite: a checkpoint artifact was written inside the
+	// checksum envelope. Token is the artifact name, Arg1 the payload bytes.
+	FlightArtifactWrite
+	// FlightArtifactRetry: a transient fault made an artifact write retry.
+	// Token is the artifact name, Arg1 the attempt number that failed.
+	FlightArtifactRetry
+	// FlightFaultInjected: the fault injector fired. Arg1 is the fault class
+	// (see FlightFaultName).
+	FlightFaultInjected
+	// FlightCrashPoint: a named crash-point callback fired. Token is the
+	// point name (possibly truncated).
+	FlightCrashPoint
+	// FlightReplShip: the primary finished shipping a commit's artifacts to a
+	// replica. Arg1 is the bytes shipped.
+	FlightReplShip
+	// FlightReplInstall: a replica atomically installed a shipped commit.
+	FlightReplInstall
+	// FlightReplPromote: a replica promoted itself to primary.
+	FlightReplPromote
+	// FlightRecoverVerdict: recovery accepted a commit candidate (Arg1 = 1).
+	FlightRecoverVerdict
+	// FlightRecoverFallback: recovery rejected a commit candidate as
+	// unverifiable and fell back to an older one.
+	FlightRecoverFallback
+
+	numFlightKinds
+)
+
+var flightKindNames = [numFlightKinds]string{
+	FlightNone:            "none",
+	FlightEpochBump:       "epoch-bump",
+	FlightEpochDrain:      "epoch-drain",
+	FlightPhase:           "phase",
+	FlightAckPrepare:      "ack-prepare",
+	FlightDemarcate:       "demarcate",
+	FlightDrop:            "drop",
+	FlightCommitStart:     "commit-start",
+	FlightPersistDone:     "persist-done",
+	FlightManifestWrite:   "manifest-write",
+	FlightCommitDone:      "commit-done",
+	FlightCommitFail:      "commit-fail",
+	FlightCommitAnnounced: "commit-announced",
+	FlightFlush:           "flush",
+	FlightPageCRC:         "page-crc",
+	FlightArtifactWrite:   "artifact-write",
+	FlightArtifactRetry:   "artifact-retry",
+	FlightFaultInjected:   "fault-injected",
+	FlightCrashPoint:      "crash-point",
+	FlightReplShip:        "repl-ship",
+	FlightReplInstall:     "repl-install",
+	FlightReplPromote:     "repl-promote",
+	FlightRecoverVerdict:  "recover-verdict",
+	FlightRecoverFallback: "recover-fallback",
+}
+
+var flightKindByName = func() map[string]FlightKind {
+	m := make(map[string]FlightKind, numFlightKinds)
+	for k, n := range flightKindNames {
+		m[n] = FlightKind(k)
+	}
+	return m
+}()
+
+// String implements fmt.Stringer.
+func (k FlightKind) String() string {
+	if int(k) < len(flightKindNames) {
+		return flightKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind as its stable name.
+func (k FlightKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes either the stable name or a bare number.
+func (k *FlightKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		if v, ok := flightKindByName[s]; ok {
+			*k = v
+			return nil
+		}
+		return fmt.Errorf("obs: unknown flight kind %q", s)
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*k = FlightKind(n)
+	return nil
+}
+
+// FlightPhaseName names the checkpoint phase codes carried in FlightPhase
+// events (mirrors faster.Phase and txdb's state machine; kept here so the
+// decoder has no dependency on either).
+func FlightPhaseName(code uint64) string {
+	switch code {
+	case 0:
+		return "rest"
+	case 1:
+		return "prepare"
+	case 2:
+		return "in-progress"
+	case 3:
+		return "wait-pending"
+	case 4:
+		return "wait-flush"
+	}
+	return fmt.Sprintf("phase(%d)", code)
+}
+
+// FlightFaultName names the fault-class codes carried in FlightFaultInjected
+// events (mirrors the storage fault injector's classes).
+func FlightFaultName(code uint64) string {
+	switch code {
+	case 1:
+		return "transient"
+	case 2:
+		return "torn"
+	case 3:
+		return "bit-flip"
+	case 4:
+		return "latency"
+	}
+	return fmt.Sprintf("fault(%d)", code)
+}
+
+// Fixed slot geometry. A slot is one seqlock word plus twelve data words
+// (104 bytes): ticket, timestamp, packed meta, version, two arguments, a
+// 32-byte token and a 16-byte session prefix. Strings longer than their field
+// are truncated at Emit (store-generated commit tokens and artifact names fit
+// whole; session GUIDs keep a 16-byte prefix, enough to disambiguate).
+const (
+	flightTokenWords   = 4
+	flightSessionWords = 2
+	flightDataWords    = 6 + flightTokenWords + flightSessionWords
+
+	// FlightTokenBytes is the widest token recorded whole (longer ones are
+	// truncated).
+	FlightTokenBytes = 8 * flightTokenWords
+	// FlightSessionBytes is the recorded session-ID prefix width.
+	FlightSessionBytes = 8 * flightSessionWords
+)
+
+// flightSlot is one event slot: seq is a per-slot seqlock (odd while a writer
+// owns the slot; writers claim it by CAS, so two writers lapping each other
+// on a wrapped ring can never interleave their word stores).
+type flightSlot struct {
+	seq atomic.Uint64
+	w   [flightDataWords]atomic.Uint64
+}
+
+// flightRing is one per-core ring: pos is the monotonically increasing ticket
+// counter; slot (ticket-1) & mask holds the event.
+type flightRing struct {
+	pos   atomic.Uint64
+	_     [cacheLine - 8]byte
+	slots []flightSlot
+}
+
+// DefaultFlightCapacity is the per-ring slot count used when a component
+// creates its own recorder: with numShards rings this retains the most recent
+// few hundred thousand bytes of events — hours of steady-state commit traffic.
+const DefaultFlightCapacity = 1024
+
+// FlightRecorder records flight events into per-core rings. The nil
+// FlightRecorder is a valid no-op: Emit on nil returns immediately, so
+// instrumented code never branches on configuration.
+type FlightRecorder struct {
+	start     time.Time
+	wallStart int64 // wall clock at creation (UnixNano); AtNanos is relative
+	ringMask  uint64
+	slotMask  uint64
+	rings     []flightRing
+}
+
+// NewFlightRecorder returns a recorder with perRing slots in each of its
+// per-core rings (rounded up to a power of two, floor 64). Pass
+// DefaultFlightCapacity unless profiling says otherwise.
+func NewFlightRecorder(perRing int) *FlightRecorder {
+	if perRing < 64 {
+		perRing = 64
+	}
+	c := 1
+	for c < perRing {
+		c <<= 1
+	}
+	now := time.Now()
+	f := &FlightRecorder{
+		start:     now,
+		wallStart: now.UnixNano(),
+		ringMask:  uint64(numShards - 1),
+		slotMask:  uint64(c - 1),
+		rings:     make([]flightRing, numShards),
+	}
+	for i := range f.rings {
+		f.rings[i].slots = make([]flightSlot, c)
+	}
+	return f
+}
+
+// WallStart returns the wall-clock instant (UnixNano) the recorder started;
+// event timestamps are nanoseconds since then.
+func (f *FlightRecorder) WallStart() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.wallStart
+}
+
+// packFlightMeta packs kind, shard and the string lengths into one word.
+// Shard is stored +1 in 16 bits so shard -1 (store-level events) round-trips.
+func packFlightMeta(kind FlightKind, shard, tlen, slen int) uint64 {
+	if tlen > FlightTokenBytes {
+		tlen = FlightTokenBytes
+	}
+	if slen > FlightSessionBytes {
+		slen = FlightSessionBytes
+	}
+	return uint64(kind) | uint64(uint16(shard+1))<<8 | uint64(tlen)<<24 | uint64(slen)<<32
+}
+
+// Emit records one event. It is allocation-free and safe on a nil receiver.
+// shard is the CPR domain the event belongs to (-1 for store-level events);
+// token and session are truncated to FlightTokenBytes / FlightSessionBytes.
+//
+// The timestamp is read before the ticket is claimed, so events ordered by
+// happens-before carry non-decreasing timestamps; the reader's merge sort by
+// (AtNanos, ring, ticket) therefore respects causality across goroutines.
+func (f *FlightRecorder) Emit(kind FlightKind, shard int, version uint64, token, session string, arg1, arg2 uint64) {
+	if f == nil {
+		return
+	}
+	at := uint64(time.Since(f.start).Nanoseconds())
+	r := &f.rings[shardHint()&f.ringMask]
+	ticket := r.pos.Add(1)
+	s := &r.slots[(ticket-1)&f.slotMask]
+	// Claim the slot: CAS even->odd. Contention here requires another writer
+	// to be mid-write on this very slot, which needs ring-capacity tickets
+	// claimed within its ~100ns write window — effectively never; the spin is
+	// a correctness backstop, not a fast-path cost.
+	for {
+		v := s.seq.Load()
+		if v&1 == 0 && s.seq.CompareAndSwap(v, v+1) {
+			break
+		}
+	}
+	s.w[0].Store(ticket)
+	s.w[1].Store(at)
+	s.w[2].Store(packFlightMeta(kind, shard, len(token), len(session)))
+	s.w[3].Store(version)
+	s.w[4].Store(arg1)
+	s.w[5].Store(arg2)
+	if len(token) > FlightTokenBytes {
+		token = token[:FlightTokenBytes]
+	}
+	if len(session) > FlightSessionBytes {
+		session = session[:FlightSessionBytes]
+	}
+	for i := 0; i < flightTokenWords; i++ {
+		s.w[6+i].Store(packFlightBytes(token, i*8))
+	}
+	for i := 0; i < flightSessionWords; i++ {
+		s.w[6+flightTokenWords+i].Store(packFlightBytes(session, i*8))
+	}
+	s.seq.Add(1) // release: back to even
+}
+
+// packFlightBytes packs up to eight bytes of s starting at base into a word
+// (little-endian), zero-padded.
+func packFlightBytes(s string, base int) uint64 {
+	var w uint64
+	for j := 0; j < 8 && base+j < len(s); j++ {
+		w |= uint64(s[base+j]) << (8 * uint(j))
+	}
+	return w
+}
+
+func unpackFlightBytes(dst []byte, w uint64) []byte {
+	for j := 0; j < 8; j++ {
+		dst = append(dst, byte(w>>(8*uint(j))))
+	}
+	return dst
+}
+
+// FlightEvent is one decoded flight-recorder event.
+type FlightEvent struct {
+	// Ring and Seq identify the slot: Seq is the ring's ticket, strictly
+	// increasing per ring, so (Ring, Seq) is unique.
+	Ring int    `json:"ring"`
+	Seq  uint64 `json:"seq"`
+	// AtNanos is monotonic nanoseconds since the recorder started.
+	AtNanos int64      `json:"at_ns"`
+	Kind    FlightKind `json:"kind"`
+	// Shard is the CPR domain (-1 = store-level / cross-shard).
+	Shard   int    `json:"shard"`
+	Version uint64 `json:"version,omitempty"`
+	Arg1    uint64 `json:"arg1,omitempty"`
+	Arg2    uint64 `json:"arg2,omitempty"`
+	Token   string `json:"token,omitempty"`
+	Session string `json:"session,omitempty"`
+}
+
+// readFlightSlot seqlock-reads one slot. ok is false for never-written slots
+// and slots that stayed write-locked across all retries (the event is then
+// counted as neither retained nor torn — it simply isn't visible yet).
+func readFlightSlot(s *flightSlot, ring int) (FlightEvent, bool) {
+	for attempt := 0; attempt < 8; attempt++ {
+		s1 := s.seq.Load()
+		if s1 == 0 {
+			return FlightEvent{}, false // never written
+		}
+		if s1&1 == 1 {
+			continue // writer active
+		}
+		var w [flightDataWords]uint64
+		for i := range w {
+			w[i] = s.w[i].Load()
+		}
+		if s.seq.Load() != s1 {
+			continue // overwritten mid-read; retry
+		}
+		return decodeFlightWords(ring, w), true
+	}
+	return FlightEvent{}, false
+}
+
+func decodeFlightWords(ring int, w [flightDataWords]uint64) FlightEvent {
+	meta := w[2]
+	tlen := int(meta>>24) & 0xff
+	slen := int(meta>>32) & 0xff
+	if tlen > FlightTokenBytes {
+		tlen = FlightTokenBytes
+	}
+	if slen > FlightSessionBytes {
+		slen = FlightSessionBytes
+	}
+	var sbuf [FlightTokenBytes + FlightSessionBytes]byte
+	buf := sbuf[:0]
+	for i := 0; i < flightTokenWords; i++ {
+		buf = unpackFlightBytes(buf, w[6+i])
+	}
+	token := string(buf[:tlen])
+	buf = sbuf[:0]
+	for i := 0; i < flightSessionWords; i++ {
+		buf = unpackFlightBytes(buf, w[6+flightTokenWords+i])
+	}
+	session := string(buf[:slen])
+	return FlightEvent{
+		Ring:    ring,
+		Seq:     w[0],
+		AtNanos: int64(w[1]),
+		Kind:    FlightKind(meta & 0xff),
+		Shard:   int(uint16(meta>>8)) - 1,
+		Version: w[3],
+		Arg1:    w[4],
+		Arg2:    w[5],
+		Token:   token,
+		Session: session,
+	}
+}
+
+// Events snapshots every retained event across all rings, merged into one
+// timeline ordered by (AtNanos, Ring, Seq), plus the total number of events
+// dropped to ring wraparound. Safe to call concurrently with Emit: slots
+// being written are skipped or retried, never observed torn.
+func (f *FlightRecorder) Events() ([]FlightEvent, uint64) {
+	if f == nil {
+		return nil, 0
+	}
+	var out []FlightEvent
+	var dropped uint64
+	for ri := range f.rings {
+		r := &f.rings[ri]
+		if pos, capacity := r.pos.Load(), uint64(len(r.slots)); pos > capacity {
+			dropped += pos - capacity
+		}
+		for si := range r.slots {
+			if e, ok := readFlightSlot(&r.slots[si], ri); ok {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AtNanos != out[j].AtNanos {
+			return out[i].AtNanos < out[j].AtNanos
+		}
+		if out[i].Ring != out[j].Ring {
+			return out[i].Ring < out[j].Ring
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out, dropped
+}
+
+// FilterFlightEvents keeps the events belonging to one commit: those whose
+// token equals or contains token (artifact-write events carry artifact names
+// like "meta-<token>", which contain the commit token). An empty token keeps
+// everything.
+func FilterFlightEvents(evs []FlightEvent, token string) []FlightEvent {
+	if token == "" {
+		return evs
+	}
+	out := make([]FlightEvent, 0, len(evs))
+	for _, e := range evs {
+		if e.Token == token || strings.Contains(e.Token, token) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FlightDump is a decoded flight-recorder dump: the full merged timeline at
+// the instant the dump was taken.
+type FlightDump struct {
+	// WallStartNanos anchors AtNanos offsets to the wall clock (UnixNano of
+	// the recorder's start).
+	WallStartNanos int64         `json:"wall_start_unix_ns"`
+	Dropped        uint64        `json:"dropped,omitempty"`
+	Events         []FlightEvent `json:"events"`
+}
+
+// Dump format: an 8-byte magic (which includes the format version), the
+// recorder's wall start, the dropped count, the event count, then fixed
+// 104-byte event records. The CRC framing that protects a crash dump on disk
+// is applied by the storage layer's artifact envelope (storage.EncodeArtifact
+// / WriteArtifactChecked) — obs cannot depend on storage, which already
+// depends on obs.
+const (
+	flightDumpMagic   = "CPRFLT01"
+	flightDumpHdrSize = 8 + 8 + 8 + 4 + 4
+	flightRecSize     = 104
+)
+
+// EncodeDump snapshots the recorder and encodes the dump payload. Frame it in
+// the storage artifact envelope before writing it to disk.
+func (f *FlightRecorder) EncodeDump() []byte {
+	evs, dropped := f.Events()
+	return EncodeFlightDump(FlightDump{WallStartNanos: f.WallStart(), Dropped: dropped, Events: evs})
+}
+
+// EncodeFlightDump encodes a dump payload.
+func EncodeFlightDump(d FlightDump) []byte {
+	buf := make([]byte, 0, flightDumpHdrSize+len(d.Events)*flightRecSize)
+	buf = append(buf, flightDumpMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.WallStartNanos))
+	buf = binary.LittleEndian.AppendUint64(buf, d.Dropped)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.Events)))
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // reserved
+	for _, e := range d.Events {
+		buf = appendFlightEvent(buf, e)
+	}
+	return buf
+}
+
+// DecodeFlightDump decodes a dump payload produced by EncodeFlightDump (after
+// the storage envelope, if any, has been stripped).
+func DecodeFlightDump(data []byte) (FlightDump, error) {
+	var d FlightDump
+	if len(data) < flightDumpHdrSize {
+		return d, fmt.Errorf("obs: flight dump truncated (%d bytes)", len(data))
+	}
+	if string(data[:8]) != flightDumpMagic {
+		return d, fmt.Errorf("obs: not a flight dump (magic %q)", data[:8])
+	}
+	d.WallStartNanos = int64(binary.LittleEndian.Uint64(data[8:]))
+	d.Dropped = binary.LittleEndian.Uint64(data[16:])
+	count := int(binary.LittleEndian.Uint32(data[24:]))
+	body := data[flightDumpHdrSize:]
+	if len(body) != count*flightRecSize {
+		return d, fmt.Errorf("obs: flight dump body is %d bytes, want %d for %d events",
+			len(body), count*flightRecSize, count)
+	}
+	d.Events = make([]FlightEvent, 0, count)
+	for i := 0; i < count; i++ {
+		e, err := decodeFlightEvent(body[i*flightRecSize:])
+		if err != nil {
+			return d, fmt.Errorf("obs: flight dump event %d: %w", i, err)
+		}
+		d.Events = append(d.Events, e)
+	}
+	return d, nil
+}
+
+// appendFlightEvent encodes one fixed-size event record.
+func appendFlightEvent(buf []byte, e FlightEvent) []byte {
+	var rec [flightRecSize]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(e.Ring))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(int32(e.Shard)))
+	binary.LittleEndian.PutUint64(rec[8:], e.Seq)
+	binary.LittleEndian.PutUint64(rec[16:], uint64(e.AtNanos))
+	binary.LittleEndian.PutUint64(rec[24:], e.Version)
+	binary.LittleEndian.PutUint64(rec[32:], e.Arg1)
+	binary.LittleEndian.PutUint64(rec[40:], e.Arg2)
+	rec[48] = byte(e.Kind)
+	tok, sess := e.Token, e.Session
+	if len(tok) > FlightTokenBytes {
+		tok = tok[:FlightTokenBytes]
+	}
+	if len(sess) > FlightSessionBytes {
+		sess = sess[:FlightSessionBytes]
+	}
+	rec[49] = byte(len(tok))
+	rec[50] = byte(len(sess))
+	copy(rec[52:], tok)
+	copy(rec[84:], sess)
+	return append(buf, rec[:]...)
+}
+
+// decodeFlightEvent decodes one fixed-size event record.
+func decodeFlightEvent(b []byte) (FlightEvent, error) {
+	var e FlightEvent
+	if len(b) < flightRecSize {
+		return e, fmt.Errorf("truncated record (%d bytes)", len(b))
+	}
+	tlen, slen := int(b[49]), int(b[50])
+	if tlen > FlightTokenBytes {
+		return e, fmt.Errorf("token length %d exceeds %d", tlen, FlightTokenBytes)
+	}
+	if slen > FlightSessionBytes {
+		return e, fmt.Errorf("session length %d exceeds %d", slen, FlightSessionBytes)
+	}
+	e.Ring = int(binary.LittleEndian.Uint32(b[0:]))
+	e.Shard = int(int32(binary.LittleEndian.Uint32(b[4:])))
+	e.Seq = binary.LittleEndian.Uint64(b[8:])
+	e.AtNanos = int64(binary.LittleEndian.Uint64(b[16:]))
+	e.Version = binary.LittleEndian.Uint64(b[24:])
+	e.Arg1 = binary.LittleEndian.Uint64(b[32:])
+	e.Arg2 = binary.LittleEndian.Uint64(b[40:])
+	e.Kind = FlightKind(b[48])
+	e.Token = string(b[52 : 52+tlen])
+	e.Session = string(b[84 : 84+slen])
+	return e, nil
+}
+
+// Describe renders an event's payload for human consumption (one line,
+// without the timestamp/shard columns — callers lay those out).
+func (e FlightEvent) Describe() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	switch e.Kind {
+	case FlightPhase:
+		fmt.Fprintf(&b, " %s->%s", FlightPhaseName(e.Arg1), FlightPhaseName(e.Arg2))
+	case FlightEpochBump:
+		fmt.Fprintf(&b, " epoch=%d", e.Arg1)
+	case FlightEpochDrain:
+		fmt.Fprintf(&b, " epoch=%d drain=%s", e.Arg1, time.Duration(e.Arg2))
+	case FlightAckPrepare, FlightDemarcate, FlightDrop:
+		fmt.Fprintf(&b, " serial=%d", e.Arg1)
+	case FlightPersistDone, FlightCommitDone, FlightArtifactWrite, FlightReplShip:
+		fmt.Fprintf(&b, " bytes=%d", e.Arg1)
+	case FlightArtifactRetry:
+		fmt.Fprintf(&b, " attempt=%d", e.Arg1)
+	case FlightFlush:
+		fmt.Fprintf(&b, " bytes=%d lat=%s", e.Arg1, time.Duration(e.Arg2))
+	case FlightPageCRC:
+		fmt.Fprintf(&b, " page=%d crc=%08x", e.Arg1, uint32(e.Arg2))
+	case FlightFaultInjected:
+		fmt.Fprintf(&b, " class=%s", FlightFaultName(e.Arg1))
+	case FlightRecoverVerdict:
+		// Arg1 counts newer commits skipped as unverifiable before this one.
+		if e.Arg1 == 0 {
+			b.WriteString(" clean")
+		} else {
+			fmt.Fprintf(&b, " after %d skipped commit(s)", e.Arg1)
+		}
+	}
+	if e.Token != "" {
+		fmt.Fprintf(&b, " token=%s", e.Token)
+	}
+	if e.Session != "" {
+		fmt.Fprintf(&b, " session=%s", e.Session)
+	}
+	if e.Version != 0 {
+		fmt.Fprintf(&b, " v%d", e.Version)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"testing"
+)
+
+// FuzzFlightEvent round-trips arbitrary events through the fixed-size binary
+// record codec: every encodable event must decode back to itself (modulo the
+// documented token/session clipping), and decode must never panic or accept
+// out-of-range lengths.
+func FuzzFlightEvent(f *testing.F) {
+	f.Add(uint8(FlightPhase), 0, uint64(7), "ckpt-000007", "sess-a", uint64(1), uint64(2), int64(12345))
+	f.Add(uint8(FlightArtifactWrite), -1, uint64(1), "shard0/snapshot-ckpt-000001", "", uint64(4096), uint64(0), int64(0))
+	f.Add(uint8(FlightCrashPoint), -1, uint64(0), "before:cpr-manifest-ckpt-000001", "", uint64(0), uint64(0), int64(9))
+	f.Add(uint8(255), 65534, ^uint64(0), "a-token-that-is-much-longer-than-the-thirty-two-byte-field-allows", "a-session-longer-than-sixteen", ^uint64(0), uint64(42), int64(-1))
+
+	f.Fuzz(func(t *testing.T, kind uint8, shard int, version uint64, token, session string, arg1, arg2 uint64, at int64) {
+		in := FlightEvent{
+			Ring:    shard & 0xff,
+			Seq:     arg1 ^ arg2,
+			AtNanos: at,
+			Kind:    FlightKind(kind),
+			Shard:   shard,
+			Version: version,
+			Arg1:    arg1,
+			Arg2:    arg2,
+			Token:   token,
+			Session: session,
+		}
+		buf := appendFlightEvent(nil, in)
+		if len(buf) != flightRecSize {
+			t.Fatalf("encoded %d bytes, want %d", len(buf), flightRecSize)
+		}
+		out, err := decodeFlightEvent(buf)
+		if err != nil {
+			t.Fatalf("decode rejected own encoding: %v", err)
+		}
+
+		// The codec clips what its fixed-width fields cannot carry; apply the
+		// same clipping to the input and require equality beyond that.
+		want := in
+		if len(want.Token) > FlightTokenBytes {
+			want.Token = want.Token[:FlightTokenBytes]
+		}
+		if len(want.Session) > FlightSessionBytes {
+			want.Session = want.Session[:FlightSessionBytes]
+		}
+		want.Ring = int(uint32(want.Ring))
+		want.Shard = int(int32(want.Shard))
+		if out != want {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", want, out)
+		}
+
+		// Re-encode must be byte-identical: the codec is canonical.
+		if buf2 := appendFlightEvent(nil, out); string(buf2) != string(buf) {
+			t.Fatalf("re-encode differs from first encoding")
+		}
+
+		// Declared string lengths beyond the field widths must be rejected,
+		// not read out of bounds.
+		bad := append([]byte(nil), buf...)
+		bad[49] = FlightTokenBytes + 1
+		if _, err := decodeFlightEvent(bad); err == nil {
+			t.Fatal("oversized token length accepted")
+		}
+		bad[49], bad[50] = byte(len(want.Token)), FlightSessionBytes+1
+		if _, err := decodeFlightEvent(bad); err == nil {
+			t.Fatal("oversized session length accepted")
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package obs_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestFlightEmitAndEvents(t *testing.T) {
+	f := obs.NewFlightRecorder(64)
+	f.Emit(obs.FlightCommitStart, -1, 7, "ckpt-000007", "", 0, 0)
+	f.Emit(obs.FlightPhase, 2, 7, "ckpt-000007", "", 1, 2)
+	f.Emit(obs.FlightDemarcate, 0, 7, "ckpt-000007", "sess-a", 123, 0)
+	f.Emit(obs.FlightPersistDone, 1, 7, "ckpt-000007", "", 4096, 0)
+
+	evs, dropped := f.Events()
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	// Events come back merged in capture order.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].AtNanos < evs[i-1].AtNanos {
+			t.Fatalf("events out of order: %d before %d", evs[i].AtNanos, evs[i-1].AtNanos)
+		}
+	}
+	byKind := map[obs.FlightKind]obs.FlightEvent{}
+	for _, e := range evs {
+		byKind[e.Kind] = e
+	}
+	if e := byKind[obs.FlightCommitStart]; e.Shard != -1 || e.Token != "ckpt-000007" || e.Version != 7 {
+		t.Fatalf("commit-start event mangled: %+v", e)
+	}
+	if e := byKind[obs.FlightDemarcate]; e.Session != "sess-a" || e.Arg1 != 123 || e.Shard != 0 {
+		t.Fatalf("demarcate event mangled: %+v", e)
+	}
+	if e := byKind[obs.FlightPhase]; e.Arg1 != 1 || e.Arg2 != 2 || e.Shard != 2 {
+		t.Fatalf("phase event mangled: %+v", e)
+	}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var f *obs.FlightRecorder
+	f.Emit(obs.FlightFlush, 0, 1, "tok", "sess", 1, 2) // must not panic
+	if evs, dropped := f.Events(); len(evs) != 0 || dropped != 0 {
+		t.Fatalf("nil recorder returned events")
+	}
+	if f.WallStart() != 0 {
+		t.Fatalf("nil recorder WallStart != 0")
+	}
+}
+
+func TestFlightEmitAllocFree(t *testing.T) {
+	f := obs.NewFlightRecorder(64)
+	token, session := "ckpt-000042", "sess-abcdef"
+	if n := testing.AllocsPerRun(1000, func() {
+		f.Emit(obs.FlightFlush, 3, 42, token, session, 512, 99)
+	}); n != 0 {
+		t.Fatalf("Emit allocates %.1f times per call, want 0", n)
+	}
+}
+
+// TestFlightWraparoundNeverTorn hammers a deliberately tiny recorder from
+// many goroutines until every ring has lapped several times, then checks two
+// things: wraparound drops the oldest events (the retained+dropped totals
+// add back up to everything emitted), and no surviving event is torn — each
+// event's fields are cross-correlated, so a mixed-up slot is detectable.
+// Run under -race to also exercise the seqlock protocol.
+func TestFlightWraparoundNeverTorn(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 30_000
+	)
+	f := obs.NewFlightRecorder(64) // minimum capacity: guarantees lapping
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			token := fmt.Sprintf("ckpt-%06d", w)
+			session := fmt.Sprintf("sess-%02d", w)
+			for i := 0; i < perWriter; i++ {
+				x := uint64(w)<<32 | uint64(i)
+				// arg2 is a deterministic function of arg1; version echoes
+				// the writer. A torn slot breaks at least one relation.
+				f.Emit(obs.FlightFlush, w, uint64(w)+1, token, session, x, x^0x5bd1e995)
+			}
+		}()
+	}
+	wg.Wait()
+
+	evs, dropped := f.Events()
+	if dropped == 0 {
+		t.Fatalf("expected wraparound drops with capacity 64 and %d events", writers*perWriter)
+	}
+	if got, want := uint64(len(evs))+dropped, uint64(writers*perWriter); got != want {
+		t.Fatalf("retained %d + dropped %d = %d events, emitted %d", len(evs), dropped, got, want)
+	}
+	for _, e := range evs {
+		w := int(e.Arg1 >> 32)
+		if w < 0 || w >= writers {
+			t.Fatalf("torn event: writer %d out of range: %+v", w, e)
+		}
+		if e.Arg2 != e.Arg1^0x5bd1e995 {
+			t.Fatalf("torn event: arg2 %x does not match arg1 %x: %+v", e.Arg2, e.Arg1, e)
+		}
+		if e.Shard != w || e.Version != uint64(w)+1 {
+			t.Fatalf("torn event: shard/version do not match writer %d: %+v", w, e)
+		}
+		if e.Token != fmt.Sprintf("ckpt-%06d", w) || e.Session != fmt.Sprintf("sess-%02d", w) {
+			t.Fatalf("torn event: token/session do not match writer %d: %+v", w, e)
+		}
+	}
+}
+
+func TestFlightDumpRoundTrip(t *testing.T) {
+	f := obs.NewFlightRecorder(64)
+	f.Emit(obs.FlightCommitStart, -1, 9, "ckpt-000009", "", 0, 0)
+	f.Emit(obs.FlightArtifactWrite, 1, 9, "shard1/meta-ckpt-000009", "", 2048, 0)
+	f.Emit(obs.FlightCrashPoint, -1, 0, "before:cpr-manifest-ckpt-000009", "", 0, 0)
+
+	buf := f.EncodeDump()
+	d, err := obs.DecodeFlightDump(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WallStartNanos != f.WallStart() {
+		t.Fatalf("wall start %d != %d", d.WallStartNanos, f.WallStart())
+	}
+	want, _ := f.Events()
+	if len(d.Events) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(d.Events), len(want))
+	}
+	for i := range want {
+		if d.Events[i] != want[i] {
+			t.Fatalf("event %d: decoded %+v, want %+v", i, d.Events[i], want[i])
+		}
+	}
+	// The 31-byte crash-point token must survive unclipped.
+	found := false
+	for _, e := range d.Events {
+		if e.Kind == obs.FlightCrashPoint && e.Token == "before:cpr-manifest-ckpt-000009" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("crash-point token clipped or lost in round trip")
+	}
+
+	// Corruption checks.
+	if _, err := obs.DecodeFlightDump(buf[:10]); err == nil {
+		t.Fatal("truncated dump decoded without error")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xff
+	if _, err := obs.DecodeFlightDump(bad); err == nil {
+		t.Fatal("bad magic decoded without error")
+	}
+	if _, err := obs.DecodeFlightDump(buf[:len(buf)-13]); err == nil {
+		t.Fatal("torn dump body decoded without error")
+	}
+}
+
+func TestFlightFilterByToken(t *testing.T) {
+	f := obs.NewFlightRecorder(64)
+	f.Emit(obs.FlightCommitStart, -1, 1, "ckpt-000001", "", 0, 0)
+	f.Emit(obs.FlightArtifactWrite, 0, 1, "meta-ckpt-000001", "", 100, 0)
+	f.Emit(obs.FlightCommitStart, -1, 2, "ckpt-000002", "", 0, 0)
+	f.Emit(obs.FlightEpochBump, 0, 0, "", "", 3, 0)
+	evs, _ := f.Events()
+
+	got := obs.FilterFlightEvents(evs, "ckpt-000001")
+	if len(got) != 2 {
+		t.Fatalf("filter kept %d events, want 2 (commit-start + containing artifact name)", len(got))
+	}
+	for _, e := range got {
+		if e.Token != "ckpt-000001" && e.Token != "meta-ckpt-000001" {
+			t.Fatalf("filter kept unrelated event %+v", e)
+		}
+	}
+	if all := obs.FilterFlightEvents(evs, ""); len(all) != len(evs) {
+		t.Fatalf("empty token filtered events out")
+	}
+}
+
+// TestRegistrySnapshotDuringRegistration races Snapshot against concurrent
+// metric registration and updates: late registration (e.g. a shard opening
+// mid-run, or registerLagGauges after recovery) must never corrupt or wedge a
+// concurrent scrape. Run under -race.
+func TestRegistrySnapshotDuringRegistration(t *testing.T) {
+	reg := obs.NewRegistry()
+	const writers, per = 4, 200
+
+	// A scraper snapshots continuously while writers register and update new
+	// metrics of every type.
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.Snapshot()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				i := i
+				reg.Counter(fmt.Sprintf("reg_race_counter_%d_%d", g, i)).Add(uint64(i))
+				reg.Gauge(fmt.Sprintf("reg_race_gauge_%d_%d", g, i)).Set(int64(i))
+				reg.Histogram(fmt.Sprintf("reg_race_hist_%d_%d", g, i)).ObserveValue(uint64(i))
+				reg.GaugeFunc(fmt.Sprintf("reg_race_gf_%d_%d", g, i), func() int64 { return int64(i) })
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+
+	snap := reg.Snapshot()
+	if got := len(snap.Counters); got != writers*per {
+		t.Fatalf("final snapshot has %d counters, want %d", got, writers*per)
+	}
+	if got := len(snap.Histograms); got != writers*per {
+		t.Fatalf("final snapshot has %d histograms, want %d", got, writers*per)
+	}
+	if got := len(snap.Gauges); got != 2*writers*per {
+		t.Fatalf("final snapshot has %d gauges, want %d", got, 2*writers*per)
+	}
+}

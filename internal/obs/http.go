@@ -28,19 +28,34 @@ func TimelineHandler(t *Tracer) http.Handler {
 	})
 }
 
+// FlightHandler serves the flight recorder's merged event timeline as a JSON
+// FlightDump. An optional ?token=<commit> query filters to one commit's
+// events (token containment, so artifact names match too).
+func FlightHandler(f *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		evs, dropped := f.Events()
+		evs = FilterFlightEvents(evs, req.URL.Query().Get("token"))
+		writeJSON(w, FlightDump{WallStartNanos: f.WallStart(), Dropped: dropped, Events: evs})
+	})
+}
+
 // NewDebugMux returns the live-introspection mux mounted by servers that opt
 // in to a debug listener:
 //
 //	/metrics        registry snapshot (expvar-style JSON)
+//	/metrics.prom   the same registry in Prometheus text exposition format
 //	/timeline       CPR phase timeline (events + spans)
+//	/flight         flight-recorder timeline (?token=<commit> filters)
 //	/debug/pprof/*  the standard Go profiler endpoints
 //
-// The mux holds no locks between requests; every response is a fresh
-// snapshot.
-func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
+// fr may be nil (the /flight endpoint then reports an empty timeline). The
+// mux holds no locks between requests; every response is a fresh snapshot.
+func NewDebugMux(reg *Registry, tr *Tracer, fr *FlightRecorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/metrics.prom", PrometheusHandler(reg))
 	mux.Handle("/timeline", TimelineHandler(tr))
+	mux.Handle("/flight", FlightHandler(fr))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -123,7 +123,8 @@ func (g *Gauge) Value() int64 {
 // bits.Len64(nanos) == i, i.e. [2^(i-1), 2^i) ns, covering 1 ns to ~1.6 days.
 const histBuckets = 48
 
-// Histogram is a fixed-bucket log2 latency histogram. Observe costs three
+// Histogram is a fixed-bucket log2 histogram (of latencies in nanoseconds,
+// or of any other non-negative value via ObserveValue). Observe costs three
 // atomic adds (bucket, count, sum) plus a CAS only when a new maximum is set.
 // The nil Histogram is a no-op.
 type Histogram struct {
@@ -136,10 +137,16 @@ type Histogram struct {
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveValue(uint64(d.Nanoseconds()))
+}
+
+// ObserveValue records one raw value. The "nanos" in snapshot field names is
+// then just a unit label — the histogram works for any non-negative quantity
+// (e.g. a durability lag in operations).
+func (h *Histogram) ObserveValue(n uint64) {
 	if h == nil {
 		return
 	}
-	n := uint64(d.Nanoseconds())
 	b := bits.Len64(n)
 	if b >= histBuckets {
 		b = histBuckets - 1
@@ -176,6 +183,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	}
 	s.SumNanos = h.sum.Load()
 	s.MaxNanos = h.max.Load()
+	s.Buckets = counts[:]
 	if s.Count == 0 {
 		return s
 	}
@@ -189,15 +197,19 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		for i, c := range counts {
 			seen += c
 			if seen >= target {
-				// Upper bound of bucket i: 2^i - 1 ns (bucket 0 is exactly 0).
+				// Midpoint of bucket i, which covers [2^(i-1), 2^i) ns
+				// (bucket 0 is exactly 0). The midpoint bounds the error at
+				// a factor of 1.5 either way, versus 2x for a bucket bound.
 				if i == 0 {
 					return 0
 				}
-				ub := uint64(1)<<uint(i) - 1
-				if ub > s.MaxNanos {
-					ub = s.MaxNanos
+				lo := uint64(1) << uint(i-1)
+				hi := uint64(1)<<uint(i) - 1
+				mid := lo + (hi-lo)/2
+				if mid > s.MaxNanos {
+					mid = s.MaxNanos
 				}
-				return ub
+				return mid
 			}
 		}
 		return s.MaxNanos
@@ -209,7 +221,10 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 }
 
 // HistogramSnapshot is a point-in-time distribution summary. Quantiles are
-// log2-bucket upper bounds (within 2x of the true value); Max is exact.
+// log2-bucket midpoints: the quantile's bucket covers [2^(i-1), 2^i), so the
+// reported midpoint is within a factor of 1.5 of the true value (at most 50%
+// above, at most 25% below), and never above Max. Max is exact. Mean is exact
+// up to concurrent-update skew.
 type HistogramSnapshot struct {
 	Count     uint64  `json:"count"`
 	SumNanos  uint64  `json:"sum_ns"`
@@ -218,6 +233,11 @@ type HistogramSnapshot struct {
 	P95Nanos  uint64  `json:"p95_ns"`
 	P99Nanos  uint64  `json:"p99_ns"`
 	MaxNanos  uint64  `json:"max_ns"`
+
+	// Buckets are the raw per-bucket counts (bucket i covers values with
+	// bits.Len64(v) == i). Excluded from JSON — consumed by the Prometheus
+	// text exposition, which needs cumulative series.
+	Buckets []uint64 `json:"-"`
 }
 
 // Registry names and snapshots a set of metrics. Registration (Counter,

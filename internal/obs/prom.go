@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// promName sanitizes a metric name for the Prometheus text exposition:
+// [a-zA-Z0-9_:] survive, everything else becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters and gauges as single samples, histograms as
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`. Output is
+// sorted by metric name, so it is stable across calls.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := writePromHistogram(w, promName(n), s.Histograms[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram. Bucket i holds values in
+// [2^(i-1), 2^i), so its inclusive Prometheus upper bound is 2^i - 1 (0 for
+// bucket 0). Empty trailing buckets are elided; the mandatory +Inf bucket
+// always carries the total count.
+func writePromHistogram(w io.Writer, pn string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	var cum uint64
+	last := -1
+	for i, c := range h.Buckets {
+		if c != 0 {
+			last = i
+		}
+	}
+	for i := 0; i <= last; i++ {
+		cum += h.Buckets[i]
+		ub := uint64(0)
+		if i > 0 {
+			ub = uint64(1)<<uint(i) - 1
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, ub, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		pn, h.Count, pn, h.SumNanos, pn, h.Count)
+	return err
+}
+
+// PrometheusHandler serves the registry in the Prometheus text exposition
+// format (the scrape-friendly sibling of the JSON MetricsHandler).
+func PrometheusHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, r.Snapshot()) //nolint:errcheck // best-effort: the client went away
+	})
+}

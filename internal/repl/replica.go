@@ -227,6 +227,7 @@ func (r *Replica) Promote() (*faster.Store, error) {
 		err = r.store.Promote()
 		if err == nil {
 			r.promoted.Store(true)
+			r.store.Flight().Emit(obs.FlightReplPromote, -1, uint64(r.applied.Load()), "", "", 0, 0)
 		}
 	})
 	if !r.promoted.Load() && err == nil {
@@ -544,6 +545,7 @@ func (r *Replica) applyCommit(payload []byte) error {
 		r.primaryVersion.Store(version)
 	}
 	r.installs.Inc()
+	r.store.Flight().Emit(obs.FlightReplInstall, -1, uint64(version), token, "", 0, 0)
 	return nil
 }
 

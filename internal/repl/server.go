@@ -359,6 +359,7 @@ func (s *Server) shipCommit(conn net.Conn, token string, sent []uint64, shipped 
 				token, i, info.ShardFloors[i], sent[i])
 		}
 	}
+	var artifactBytes uint64
 	for _, name := range info.Artifacts {
 		if shipped[name] {
 			continue
@@ -392,7 +393,10 @@ func (s *Server) shipCommit(conn net.Conn, token string, sent []uint64, shipped 
 		}
 		shipped[name] = true
 		s.shippedArts.Inc()
+		artifactBytes += uint64(len(data))
 	}
+	s.store.Flight().Emit(obs.FlightReplShip, -1, uint64(info.Version), token, "",
+		artifactBytes, uint64(len(info.Artifacts)))
 	ann := appendString(nil, []byte(token))
 	ann = appendU32(ann, info.Version)
 	ann = append(ann, byte(info.Kind))
@@ -406,6 +410,7 @@ func (s *Server) shipCommit(conn net.Conn, token string, sent []uint64, shipped 
 		return err
 	}
 	s.announced.Inc()
+	s.store.Flight().Emit(obs.FlightCommitAnnounced, -1, uint64(info.Version), token, "", 0, 0)
 	return nil
 }
 

@@ -60,7 +60,19 @@ type FaultConfig struct {
 	Latency     time.Duration
 	// Metrics, when non-nil, receives fault_injected_* counters.
 	Metrics *obs.Registry
+	// Flight, when non-nil, receives fault-injected and crash-point flight
+	// events (shard -1: the injector wraps a whole medium, not one domain).
+	Flight *obs.FlightRecorder
 }
+
+// Flight fault-class codes carried in FlightFaultInjected events' Arg1
+// (named by obs.FlightFaultName).
+const (
+	faultClassTransient = 1 + iota
+	faultClassTorn
+	faultClassBitFlip
+	faultClassLatency
+)
 
 // Injector holds the fault schedule shared by the FaultDevice /
 // FaultCheckpointStore wrappers around one simulated medium.
@@ -140,11 +152,20 @@ func (in *Injector) take(point string) func() {
 	return fn
 }
 
-// fire invokes point's callback if armed.
+// fire invokes point's callback if armed. The flight event is emitted before
+// the callback so a crash dump taken inside the callback records its own
+// trigger.
 func (in *Injector) fire(point string) {
 	if fn := in.take(point); fn != nil {
+		in.cfg.Flight.Emit(obs.FlightCrashPoint, -1, 0, point, "", 0, 0)
 		fn()
 	}
+}
+
+// emitFault records one injected fault in the flight recorder. name (an
+// artifact, for checkpoint-store faults) becomes the event token.
+func (in *Injector) emitFault(class uint64, name string) {
+	in.cfg.Flight.Emit(obs.FlightFaultInjected, -1, 0, name, "", class, 0)
 }
 
 // takeWriteCrash removes and returns the callback armed for device write n.
@@ -197,6 +218,7 @@ func (in *Injector) next() uint64 { return in.ops.Add(1) }
 func (in *Injector) maybeStall(op uint64) {
 	if in.decide(op, streamLatency, in.cfg.LatencyRate) && in.cfg.Latency > 0 {
 		in.stalls.Inc()
+		in.emitFault(faultClassLatency, "")
 		time.Sleep(in.cfg.Latency)
 	}
 }
@@ -226,6 +248,7 @@ func (d *FaultDevice) ReadAt(p []byte, off int64) (int, error) {
 	in.maybeStall(op)
 	if in.decide(op, streamReadErr, in.cfg.ReadErrorRate) {
 		in.transient.Inc()
+		in.emitFault(faultClassTransient, "")
 		return 0, fmt.Errorf("read at %d: %w", off, errInjectedTransient)
 	}
 	n, err := d.inner.ReadAt(p, off)
@@ -233,6 +256,7 @@ func (d *FaultDevice) ReadAt(p []byte, off int64) (int, error) {
 		idx, bit := in.rollBit(op, n)
 		p[idx] ^= 1 << bit
 		in.flips.Inc()
+		in.emitFault(faultClassBitFlip, "")
 	}
 	return n, err
 }
@@ -259,12 +283,14 @@ func (d *FaultDevice) WriteAt(p []byte, off int64) (int, error) {
 	in.maybeStall(op)
 	if in.decide(op, streamWriteErr, in.cfg.WriteErrorRate) {
 		in.transient.Inc()
+		in.emitFault(faultClassTransient, "")
 		return 0, fmt.Errorf("write at %d: %w", off, errInjectedTransient)
 	}
 	if len(p) > 1 && in.decide(op, streamTorn, in.cfg.TornWriteRate) {
 		cut := len(p) / 2
 		n, _ := d.inner.WriteAt(p[:cut], off)
 		in.torn.Inc()
+		in.emitFault(faultClassTorn, "")
 		return n, fmt.Errorf("torn write at %d (%d of %d bytes): %w", off, n, len(p), errInjectedTransient)
 	}
 	return d.inner.WriteAt(p, off)
@@ -326,6 +352,7 @@ func (w *faultWriter) Close() error {
 	in.maybeStall(op)
 	if in.decide(op, streamWriteErr, in.cfg.WriteErrorRate) {
 		in.transient.Inc()
+		in.emitFault(faultClassTransient, w.name)
 		return fmt.Errorf("artifact %q: %w", w.name, errInjectedTransient)
 	}
 	if tornFn := in.take("torn:" + w.name); tornFn != nil {
@@ -344,6 +371,7 @@ func (w *faultWriter) Close() error {
 	}
 	if len(data) > 1 && in.decide(op, streamTorn, in.cfg.TornWriteRate) {
 		in.torn.Inc()
+		in.emitFault(faultClassTorn, w.name)
 		if err := w.writeInner(data[:len(data)/2]); err != nil {
 			return err
 		}
@@ -379,6 +407,7 @@ func (s *FaultCheckpointStore) Open(name string) (io.ReadCloser, error) {
 	in.maybeStall(op)
 	if in.decide(op, streamReadErr, in.cfg.ReadErrorRate) {
 		in.transient.Inc()
+		in.emitFault(faultClassTransient, name)
 		return nil, fmt.Errorf("artifact %q: %w", name, errInjectedTransient)
 	}
 	r, err := s.inner.Open(name)
@@ -394,6 +423,7 @@ func (s *FaultCheckpointStore) Open(name string) (io.ReadCloser, error) {
 		idx, bit := in.rollBit(op, len(data))
 		data[idx] ^= 1 << bit
 		in.flips.Inc()
+		in.emitFault(faultClassBitFlip, name)
 	}
 	return io.NopCloser(bytes.NewReader(data)), nil
 }

@@ -91,8 +91,24 @@ func DecodeArtifact(data []byte) ([]byte, error) {
 // is rewritten whole); an exhausted or permanent error is returned so the
 // caller can abort its commit cleanly.
 func WriteArtifactChecked(cs CheckpointStore, name string, payload []byte) error {
+	return WriteArtifactCheckedObserved(cs, name, payload, nil)
+}
+
+// WriteArtifactCheckedObserved is WriteArtifactChecked with a retry hook:
+// onRetry(attempt, err) fires after each transient failure that will be
+// retried (attempt counts failed tries from 1). The flight recorder uses it
+// to log artifact-retry events.
+func WriteArtifactCheckedObserved(cs CheckpointStore, name string, payload []byte, onRetry func(attempt int, err error)) error {
 	framed := EncodeArtifact(payload)
-	return DefaultRetry.Do(func() error { return WriteArtifact(cs, name, framed) })
+	attempt := 0
+	return DefaultRetry.Do(func() error {
+		attempt++
+		err := WriteArtifact(cs, name, framed)
+		if err != nil && onRetry != nil && IsTransient(err) && attempt < DefaultRetry.Attempts {
+			onRetry(attempt, err)
+		}
+		return err
+	})
 }
 
 // ReadArtifactChecked reads the named artifact, verifies its envelope, and

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -107,6 +108,8 @@ func (db *DB) Commit(onDone func(CommitResult)) (string, error) {
 	}
 	db.ckpt = ck
 	db.state.Store(packState(Prepare, ck.version))
+	db.cfg.Flight.Emit(obs.FlightCommitStart, -1, ck.version, ck.token, "", 0, 0)
+	ck.emitPhase(Rest, Prepare)
 	db.tracer.Phase(ck.token, ck.version, Rest.String(), Prepare.String())
 	ck.bumpTraced(Prepare)
 	db.ckptMu.Unlock()
@@ -142,7 +145,16 @@ func (db *DB) WaitForCommit(token string) CommitResult {
 }
 
 func (ck *commitCtx) ackPrepare(w *Worker) {
+	ck.db.cfg.Flight.Emit(obs.FlightAckPrepare, -1, ck.version, ck.token,
+		fmt.Sprintf("worker-%p", w), w.seq, 0)
 	ck.coord.AckPrepare(w)
+}
+
+// emitPhase records a phase transition in the flight recorder; arg1/arg2 are
+// the raw phase codes (decode with obs.FlightPhaseName).
+func (ck *commitCtx) emitPhase(from, to Phase) {
+	ck.db.cfg.Flight.Emit(obs.FlightPhase, -1, ck.version, ck.token, "",
+		uint64(from), uint64(to))
 }
 
 // bumpTraced bumps the epoch for a phase publication, recording the drain
@@ -157,11 +169,14 @@ func (ck *commitCtx) bumpTraced(published Phase) {
 
 func (ck *commitCtx) advanceToInProgress() {
 	ck.db.state.Store(packState(InProgress, ck.version))
+	ck.emitPhase(Prepare, InProgress)
 	ck.db.tracer.Phase(ck.token, ck.version, Prepare.String(), InProgress.String())
 	ck.bumpTraced(InProgress)
 }
 
 func (ck *commitCtx) ackInProgress(w *Worker, seq uint64) {
+	ck.db.cfg.Flight.Emit(obs.FlightDemarcate, -1, ck.version, ck.token,
+		fmt.Sprintf("worker-%p", w), seq, 0)
 	ck.coord.Demarcate(w, seq)
 }
 
@@ -173,12 +188,15 @@ func (ck *commitCtx) maybeStartWaitFlush() {
 		return
 	}
 	ck.db.state.Store(packState(WaitFlush, ck.version))
+	ck.emitPhase(InProgress, WaitFlush)
 	ck.db.tracer.Phase(ck.token, ck.version, InProgress.String(), WaitFlush.String())
 	go ck.waitFlush()
 }
 
 func (ck *commitCtx) dropParticipant(w *Worker) {
 	sameVersion := w.version == ck.version
+	ck.db.cfg.Flight.Emit(obs.FlightDrop, -1, ck.version, ck.token,
+		fmt.Sprintf("worker-%p", w), w.seq, 0)
 	ck.db.tracer.Session(ck.token, fmt.Sprintf("worker-%p", w), "drop", ck.version, w.seq)
 	ck.coord.Drop(w,
 		sameVersion && w.phase >= Prepare,
@@ -212,8 +230,12 @@ func (ck *commitCtx) waitFlush() {
 		}
 	}
 	err := ck.persist(buf, delta)
-	if err == nil && !delta {
-		db.lastFullToken, db.lastFullVersion = ck.token, ck.version
+	if err == nil {
+		db.cfg.Flight.Emit(obs.FlightPersistDone, -1, ck.version, ck.token, "",
+			uint64(len(buf)), 0)
+		if !delta {
+			db.lastFullToken, db.lastFullVersion = ck.token, ck.version
+		}
 	}
 
 	ck.res = CommitResult{Token: ck.token, Version: ck.version, Seqs: ck.coord.Points(),
@@ -223,9 +245,15 @@ func (ck *commitCtx) waitFlush() {
 	db.results[ck.token] = ck.res
 	db.state.Store(packState(Rest, ck.version+1))
 	db.ckptMu.Unlock()
+	ck.emitPhase(WaitFlush, Rest)
 	db.tracer.Phase(ck.token, ck.version, WaitFlush.String(), Rest.String())
 	ck.bumpTraced(Rest)
+	if err != nil {
+		db.cfg.Flight.Emit(obs.FlightCommitFail, -1, ck.version, ck.token, "", 0, 0)
+	}
 	if err == nil {
+		db.cfg.Flight.Emit(obs.FlightCommitDone, -1, ck.version, ck.token, "",
+			uint64(len(buf)), 0)
 		db.metrics.commits.Inc()
 		db.metrics.commitBytes.Add(uint64(len(buf)))
 		if delta {
@@ -248,13 +276,14 @@ func (ck *commitCtx) persist(values []byte, delta bool) error {
 	if err != nil {
 		return err
 	}
-	if err := writeArtifact(db.cfg.Checkpoints, "data-"+ck.token, values); err != nil {
+	fr := db.cfg.Flight
+	if err := writeArtifactFlight(db.cfg.Checkpoints, "data-"+ck.token, values, fr, ck.version); err != nil {
 		return err
 	}
-	if err := writeArtifact(db.cfg.Checkpoints, "meta-"+ck.token, mbuf); err != nil {
+	if err := writeArtifactFlight(db.cfg.Checkpoints, "meta-"+ck.token, mbuf, fr, ck.version); err != nil {
 		return err
 	}
-	if err := writeArtifact(db.cfg.Checkpoints, "latest", []byte(ck.token)); err != nil {
+	if err := writeArtifactFlight(db.cfg.Checkpoints, "latest", []byte(ck.token), fr, ck.version); err != nil {
 		return err
 	}
 	db.lastCommitToken = ck.token
@@ -265,6 +294,18 @@ func (ck *commitCtx) persist(values []byte, delta bool) error {
 // retrying transient device faults (storage.DefaultRetry).
 func writeArtifact(store storage.CheckpointStore, name string, data []byte) error {
 	return storage.WriteArtifactChecked(store, name, data)
+}
+
+// writeArtifactFlight is writeArtifact with flight-recorder visibility into
+// retries and the completed write.
+func writeArtifactFlight(store storage.CheckpointStore, name string, data []byte, fr *obs.FlightRecorder, version uint64) error {
+	err := storage.WriteArtifactCheckedObserved(store, name, data, func(attempt int, _ error) {
+		fr.Emit(obs.FlightArtifactRetry, -1, version, name, "", uint64(attempt), 0)
+	})
+	if err == nil {
+		fr.Emit(obs.FlightArtifactWrite, -1, version, name, "", uint64(len(data)), 0)
+	}
+	return err
 }
 
 // Recover loads a database from its most recent checkpoint (Sec. 4.4: no

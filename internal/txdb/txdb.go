@@ -149,6 +149,9 @@ type Config struct {
 	// Tracer records commit state-machine activity. Defaults to a fresh
 	// tracer with obs.DefaultTracerCapacity events.
 	Tracer *obs.Tracer
+	// Flight, when non-nil, receives commit-lifecycle flight events (shard -1:
+	// the database is a single CPR domain). Nil disables recording.
+	Flight *obs.FlightRecorder
 }
 
 func (c *Config) fill() error {
@@ -264,6 +267,7 @@ func Open(cfg Config) (*DB, error) {
 		tracer:  cfg.Tracer,
 	}
 	db.epochs.Instrument(cfg.Metrics)
+	db.epochs.InstrumentFlight(cfg.Flight, -1)
 	cfg.Metrics.GaugeFunc("txdb_version", func() int64 { return int64(db.Version()) })
 	cfg.Metrics.GaugeFunc("txdb_phase", func() int64 { return int64(db.Phase()) })
 	cfg.Metrics.GaugeFunc("txdb_workers", func() int64 {
