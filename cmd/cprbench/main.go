@@ -6,7 +6,9 @@
 //	go run ./cmd/cprbench -exp all -scale 0.5
 //
 // Output prints the same rows/series the paper reports, at laptop scale;
-// EXPERIMENTS.md records a reference run against the paper's numbers.
+// EXPERIMENTS.md records a reference run against the paper's numbers. Each
+// experiment additionally writes a machine-readable BENCH_<id>.json artifact
+// (schema v1: experiment, params, rows, elapsed) to -outdir.
 package main
 
 import (
@@ -28,6 +30,8 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "key-space scale factor")
 		tp      = flag.Float64("timepoints", 1.0, "time-series compression (1.0 = 4s runs)")
 		shards  = flag.Int("shards", 1, "store partitions for FASTER experiments (shardscale sweeps its own)")
+		outdir  = flag.String("outdir", ".", "directory for BENCH_<id>.json artifacts ('' disables)")
+		srvAddr = flag.String("addr", "", "drive a running cprserver at this address (tailtrace only)")
 	)
 	flag.Parse()
 
@@ -42,7 +46,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Threads: *threads, Seconds: *seconds, Scale: *scale, TimePoints: *tp, Shards: *shards}
+	cfg := bench.Config{Threads: *threads, Seconds: *seconds, Scale: *scale, TimePoints: *tp, Shards: *shards, Addr: *srvAddr}
 	var ids []string
 	if *exp == "all" {
 		for _, e := range bench.All() {
@@ -58,11 +62,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("== %s: %s (%s) ==\n", e.ID, e.Title, e.Paper)
+		if *outdir != "" {
+			cfg.Rec = bench.NewRecorder(e, cfg)
+		}
 		start := time.Now()
 		if err := e.Run(cfg, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("-- %s done in %.1fs --\n\n", e.ID, time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		if cfg.Rec != nil {
+			cfg.Rec.SetElapsed(elapsed)
+			path, err := cfg.Rec.WriteFile(*outdir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: artifact: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("-- artifact: %s --\n", path)
+		}
+		fmt.Printf("-- %s done in %.1fs --\n\n", e.ID, elapsed)
 	}
 }

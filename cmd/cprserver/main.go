@@ -51,6 +51,7 @@ func main() {
 		faultLatency = flag.Duration("fault-latency", 0, "injected latency spike duration; applied at -fault-rate (testing)")
 
 		flightCap = flag.Int("flightrec", obs.DefaultFlightCapacity, "flight-recorder ring capacity per CPU (events; 0 = off)")
+		traceCap  = flag.Int("reqtrace", 64, "slow-request trace retention (span trees; 0 = off)")
 	)
 	flag.Parse()
 
@@ -89,6 +90,9 @@ func main() {
 	}
 
 	cfg := faster.Config{Shards: *shards, Metrics: metrics, Flight: flight}
+	if *traceCap > 0 {
+		cfg.ReqTrace = obs.NewRequestTracer(*traceCap)
+	}
 	if *dir != "" {
 		if *shards > 1 {
 			// One log file per shard; checkpoints share the directory store
@@ -148,7 +152,7 @@ func main() {
 	defer store.Close()
 
 	if *debugAddr != "" {
-		mux := obs.NewDebugMux(store.Metrics(), store.Tracer(), store.Flight())
+		mux := obs.NewDebugMux(store.Metrics(), store.Tracer(), store.Flight(), store.RequestTracer())
 		go func() {
 			log.Printf("debug endpoints on http://%s/{metrics,metrics.prom,timeline,flight,debug/pprof}", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
@@ -204,7 +208,7 @@ func runReplica(cfg faster.Config, upstream, addr, replAddr string, autocommit t
 	defer rep.Store().Close()
 
 	if debugAddr != "" {
-		mux := obs.NewDebugMux(rep.Store().Metrics(), rep.Store().Tracer(), rep.Store().Flight())
+		mux := obs.NewDebugMux(rep.Store().Metrics(), rep.Store().Tracer(), rep.Store().Flight(), rep.Store().RequestTracer())
 		go func() {
 			log.Printf("debug endpoints on http://%s/{metrics,metrics.prom,timeline,flight,debug/pprof}", debugAddr)
 			if err := http.ListenAndServe(debugAddr, mux); err != nil {

@@ -44,6 +44,10 @@ func main() {
 		flightCmd(flag.Args()[1:])
 		return
 	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "trace" {
+		traceCmd(flag.Args()[1:])
+		return
+	}
 	if flag.NArg() >= 1 && flag.Arg(0) == "verify" {
 		// Offline integrity walk — never opens the store, so it is safe to
 		// run against a directory another process is serving from.
@@ -57,10 +61,11 @@ func main() {
 		os.Exit(verifyCheckpoints(ckDir))
 	}
 	if *dir == "" || flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: fasterctl -dir <dir> [-shards n] <set|get|del|rmw|bulkload|stats|metrics|verify> [args]")
+		fmt.Fprintln(os.Stderr, "usage: fasterctl -dir <dir> [-shards n] <set|get|del|rmw|bulkload|stats|metrics [hist]|verify> [args]")
 		fmt.Fprintln(os.Stderr, "       fasterctl repl-status <server-addr>")
 		fmt.Fprintln(os.Stderr, "       fasterctl verify <checkpoint-dir>")
 		fmt.Fprintln(os.Stderr, "       fasterctl flight [-addr <server-addr> | -dump <file>] [token]")
+		fmt.Fprintln(os.Stderr, "       fasterctl trace -addr <server-addr> [-slowest N] [-json]")
 		os.Exit(2)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -188,11 +193,18 @@ func main() {
 			}
 			sess.Refresh()
 		}
+		snap := store.Metrics().Snapshot()
+		if len(args) >= 2 && args[1] == "hist" {
+			// Human-readable tail view: one row per histogram with
+			// percentile columns, instead of the JSON dump.
+			printHistTable(snap)
+			return
+		}
 		out := struct {
 			Metrics  cpr.MetricsSnapshot `json:"metrics"`
 			Timeline cpr.PhaseTimeline   `json:"timeline"`
 		}{
-			Metrics:  store.Metrics().Snapshot(),
+			Metrics:  snap,
 			Timeline: store.Tracer().Timeline(),
 		}
 		enc := json.NewEncoder(os.Stdout)

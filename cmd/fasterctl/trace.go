@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/kvserver"
+	"repro/internal/obs"
+)
+
+// traceCmd implements `fasterctl trace -addr <server> [-slowest N] [-json]`:
+// it fetches the server's retained slow-request span trees (the TRACE op) and
+// prints each as an indented tree with per-hop durations, merging token-keyed
+// global replication spans under the durability-wait hop they explain.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	addr := fs.String("addr", "", "server address (required)")
+	slowest := fs.Int("slowest", 5, "print at most the N slowest retained traces (0 = all)")
+	asJSON := fs.Bool("json", false, "dump the raw TraceDump JSON instead of trees")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "usage: fasterctl trace -addr <server-addr> [-slowest N] [-json]")
+		os.Exit(2)
+	}
+
+	client, err := kvserver.Dial(*addr, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	dump, err := client.Trace(*slowest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(dump); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	printTraceDump(os.Stdout, dump)
+}
+
+func printTraceDump(w *os.File, dump obs.TraceDump) {
+	fmt.Fprintf(w, "threshold %s · %d finished · %d retained\n",
+		ns(int64(dump.ThresholdNanos)), dump.Finished, dump.Retained)
+	if dump.SpanDrops > 0 {
+		fmt.Fprintf(w, "warning: %d spans dropped (per-request span cap)\n", dump.SpanDrops)
+	}
+
+	// Global replication spans grouped by commit token; consumed as they are
+	// merged under matching durwait hops, leftovers printed at the end.
+	globalByToken := make(map[string][]obs.Span)
+	for _, sp := range dump.Global {
+		globalByToken[sp.Token] = append(globalByToken[sp.Token], sp)
+	}
+	merged := make(map[string]bool)
+
+	for _, tr := range dump.Traces {
+		fmt.Fprintf(w, "\ntrace %016x op=%s session=%s total=%s\n",
+			tr.TraceID, tr.Op, tr.Session, ns(tr.TotalNanos))
+		children := make(map[uint64][]obs.Span)
+		ids := make(map[uint64]bool, len(tr.Spans))
+		for _, sp := range tr.Spans {
+			ids[sp.ID] = true
+		}
+		var roots []obs.Span
+		for _, sp := range tr.Spans {
+			if ids[sp.Parent] {
+				children[sp.Parent] = append(children[sp.Parent], sp)
+			} else {
+				// Parent is on the other side of the wire (the client's root).
+				roots = append(roots, sp)
+			}
+		}
+		var hopSum int64
+		var walk func(sp obs.Span, depth int)
+		walk = func(sp obs.Span, depth int) {
+			fmt.Fprintf(w, "  %*s%-*s %10s%s\n",
+				2*depth, "", 24-2*depth, sp.Kind, ns(sp.DurationNanos()), spanNote(sp))
+			if len(children[sp.ID]) == 0 && sp.Kind != obs.SpanRequest {
+				hopSum += sp.DurationNanos()
+			}
+			for _, ch := range children[sp.ID] {
+				walk(ch, depth+1)
+			}
+			if sp.Kind == obs.SpanDurWait && sp.Token != "" {
+				for _, g := range globalByToken[sp.Token] {
+					merged[sp.Token] = true
+					fmt.Fprintf(w, "  %*s%-*s %10s%s\n",
+						2*(depth+1), "", 24-2*(depth+1), g.Kind, ns(g.DurationNanos()), spanNote(g))
+				}
+			}
+		}
+		for _, root := range roots {
+			walk(root, 0)
+		}
+		if tr.TotalNanos > 0 {
+			fmt.Fprintf(w, "  %-24s %10s  (%.0f%% of total attributed)\n",
+				"hops", ns(hopSum), 100*float64(hopSum)/float64(tr.TotalNanos))
+		}
+	}
+
+	var leftover []obs.Span
+	for tok, spans := range globalByToken {
+		if !merged[tok] {
+			leftover = append(leftover, spans...)
+		}
+	}
+	if len(leftover) > 0 {
+		sort.Slice(leftover, func(i, j int) bool {
+			return leftover[i].StartUnixNanos < leftover[j].StartUnixNanos
+		})
+		fmt.Fprintf(w, "\nglobal (replication, by commit token):\n")
+		for _, g := range leftover {
+			fmt.Fprintf(w, "  %-24s %10s%s\n", g.Kind, ns(g.DurationNanos()), spanNote(g))
+		}
+	}
+}
+
+// spanNote renders a span's typed annotations for the tree output.
+func spanNote(sp obs.Span) string {
+	switch sp.Kind {
+	case obs.SpanDecode:
+		return fmt.Sprintf("  shard=%d", sp.Arg1)
+	case obs.SpanExec:
+		return fmt.Sprintf("  serial=%d", sp.Arg1)
+	case obs.SpanDurWait:
+		return fmt.Sprintf("  awaited=%d committed=%d commit=%s", sp.Arg1, sp.Arg2, sp.Token)
+	case obs.SpanRespWrite:
+		return fmt.Sprintf("  bytes=%d", sp.Arg1)
+	case obs.SpanReplShip:
+		return fmt.Sprintf("  bytes=%d version=%d commit=%s", sp.Arg1, sp.Arg2, sp.Token)
+	case obs.SpanReplAnnounce:
+		return fmt.Sprintf("  version=%d commit=%s", sp.Arg1, sp.Token)
+	}
+	return ""
+}
+
+// printHistTable renders `fasterctl metrics hist`: every histogram in the
+// registry as one row with tail-percentile columns.
+func printHistTable(snap obs.Snapshot) {
+	if len(snap.Histograms) == 0 {
+		fmt.Println("(no histograms)")
+		return
+	}
+	names := make([]string, 0, len(snap.Histograms))
+	width := len("histogram")
+	for name := range snap.Histograms {
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%-*s %10s %9s %9s %9s %9s %9s %9s\n",
+		width, "histogram", "count", "mean", "p50", "p90", "p99", "p999", "max")
+	for _, name := range names {
+		h := snap.Histograms[name]
+		// Histograms named *_ns hold durations; anything else (e.g. *_ops)
+		// holds raw counts.
+		cell := func(v int64) string { return fmt.Sprintf("%d", v) }
+		if strings.HasSuffix(name, "_ns") {
+			cell = ns
+		}
+		fmt.Printf("%-*s %10d %9s %9s %9s %9s %9s %9s\n",
+			width, name, h.Count, cell(int64(h.MeanNanos)), cell(int64(h.P50Nanos)),
+			cell(int64(h.P90Nanos)), cell(int64(h.P99Nanos)), cell(int64(h.P999Nanos)),
+			cell(int64(h.MaxNanos)))
+	}
+}
+
+// ns renders a nanosecond duration in a human unit.
+func ns(v int64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fus", float64(v)/1e3)
+	}
+	return fmt.Sprintf("%dns", v)
+}

@@ -28,6 +28,12 @@ type Config struct {
 	// Shards partitions the store in every FASTER experiment (default 1 =
 	// the unpartitioned store; the shardscale experiment sweeps its own).
 	Shards int
+	// Rec, when non-nil, collects the experiment's structured rows for the
+	// BENCH_<exp>.json artifact (see record.go). Nil drops them.
+	Rec *Recorder
+	// Addr, when set, points client-driven experiments (tailtrace) at an
+	// already-running cprserver instead of an in-process one.
+	Addr string
 }
 
 func (c *Config) fill() {

@@ -33,6 +33,7 @@ func TestRegistryComplete(t *testing.T) {
 		"repllag",
 		"faulttolerance",
 		"durabilitylag",
+		"tailtrace",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -66,6 +66,8 @@ func init() {
 					if incremental {
 						mode = "incremental"
 					}
+					cfg.Record(Row{"mode": mode, "commit": c, "bytes": res.Bytes,
+						"vs_full_pct": 100 * float64(res.Bytes) / float64(full)})
 					fmt.Fprintf(w, "%-14s %-12d %14d %13.1f%%\n",
 						mode, c, res.Bytes, 100*float64(res.Bytes)/float64(full))
 				}

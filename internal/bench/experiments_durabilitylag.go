@@ -40,7 +40,7 @@ func init() {
 				25 * time.Millisecond, 50 * time.Millisecond,
 				100 * time.Millisecond, 250 * time.Millisecond,
 			} {
-				if err := runLagPoint(w, every, keys, threads, secs); err != nil {
+				if err := runLagPoint(cfg, w, every, keys, threads, secs); err != nil {
 					return err
 				}
 			}
@@ -50,7 +50,7 @@ func init() {
 
 // runLagPoint runs one YCSB-style measurement with commits issued at the
 // given cadence, reporting the session durability-lag distribution.
-func runLagPoint(w io.Writer, every time.Duration, keys uint64, threads int, secs float64) error {
+func runLagPoint(cfg Config, w io.Writer, every time.Duration, keys uint64, threads int, secs float64) error {
 	reg := obs.NewRegistry()
 	buckets := 1
 	for uint64(buckets) < keys/2 {
@@ -128,6 +128,11 @@ func runLagPoint(w io.Writer, every time.Duration, keys uint64, threads int, sec
 	snap := reg.Snapshot()
 	ops := snap.Histograms["faster_session_lag_ops"]
 	ns := snap.Histograms["faster_session_lag_ns"]
+	cfg.Record(Row{
+		"cadence_ms": float64(every) / 1e6, "commits": commits,
+		"lag_ops": histRow(ops), "lag_ns": histRow(ns),
+		"peak_ops": peakOps, "peak_ms": float64(peakNs) / 1e6,
+	})
 	fmt.Fprintf(w, "%-10s %8d %12d %12d %12d %12.2f %12.2f\n",
 		every, commits, ops.P50Nanos, ops.P99Nanos, peakOps,
 		float64(ns.P99Nanos)/1e6, float64(peakNs)/1e6)

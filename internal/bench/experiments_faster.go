@@ -48,6 +48,9 @@ func fig12(id, title, paper string, readFrac float64, logGrowth bool) {
 					if zipf {
 						dist = "zipf"
 					}
+					row := summaryRow(sum)
+					row["kind"], row["dist"], row["series"] = kind.String(), dist, seriesRow(sum.Series)
+					cfg.Record(row)
 					fmt.Fprintf(w, "%-20s", kind.String()+" "+dist)
 					for _, sm := range sum.Series {
 						if logGrowth {
@@ -88,6 +91,9 @@ func init() {
 					if err != nil {
 						return err
 					}
+					row := summaryRow(sum)
+					row["dist"], row["threads"], row["series"] = dist, t, seriesRow(sum.Series)
+					cfg.Record(row)
 					fmt.Fprintf(w, "%-16s", fmt.Sprintf("%s thr=%d", dist, t))
 					for _, sm := range sum.Series {
 						fmt.Fprintf(w, " %7.2f", sm.Mops)
@@ -120,6 +126,10 @@ func init() {
 						if zipf {
 							dist = "zipf"
 						}
+						row := summaryRow(sum)
+						row["op"], row["transfer"], row["dist"] = kind, transfer.String(), dist
+						row["series"] = seriesRow(sum.Series)
+						cfg.Record(row)
 						fmt.Fprintf(w, "%-28s", fmt.Sprintf("%s %s %s", kind, transfer, dist))
 						for _, sm := range sum.Series {
 							fmt.Fprintf(w, " %7.3f", sm.LatencyUs)
@@ -145,6 +155,8 @@ func init() {
 					if zipf {
 						dist = "zipf"
 					}
+					cfg.Record(Row{"buffer_kb": bufKB, "dist": dist, "mops": mops,
+						"commit_interval_sec": interval})
 					fmt.Fprintf(w, "%-12d %-10s %12.2f %16.3f\n", bufKB, dist, mops, interval)
 				}
 			}
@@ -179,6 +191,9 @@ func frequentCommits(readFrac float64, logGrowth bool) func(cfg Config, w io.Wri
 				if zipf {
 					dist = "zipf"
 				}
+				row := summaryRow(sum)
+				row["kind"], row["dist"], row["series"] = kind.String(), dist, seriesRow(sum.Series)
+				cfg.Record(row)
 				fmt.Fprintf(w, "%-20s", kind.String()+" "+dist)
 				for _, sm := range sum.Series {
 					if logGrowth {

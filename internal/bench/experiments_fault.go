@@ -38,7 +38,7 @@ func init() {
 				"fault-rate", "Mops", "commit(ms)", "commits", "failed", "retries", "injected",
 				keys, threads, secs)
 			for _, rate := range []float64{0, 1e-4, 1e-3, 5e-3, 2e-2} {
-				if err := runFaultPoint(w, rate, keys, threads, secs); err != nil {
+				if err := runFaultPoint(cfg, w, rate, keys, threads, secs); err != nil {
 					return err
 				}
 			}
@@ -48,7 +48,7 @@ func init() {
 
 // runFaultPoint runs one YCSB-style measurement against a store whose device
 // and checkpoint store inject transient faults at the given rate.
-func runFaultPoint(w io.Writer, rate float64, keys uint64, threads int, secs float64) error {
+func runFaultPoint(cfg Config, w io.Writer, rate float64, keys uint64, threads int, secs float64) error {
 	reg := obs.NewRegistry()
 	inj := storage.NewInjector(storage.FaultConfig{
 		Seed:           42,
@@ -159,6 +159,10 @@ func runFaultPoint(w io.Writer, rate float64, keys uint64, threads int, secs flo
 	retries := snap.Counters["storage_io_retries_total"]
 	injected := snap.Counters["fault_injected_transient_total"] +
 		snap.Counters["fault_injected_torn_total"]
+	cfg.Record(Row{
+		"fault_rate": rate, "mops": mops, "commit_ms": commitMs, "commits": commits,
+		"failed": failed, "retries": retries, "injected": injected,
+	})
 	fmt.Fprintf(w, "%-12g %10.3f %12.2f %10d %10d %10d %10d\n",
 		rate, mops, commitMs, commits, failed, retries, injected)
 	return nil

@@ -65,6 +65,8 @@ func init() {
 					label = fmt.Sprintf("%d MiB/s", mbps)
 					expected = float64(res.Bytes) / float64(mbps<<20) * 1000
 				}
+				cfg.Record(Row{"bandwidth_mbps": mbps, "bytes": res.Bytes,
+					"commit_ms": float64(elapsed.Milliseconds()), "expected_ms": expected})
 				fmt.Fprintf(w, "%-16s %12d %14.1f %14.1f\n",
 					label, res.Bytes, float64(elapsed.Milliseconds()), expected)
 				sess.StopSession()

@@ -83,6 +83,8 @@ func init() {
 				if withIndex {
 					label = "fresh index checkpoint"
 				}
+				cfg.Record(Row{"with_index": withIndex, "scan_bytes": scanBytes,
+					"recover_ms": float64(elapsed.Microseconds()) / 1000})
 				fmt.Fprintf(w, "%-24s %14d %14.1f\n",
 					label, scanBytes, float64(elapsed.Microseconds())/1000)
 			}

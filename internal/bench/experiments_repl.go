@@ -161,6 +161,9 @@ func runReplLag(cfg Config, w io.Writer) error {
 		now := time.Since(start).Seconds()
 		cur := opsTotal.Load()
 		st := rep.ReplStats()
+		cfg.Record(Row{"t_sec": now, "mops": float64(cur-lastOps) / (now - lastT) / 1e6,
+			"applied_version": st.AppliedVersion, "versions_behind": st.VersionsBehind,
+			"bytes_behind": st.BytesBehind})
 		fmt.Fprintf(w, "%-8.2f %10.2f %10d %12d %14d\n",
 			now, float64(cur-lastOps)/(now-lastT)/1e6,
 			st.AppliedVersion, st.VersionsBehind, st.BytesBehind)

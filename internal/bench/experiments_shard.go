@@ -34,6 +34,9 @@ func init() {
 				if base == 0 {
 					base = sum.Mops
 				}
+				row := summaryRow(sum)
+				row["shards"], row["speedup"] = n, sum.Mops/base
+				cfg.Record(row)
 				fmt.Fprintf(w, "%-8d %12.2f %11.2fx %12.3f\n",
 					n, sum.Mops, sum.Mops/base, sum.AvgLatencyUs)
 			}

@@ -39,6 +39,7 @@ func scalabilityExperiment(id, title, paper string, txnSize int, theta float64) 
 					if err != nil {
 						return err
 					}
+					cfg.Record(Row{"threads": t, "engine": fmt.Sprint(eng), "mtps": res.Mtps})
 					fmt.Fprintf(w, " %12.2f", res.Mtps)
 				}
 				fmt.Fprintln(w)
@@ -60,6 +61,7 @@ func latencyExperiment(id, title, paper string, txnSize int, theta float64) {
 					if err != nil {
 						return err
 					}
+					cfg.Record(Row{"threads": t, "engine": fmt.Sprint(eng), "avg_latency_us": res.AvgLatencyUs})
 					fmt.Fprintf(w, " %12.3f", res.AvgLatencyUs)
 				}
 				fmt.Fprintln(w)
@@ -91,6 +93,8 @@ func breakdownExperiment(id, title, paper string, sizes []int, theta float64, tp
 				if exec < 0 {
 					exec = 0
 				}
+				cfg.Record(Row{"label": label, "exec_pct": pc(exec), "tail_pct": pc(b.TailNanos),
+					"logwrite_pct": pc(b.LogWriteNanos), "abort_pct": pc(b.AbortNanos)})
 				fmt.Fprintf(w, "%-22s %8.1f %8.1f %8.1f %8.1f\n",
 					label, pc(exec), pc(b.TailNanos), pc(b.LogWriteNanos), pc(b.AbortNanos))
 				return nil
@@ -144,6 +148,11 @@ func timeSeriesExperiment(id, title, paper string, txnSize int, mixes []float64,
 					if err != nil {
 						return err
 					}
+					mtps := make([]float64, len(res.Series))
+					for i, sm := range res.Series {
+						mtps[i] = sm.Mtps
+					}
+					cfg.Record(Row{"label": label, "mtps_series": mtps})
 					fmt.Fprintf(w, "%-14s", label)
 					for _, sm := range res.Series {
 						fmt.Fprintf(w, " %7.2f", sm.Mtps)
@@ -168,6 +177,7 @@ func readPctExperiment(id, title, paper string, txnSize int) {
 					if err != nil {
 						return err
 					}
+					cfg.Record(Row{"read_pct": readPct * 100, "engine": fmt.Sprint(eng), "mtps": res.Mtps})
 					fmt.Fprintf(w, " %12.2f", res.Mtps)
 				}
 				fmt.Fprintln(w)
@@ -222,6 +232,7 @@ func init() {
 					if err != nil {
 						return err
 					}
+					cfg.Record(Row{"txn_size": size, "engine": fmt.Sprint(eng), "mtps": res.Mtps})
 					fmt.Fprintf(w, " %12.2f", res.Mtps)
 				}
 				fmt.Fprintln(w)
@@ -256,6 +267,7 @@ func init() {
 					if err != nil {
 						return err
 					}
+					cfg.Record(Row{"threads": t, "engine": fmt.Sprint(eng), "avg_latency_us": res.AvgLatencyUs})
 					fmt.Fprintf(w, " %12.3f", res.AvgLatencyUs)
 				}
 				fmt.Fprintln(w)
@@ -277,6 +289,7 @@ func tpccScalability(payFrac float64) func(cfg Config, w io.Writer) error {
 				if err != nil {
 					return err
 				}
+				cfg.Record(Row{"threads": t, "engine": fmt.Sprint(eng), "mtps": res.Mtps})
 				fmt.Fprintf(w, " %12.2f", res.Mtps)
 			}
 			fmt.Fprintln(w)

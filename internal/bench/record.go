@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// ArtifactSchemaV is the BENCH_<exp>.json schema version; bump on any
+// incompatible change so downstream tooling can reject artifacts it does not
+// understand.
+const ArtifactSchemaV = 1
+
+// Row is one structured data point of an experiment — typically mirroring one
+// printed table row, with machine-readable keys instead of column layout.
+type Row = map[string]any
+
+// Artifact is the machine-readable result of one experiment run, written next
+// to the human-readable output as BENCH_<experiment>.json.
+type Artifact struct {
+	V          uint32         `json:"v"`
+	Experiment string         `json:"experiment"`
+	Title      string         `json:"title,omitempty"`
+	Paper      string         `json:"paper,omitempty"`
+	Params     map[string]any `json:"params"`
+	Rows       []Row          `json:"rows"`
+	ElapsedSec float64        `json:"elapsed_sec"`
+}
+
+// Recorder accumulates an experiment's structured output. A nil *Recorder is
+// valid and drops everything, so experiments record unconditionally.
+type Recorder struct {
+	mu  sync.Mutex
+	art Artifact
+}
+
+// NewRecorder starts an artifact for one experiment.
+func NewRecorder(e Experiment, cfg Config) *Recorder {
+	return &Recorder{art: Artifact{
+		V:          ArtifactSchemaV,
+		Experiment: e.ID,
+		Title:      e.Title,
+		Paper:      e.Paper,
+		Params: map[string]any{
+			"threads":    cfg.Threads,
+			"seconds":    cfg.Seconds,
+			"scale":      cfg.Scale,
+			"timepoints": cfg.TimePoints,
+			"shards":     cfg.Shards,
+		},
+	}}
+}
+
+// AddRow appends one structured data point.
+func (r *Recorder) AddRow(row Row) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.art.Rows = append(r.art.Rows, row)
+	r.mu.Unlock()
+}
+
+// SetElapsed stamps the run's wall-clock duration.
+func (r *Recorder) SetElapsed(sec float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.art.ElapsedSec = sec
+	r.mu.Unlock()
+}
+
+// WriteFile writes BENCH_<experiment>.json under dir and returns its path.
+func (r *Recorder) WriteFile(dir string) (string, error) {
+	if r == nil {
+		return "", fmt.Errorf("bench: nil recorder")
+	}
+	r.mu.Lock()
+	if r.art.Rows == nil {
+		r.art.Rows = []Row{} // an empty artifact still carries [] not null
+	}
+	buf, err := json.MarshalIndent(r.art, "", "  ")
+	name := r.art.Experiment
+	r.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	return path, os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// Record appends a structured row to the experiment's artifact recorder, if
+// one is attached; experiments call it next to each printed table row.
+func (c Config) Record(row Row) { c.Rec.AddRow(row) }
+
+// summaryRow flattens a FasterSummary into artifact fields: throughput,
+// latency, commit shape, and the interesting metric deltas (histograms as
+// percentile sub-maps, counters verbatim).
+func summaryRow(sum FasterSummary) Row {
+	row := Row{
+		"mops":           sum.Mops,
+		"avg_latency_us": sum.AvgLatencyUs,
+		"commits":        len(sum.Commits),
+	}
+	if sum.CommitIntervalSec > 0 {
+		row["commit_interval_sec"] = sum.CommitIntervalSec
+	}
+	if len(sum.Metrics.Counters) > 0 {
+		counters := make(map[string]uint64, len(sum.Metrics.Counters))
+		for k, v := range sum.Metrics.Counters {
+			if v != 0 {
+				counters[k] = v
+			}
+		}
+		if len(counters) > 0 {
+			row["counter_deltas"] = counters
+		}
+	}
+	if len(sum.Metrics.Histograms) > 0 {
+		hists := make(map[string]Row, len(sum.Metrics.Histograms))
+		for k, h := range sum.Metrics.Histograms {
+			if h.Count == 0 {
+				continue
+			}
+			hists[k] = histRow(h)
+		}
+		if len(hists) > 0 {
+			row["histogram_deltas"] = hists
+		}
+	}
+	if len(sum.PhaseNanos) > 0 {
+		row["phase_ns"] = sum.PhaseNanos
+	}
+	return row
+}
+
+// histRow flattens a histogram snapshot to its latency percentiles.
+func histRow(h obs.HistogramSnapshot) Row {
+	return Row{
+		"count":   h.Count,
+		"mean_ns": h.MeanNanos,
+		"p50_ns":  h.P50Nanos,
+		"p90_ns":  h.P90Nanos,
+		"p99_ns":  h.P99Nanos,
+		"p999_ns": h.P999Nanos,
+		"max_ns":  h.MaxNanos,
+	}
+}
+
+// seriesRow flattens a time series into parallel arrays (one Row).
+func seriesRow(series []FasterSample) Row {
+	t := make([]float64, len(series))
+	mops := make([]float64, len(series))
+	latUs := make([]float64, len(series))
+	logMiB := make([]float64, len(series))
+	for i, sm := range series {
+		t[i] = sm.T
+		mops[i] = sm.Mops
+		latUs[i] = sm.LatencyUs
+		logMiB[i] = float64(sm.LogBytes) / (1 << 20)
+	}
+	return Row{"t_sec": t, "mops": mops, "latency_us": latUs, "log_mib": logMiB}
+}
+
+// pctile returns the p-th percentile (0..1] of ns by nearest-rank, after
+// sorting a copy. Returns 0 on an empty slice.
+func pctile(ns []int64, p float64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

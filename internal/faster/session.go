@@ -102,6 +102,12 @@ type Session struct {
 	committedAtNanos atomic.Int64
 	demarcAtNanos    atomic.Int64
 
+	// committedToken names the commit that last advanced committedSerial —
+	// the covering commit for a durability wait, cross-linking a request's
+	// durwait span to the flight recorder's commit timeline. Atomic pointer:
+	// written by Store.noteCommitted, read from serving goroutines.
+	committedToken atomic.Pointer[string]
+
 	// demarcVersion/demarcSerial cache the session's CPR point for commit
 	// version demarcVersion: the first shard context to enter in-progress
 	// computes it and every other context reuses it, so all shards demarcate
@@ -231,6 +237,16 @@ func (sess *Session) Serial() uint64 { return sess.serial.Load() }
 // CommittedSerial returns the session's durable commit point t_i: every
 // operation with serial <= t_i survives failure.
 func (sess *Session) CommittedSerial() uint64 { return sess.committedSerial.Load() }
+
+// CommittedToken returns the token of the commit that last advanced this
+// session's commit point ("" before the first covering commit). A durability
+// wait that observes its serial covered attributes the wait to this token.
+func (sess *Session) CommittedToken() string {
+	if p := sess.committedToken.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
 
 // lag computes the session's durability lag at wall-clock instant now (a
 // nowNanos value). Callers hold store.mu (the session registry lock).

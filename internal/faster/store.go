@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/epoch"
+	"repro/internal/hashfn"
 	"repro/internal/hlog"
 	"repro/internal/obs"
 	"repro/internal/storage"
@@ -167,6 +168,12 @@ type Config struct {
 	// (epoch bumps, phase transitions, artifact writes, log flushes, ...) for
 	// every shard. Nil disables the flight recorder at zero hot-path cost.
 	Flight *obs.FlightRecorder
+	// ReqTrace, when non-nil, is the request tracer shared by the layers
+	// serving this store (kvserver request hops, repl ship/announce spans).
+	// The store itself only carries it — per-request spans are emitted by the
+	// serving layer, which owns request boundaries. Nil disables request
+	// tracing at one pointer test per call site.
+	ReqTrace *obs.RequestTracer
 	// Replica opens the store as a replication target: recovery replays
 	// non-destructively (records shipped ahead of their commit are hidden in
 	// memory instead of invalidated on the device, because the next installed
@@ -495,6 +502,14 @@ func (s *Store) Tracer() *obs.Tracer { return s.tracer }
 // Flight returns the store's flight recorder (nil when not configured).
 func (s *Store) Flight() *obs.FlightRecorder { return s.cfg.Flight }
 
+// RequestTracer returns the store's request tracer (nil when not configured).
+func (s *Store) RequestTracer() *obs.RequestTracer { return s.cfg.ReqTrace }
+
+// ShardOfKey reports which shard serves key — the same route its operations
+// take. Surfaced so serving layers can annotate dispatch spans without
+// re-deriving the hash split.
+func (s *Store) ShardOfKey(key []byte) int { return s.shardOf(hashfn.Hash64(key)) }
+
 // DumpFlight snapshots the flight recorder and writes it as a CRC-framed
 // artifact named "flight-<reason>" in the checkpoint store, overwriting any
 // earlier dump with the same reason. Call it from a panic handler or a crash
@@ -560,6 +575,7 @@ func (s *Store) maxSessionLag() (ops uint64, ns int64) {
 // and uncoordinated (single-shard) protocols.
 func (s *Store) noteCommitted(res CommitResult) {
 	now := nowNanos()
+	token := res.Token // one shared cell for every session's covering token
 	s.mu.Lock()
 	for id, pt := range res.Serials {
 		sess, ok := s.sessions[id]
@@ -572,6 +588,7 @@ func (s *Store) noteCommitted(res CommitResult) {
 		}
 		sess.committedSerial.Store(pt)
 		sess.committedAtNanos.Store(now)
+		sess.committedToken.Store(&token)
 	}
 	s.mu.Unlock()
 }

@@ -31,10 +31,16 @@ type Client struct {
 	addr     string
 	id       string
 	cprPoint uint64
+	proto    byte
 	// Timeout bounds each call's network I/O (request write + response
 	// read), so a dead server surfaces as an error instead of hanging the
 	// session forever. Zero disables deadlines.
 	Timeout time.Duration
+	// Tracer, when set, records a client-side root span per call, so the
+	// server's span tree (sharing the same trace ID) nests under the
+	// client-observed request latency. Requires a ProtoV2 server; on a v1
+	// server calls are untraced and Tracer is ignored.
+	Tracer *obs.RequestTracer
 }
 
 // Dial connects and performs the Hello handshake. A non-empty clientID
@@ -50,7 +56,10 @@ func Dial(addr, clientID string) (*Client, error) {
 	c := &Client{conn: conn, addr: addr, Timeout: DefaultCallTimeout}
 	conn.SetDeadline(time.Now().Add(DefaultCallTimeout)) //nolint:errcheck
 	defer conn.SetDeadline(time.Time{})                  //nolint:errcheck
-	payload := appendString(nil, []byte(clientID))
+	// Offer ProtoV2 via the trailing proto byte; a v1 server's Hello parser
+	// stops at the client-ID string and its response carries no proto byte,
+	// which downgrades this client to v1 (plain frames, no trace field).
+	payload := append(appendString(nil, []byte(clientID)), ProtoV2)
 	if err := writeFrame(conn, OpHello, payload); err != nil {
 		conn.Close()
 		return nil, err
@@ -65,10 +74,14 @@ func Dial(addr, clientID string) (*Client, error) {
 		conn.Close()
 		return nil, err
 	}
-	id, _, err := takeString(rest)
+	id, rest, err := takeString(rest)
 	if err != nil {
 		conn.Close()
 		return nil, err
+	}
+	c.proto = ProtoV1
+	if len(rest) > 0 && rest[0] >= ProtoV2 {
+		c.proto = ProtoV2
 	}
 	c.id = string(id)
 	c.cprPoint = point
@@ -83,6 +96,10 @@ func (c *Client) ID() string { return c.id }
 // After Reconnect it reflects the new server's recovered state — the offset
 // from which to replay input.
 func (c *Client) CPRPoint() uint64 { return c.cprPoint }
+
+// Proto returns the wire protocol version negotiated at the last handshake
+// (ProtoV1 against an old server, ProtoV2 when both sides speak traces).
+func (c *Client) Proto() byte { return c.proto }
 
 // Close closes the connection (the server stops the session).
 func (c *Client) Close() error { return c.conn.Close() }
@@ -101,6 +118,7 @@ func (c *Client) Reconnect(addr string) error {
 		return err
 	}
 	nc.Timeout = c.Timeout
+	nc.Tracer = c.Tracer
 	c.conn.Close()
 	*c = *nc
 	return nil
@@ -111,10 +129,25 @@ func (c *Client) call(op byte, payload []byte) (byte, []byte, error) {
 		c.conn.SetDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
 		defer c.conn.SetDeadline(time.Time{})         //nolint:errcheck
 	}
-	if err := writeFrame(c.conn, op, payload); err != nil {
+	var tc obs.TraceContext
+	t0 := time.Now().UnixNano()
+	if c.proto >= ProtoV2 {
+		// ParentSpan 1 is the ID Begin assigns to this client's own root span
+		// (below), so the server's tree nests under the client-observed call.
+		tc = obs.TraceContext{TraceID: obs.NewTraceID(), ParentSpan: 1, IssuedUnixNanos: t0}
+	}
+	if err := writeFrameTr(c.conn, op, tc, payload); err != nil {
 		return 0, nil, err
 	}
 	rop, resp, err := readFrame(c.conn)
+	if c.Tracer != nil && tc.TraceID != 0 {
+		// Root-only client trace: span 1 is the client-observed call window
+		// [issue, response-read]; the server's spans (IDs from 2) nest under
+		// it. No child spans here — their IDs would collide with the server's.
+		var at obs.ActiveTrace
+		c.Tracer.Begin(&at, obs.TraceContext{TraceID: tc.TraceID}, opName(op), c.id)
+		c.Tracer.Finish(&at, t0, time.Now().UnixNano())
+	}
 	if err != nil {
 		return 0, nil, err
 	}
@@ -208,6 +241,62 @@ func (c *Client) Commit(withIndex bool) (uint64, error) {
 	}
 	point, _, err := takeU64(resp)
 	return point, err
+}
+
+// WaitDurable blocks until every operation issued on this session so far is
+// covered by a durable commit (riding the auto-committer or a peer's commit
+// rather than forcing one), returning the committed serial and the covering
+// commit's token — the cross-link into flight-recorder events and trace
+// durwait spans. On a replica it returns a RedirectError.
+func (c *Client) WaitDurable() (uint64, string, error) {
+	status, resp, err := c.call(OpWaitDurable, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	serial, rest, err := takeU64(resp)
+	if err != nil {
+		return 0, "", err
+	}
+	token, _, err := takeString(rest)
+	if err != nil {
+		return 0, "", err
+	}
+	if status != StatusOK {
+		return serial, "", fmt.Errorf("kvserver: wait-durable timed out at serial %d", serial)
+	}
+	return serial, string(token), nil
+}
+
+// Trace fetches the server's retained slow-request span trees (at most n;
+// n <= 0 means server default). Returns an error when the server runs without
+// a request tracer.
+func (c *Client) Trace(n int) (obs.TraceDump, error) {
+	var dump obs.TraceDump
+	var payload []byte
+	if n > 0 {
+		if n > 0xffff {
+			n = 0xffff
+		}
+		payload = []byte{byte(n), byte(n >> 8)} // u16 LE
+	}
+	status, resp, err := c.call(OpTrace, payload)
+	if err != nil {
+		return dump, err
+	}
+	v, _, verr := takeValue(resp)
+	if status != StatusOK {
+		if verr == nil && len(v) > 0 {
+			return dump, fmt.Errorf("kvserver: trace failed: %s", v)
+		}
+		return dump, fmt.Errorf("kvserver: trace failed")
+	}
+	if verr != nil {
+		return dump, verr
+	}
+	if err := json.Unmarshal(v, &dump); err != nil {
+		return dump, fmt.Errorf("kvserver: trace payload: %w", err)
+	}
+	return dump, nil
 }
 
 // Stats fetches the server's introspection snapshot: store state, HybridLog

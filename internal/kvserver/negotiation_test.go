@@ -1,0 +1,231 @@
+package kvserver
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestHelloNegotiatesV2 checks that a current client against a current server
+// lands on ProtoV2 and that traced ops (flagged frames) work end to end.
+func TestHelloNegotiatesV2(t *testing.T) {
+	_, addr, _ := startServer(t, smallCfg())
+
+	c, err := Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Proto() != ProtoV2 {
+		t.Fatalf("negotiated proto %d, want %d", c.Proto(), ProtoV2)
+	}
+	// Every call now carries a trace field; the server must strip it and
+	// serve normally.
+	if _, err := c.Set([]byte("nk"), []byte("nv")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := c.Get([]byte("nk"))
+	if err != nil || !found || string(v) != "nv" {
+		t.Fatalf("traced get: %q %v %v", v, found, err)
+	}
+}
+
+// TestV1ClientAgainstV2Server simulates an old client: its Hello payload ends
+// at the client-ID string and its frames are plain. The server must not
+// append a proto byte to the Hello response and must serve plain frames.
+func TestV1ClientAgainstV2Server(t *testing.T) {
+	_, addr, _ := startServer(t, smallCfg())
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+
+	// v1 Hello: just the (empty) client ID, no proto byte.
+	if err := writeFrame(conn, OpHello, appendString(nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	op, resp, err := readFrame(conn)
+	if err != nil || op != OpHello || resp[0] != StatusOK {
+		t.Fatalf("hello: op=%d err=%v", op, err)
+	}
+	_, rest, err := takeU64(resp[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rest, err = takeString(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("server appended %d bytes after session ID to a v1 Hello (old clients would still ignore them, but negotiation should be symmetric)", len(rest))
+	}
+
+	// Plain v1 data frames round-trip.
+	payload := appendValue(appendString(nil, []byte("v1k")), []byte("v1v"))
+	if err := writeFrame(conn, OpSet, payload); err != nil {
+		t.Fatal(err)
+	}
+	op, resp, err = readFrame(conn)
+	if err != nil || op != OpSet || resp[0] != StatusOK {
+		t.Fatalf("v1 set: op=%d err=%v", op, err)
+	}
+}
+
+// TestV2ClientAgainstV1Server simulates an old server: its Hello parser stops
+// at the client-ID string and its response carries no proto byte. The current
+// client must downgrade to ProtoV1 and stop attaching trace fields.
+func TestV2ClientAgainstV1Server(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srvErr := make(chan error, 1)
+	sawFlag := make(chan bool, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		defer conn.Close()
+		// Old-server Hello: parse the string, ignore any trailing bytes.
+		op, payload, err := readFrame(conn)
+		if err != nil || op != OpHello {
+			srvErr <- err
+			return
+		}
+		if _, _, err := takeString(payload); err != nil {
+			srvErr <- err
+			return
+		}
+		resp := appendU64([]byte{StatusOK}, 0)
+		resp = appendString(resp, []byte("old-sess")) // no proto byte
+		if err := writeFrame(conn, OpHello, resp); err != nil {
+			srvErr <- err
+			return
+		}
+		// Read the next frame RAW to prove the opcode byte has no trace flag.
+		var hdr [5]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			srvErr <- err
+			return
+		}
+		sawFlag <- hdr[4]&frameFlagTrace != 0
+		srvErr <- nil
+	}()
+
+	c, err := Dial(ln.Addr().String(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Proto() != ProtoV1 {
+		t.Fatalf("client negotiated proto %d against a v1 server, want %d", c.Proto(), ProtoV1)
+	}
+	if c.ID() != "old-sess" {
+		t.Fatalf("session id %q", c.ID())
+	}
+	c.Timeout = 2 * time.Second
+	c.Set([]byte("k"), []byte("v")) //nolint:errcheck // fake server never responds
+	if flagged := <-sawFlag; flagged {
+		t.Fatal("downgraded client sent a trace-flagged frame to a v1 server")
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTracedRequestRetainedServerSide drives traced requests at a server whose
+// store carries a request tracer and checks a span tree is retained with the
+// client's trace ID and the expected hop kinds.
+func TestTracedRequestRetainedServerSide(t *testing.T) {
+	cfg := smallCfg()
+	cfg.ReqTrace = obs.NewRequestTracer(16)
+	_, addr, store := startServer(t, cfg)
+
+	c, err := Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Set([]byte("tk"), []byte("tv")); err != nil {
+		t.Fatal(err)
+	}
+	// A second session provides the covering commit WaitDurable rides
+	// (standing in for a production auto-committer).
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		c2, err := Dial(addr, "")
+		if err != nil {
+			return
+		}
+		defer c2.Close()
+		c2.Commit(false) //nolint:errcheck
+	}()
+	serial, token, err := c.WaitDurable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial == 0 {
+		t.Fatal("wait-durable reported serial 0 after a set")
+	}
+	if token == "" {
+		t.Fatal("wait-durable reported no covering commit token")
+	}
+
+	rt := store.RequestTracer()
+	traces := rt.Slowest(0)
+	if len(traces) == 0 {
+		t.Fatal("no traces retained (warmup threshold retains everything)")
+	}
+	kinds := map[obs.SpanKind]bool{}
+	var durTok string
+	for _, tr := range traces {
+		if tr.TraceID == 0 {
+			t.Fatal("retained trace without a trace ID")
+		}
+		for _, sp := range tr.Spans {
+			kinds[sp.Kind] = true
+			if sp.Kind == obs.SpanDurWait && sp.Token != "" {
+				durTok = sp.Token
+			}
+		}
+	}
+	for _, want := range []obs.SpanKind{obs.SpanRequest, obs.SpanQueue, obs.SpanExec, obs.SpanDurWait, obs.SpanRespWrite} {
+		if !kinds[want] {
+			t.Fatalf("no retained span of kind %v (saw %v)", want, kinds)
+		}
+	}
+	if durTok != token {
+		t.Fatalf("durwait span token %q != wait-durable token %q", durTok, token)
+	}
+
+	// The OpTrace round-trip returns the same trees as JSON.
+	dump, err := c.Trace(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Traces) == 0 {
+		t.Fatal("OpTrace returned no traces")
+	}
+}
+
+// TestWaitDurableRedirectOnReplica is in the repl integration tests; here we
+// just check OpTrace against a server with no tracer fails cleanly.
+func TestTraceWithoutTracerErrors(t *testing.T) {
+	_, addr, _ := startServer(t, smallCfg())
+	c, err := Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Trace(4); err == nil {
+		t.Fatal("Trace succeeded against a server without a request tracer")
+	}
+}

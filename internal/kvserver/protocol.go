@@ -23,9 +23,10 @@ import (
 	"repro/internal/obs"
 )
 
-// Opcodes.
+// Opcodes. Opcode values stay below 0x80: the high bit of the frame's opcode
+// byte is the trace flag (see frameFlagTrace).
 const (
-	OpHello  byte = 1 // payload: clientID string  -> resp: u64 CPR point
+	OpHello  byte = 1 // payload: clientID string [+ u8 proto] -> resp: u64 CPR point, id string [+ u8 proto]
 	OpGet    byte = 2 // payload: key string       -> resp: value
 	OpSet    byte = 3 // payload: key string, value -> resp: u64 serial
 	OpRMW    byte = 4 // payload: key string, value -> resp: u64 serial
@@ -33,6 +34,31 @@ const (
 	OpCommit byte = 6 // payload: u8 withIndex     -> resp: u64 CPR point
 	OpStats  byte = 7 // payload: none             -> resp: StatsSnapshot JSON
 	OpFlight byte = 8 // payload: token string (may be empty) -> resp: obs.FlightDump JSON
+	// OpTrace fetches the server's retained slow-request span trees.
+	OpTrace byte = 9 // payload: u16 maxTraces -> resp: obs.TraceDump JSON
+	// OpWaitDurable blocks until the session's committed point t_i covers
+	// every operation issued on this connection so far, piggybacking on
+	// whatever commit (auto-committer or another session's) gets there first.
+	// The response names the covering commit.
+	OpWaitDurable byte = 10 // payload: none -> resp: u64 committed serial, token string
+)
+
+// Protocol versions, negotiated at Hello. A v1 Hello omits the proto byte;
+// peers on either side that never saw this field keep speaking v1 frames
+// (plain opcodes), so old and new binaries interoperate in both directions.
+// v2 adds the optional per-frame trace field (frameFlagTrace).
+const (
+	ProtoV1 byte = 1
+	ProtoV2 byte = 2
+)
+
+// frameFlagTrace, set on the frame's opcode byte, means a 24-byte trace
+// field — trace ID u64, parent span u64, issued-at unix nanos u64 — sits
+// between the opcode and the payload. Only sent after both sides negotiated
+// ProtoV2 (a v1 peer would read the flagged opcode as unknown).
+const (
+	frameFlagTrace = byte(0x80)
+	traceFieldLen  = 24
 )
 
 // StatsVersion is the current StatsSnapshot schema version; bump on any
@@ -103,12 +129,28 @@ const (
 // allocations.
 const maxFrame = 16 << 20
 
-// writeFrame sends opcode+payload as one frame.
+// writeFrame sends opcode+payload as one v1 frame (no trace field).
 func writeFrame(w io.Writer, opcode byte, payload []byte) error {
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
-	hdr[4] = opcode
-	if _, err := w.Write(hdr[:]); err != nil {
+	return writeFrameTr(w, opcode, obs.TraceContext{}, payload)
+}
+
+// writeFrameTr sends one frame, attaching the 24-byte trace field when tc
+// carries a trace (TraceID != 0). Callers must only pass a trace on
+// connections that negotiated ProtoV2.
+func writeFrameTr(w io.Writer, opcode byte, tc obs.TraceContext, payload []byte) error {
+	var hdr [5 + traceFieldLen]byte
+	n := 5
+	if tc.TraceID != 0 {
+		hdr[4] = opcode | frameFlagTrace
+		binary.LittleEndian.PutUint64(hdr[5:], tc.TraceID)
+		binary.LittleEndian.PutUint64(hdr[13:], tc.ParentSpan)
+		binary.LittleEndian.PutUint64(hdr[21:], uint64(tc.IssuedUnixNanos))
+		n += traceFieldLen
+	} else {
+		hdr[4] = opcode
+	}
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(n-4+len(payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
 	if len(payload) > 0 {
@@ -119,21 +161,42 @@ func writeFrame(w io.Writer, opcode byte, payload []byte) error {
 	return nil
 }
 
-// readFrame reads one frame, returning its opcode and payload.
+// readFrame reads one frame, returning its opcode and payload. A trace field,
+// if present, is decoded and dropped — use readFrameTr to keep it.
 func readFrame(r io.Reader) (byte, []byte, error) {
+	op, _, payload, err := readFrameTr(r)
+	return op, payload, err
+}
+
+// readFrameTr reads one frame, returning its opcode (trace flag cleared), the
+// trace context (zero when the frame carries none), and the payload.
+func readFrameTr(r io.Reader) (byte, obs.TraceContext, []byte, error) {
+	var tc obs.TraceContext
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, nil, err
+		return 0, tc, nil, err
 	}
 	n := binary.LittleEndian.Uint32(lenBuf[:])
 	if n == 0 || n > maxFrame {
-		return 0, nil, fmt.Errorf("kvserver: bad frame length %d", n)
+		return 0, tc, nil, fmt.Errorf("kvserver: bad frame length %d", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+		return 0, tc, nil, err
 	}
-	return buf[0], buf[1:], nil
+	op := buf[0]
+	body := buf[1:]
+	if op&frameFlagTrace != 0 {
+		op &^= frameFlagTrace
+		if len(body) < traceFieldLen {
+			return 0, tc, nil, fmt.Errorf("kvserver: trace-flagged frame too short (%d bytes)", len(body))
+		}
+		tc.TraceID = binary.LittleEndian.Uint64(body)
+		tc.ParentSpan = binary.LittleEndian.Uint64(body[8:])
+		tc.IssuedUnixNanos = int64(binary.LittleEndian.Uint64(body[16:]))
+		body = body[traceFieldLen:]
+	}
+	return op, tc, body, nil
 }
 
 func appendString(dst []byte, s []byte) []byte {

@@ -7,6 +7,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TestOversizedFrameRejected: a frame claiming more than maxFrame bytes is
@@ -60,7 +62,7 @@ func TestUnknownOpcodeClosesConnection(t *testing.T) {
 	if _, _, err := readFrame(conn); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFrame(conn, 0xEE, []byte("junk")); err != nil {
+	if err := writeFrame(conn, 0x6E, []byte("junk")); err != nil {
 		t.Fatal(err)
 	}
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
@@ -82,7 +84,19 @@ func TestTruncatedFrameMidPayload(t *testing.T) {
 	}
 }
 
-// FuzzFrame round-trips arbitrary opcode/payload pairs through the codec and
+// TestTraceFlaggedFrameTooShort: a frame whose opcode carries the trace flag
+// but whose body is shorter than the 24-byte trace field must be rejected.
+func TestTraceFlaggedFrameTooShort(t *testing.T) {
+	for n := 0; n < traceFieldLen; n++ {
+		raw := append([]byte{OpGet | frameFlagTrace}, bytes.Repeat([]byte{7}, n)...)
+		if _, _, _, err := readFrameTr(bytes.NewReader(append(lenPrefix(uint32(len(raw))), raw...))); err == nil {
+			t.Fatalf("trace-flagged frame with %d-byte body accepted", n)
+		}
+	}
+}
+
+// FuzzFrame round-trips arbitrary opcode/payload pairs through the codec —
+// both plain v1 frames and v2 frames carrying the optional trace field — and
 // feeds arbitrary raw bytes to readFrame, which must never panic and must
 // never return a frame larger than maxFrame.
 func FuzzFrame(f *testing.F) {
@@ -90,25 +104,49 @@ func FuzzFrame(f *testing.F) {
 	f.Add(byte(0), []byte{})
 	f.Add(byte(255), bytes.Repeat([]byte{0xAA}, 1024))
 	f.Fuzz(func(t *testing.T, opcode byte, payload []byte) {
-		if len(payload) >= maxFrame {
+		if len(payload) >= maxFrame-traceFieldLen-1 {
 			t.Skip()
 		}
+		// Opcodes live below 0x80 — the high bit is the trace flag.
+		plain := opcode &^ frameFlagTrace
 		var buf bytes.Buffer
-		if err := writeFrame(&buf, opcode, payload); err != nil {
+		if err := writeFrame(&buf, plain, payload); err != nil {
 			t.Fatal(err)
 		}
-		op, got, err := readFrame(&buf)
+		op, tc, got, err := readFrameTr(&buf)
 		if err != nil {
 			t.Fatalf("round-trip: %v", err)
 		}
-		if op != opcode || !bytes.Equal(got, payload) {
-			t.Fatalf("round-trip mismatch: op %d/%d, %d/%d bytes", op, opcode, len(got), len(payload))
+		if op != plain || !bytes.Equal(got, payload) {
+			t.Fatalf("round-trip mismatch: op %d/%d, %d/%d bytes", op, plain, len(got), len(payload))
+		}
+		if tc != (obs.TraceContext{}) {
+			t.Fatalf("plain frame decoded a trace context %+v", tc)
+		}
+
+		// Traced round-trip: the trace field must survive unchanged and must
+		// not leak into the payload.
+		want := obs.TraceContext{
+			TraceID:         1 + uint64(opcode), // never zero, or the field is omitted
+			ParentSpan:      uint64(len(payload)),
+			IssuedUnixNanos: int64(opcode) * 1e9,
+		}
+		buf.Reset()
+		if err := writeFrameTr(&buf, plain, want, payload); err != nil {
+			t.Fatal(err)
+		}
+		op, tc, got, err = readFrameTr(&buf)
+		if err != nil {
+			t.Fatalf("traced round-trip: %v", err)
+		}
+		if op != plain || tc != want || !bytes.Equal(got, payload) {
+			t.Fatalf("traced round-trip mismatch: op %d/%d tc %+v/%+v", op, plain, tc, want)
 		}
 
 		// The same bytes interpreted as a raw stream (header included) must
 		// decode identically; arbitrary prefixes must fail cleanly.
-		raw := append([]byte{opcode}, payload...)
-		if op2, got2, err := readFrame(bytes.NewReader(append(lenPrefix(uint32(len(raw))), raw...))); err != nil || op2 != opcode || !bytes.Equal(got2, payload) {
+		raw := append([]byte{plain}, payload...)
+		if op2, got2, err := readFrame(bytes.NewReader(append(lenPrefix(uint32(len(raw))), raw...))); err != nil || op2 != plain || !bytes.Equal(got2, payload) {
 			t.Fatalf("re-decode: op=%d err=%v", op2, err)
 		}
 		if _, _, err := readFrame(bytes.NewReader(payload)); err == nil && len(payload) > 0 {

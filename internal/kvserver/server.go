@@ -2,6 +2,7 @@ package kvserver
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,6 +29,10 @@ type Server struct {
 	conns   map[net.Conn]bool
 	closed  bool
 	wg      sync.WaitGroup
+
+	// om holds the per-op latency-decomposition histogram handles, resolved
+	// from the served store's registry (re-resolved on Promote).
+	om opMetrics
 
 	// AutoCommit, when positive, triggers a log-only commit at this cadence.
 	AutoCommit time.Duration
@@ -63,6 +68,7 @@ func NewServer(store *faster.Store) *Server {
 	return &Server{
 		store:    store,
 		conns:    make(map[net.Conn]bool),
+		om:       resolveOpMetrics(store.Metrics()),
 		Logger:   log.New(os.Stderr, "kvserver: ", log.LstdFlags),
 		stopAuto: make(chan struct{}),
 	}
@@ -87,6 +93,7 @@ func (s *Server) Promote(store *faster.Store) {
 	s.mu.Lock()
 	wasReplica := s.replica != nil
 	s.store = store
+	s.om = resolveOpMetrics(store.Metrics())
 	s.replica = nil
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
@@ -108,6 +115,14 @@ func (s *Server) getStore() *faster.Store {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.store
+}
+
+// opMetrics returns the decomposition histogram handles for the currently
+// served store (swapped by Promote).
+func (s *Server) opMetrics() opMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.om
 }
 
 // replicaBackend returns the replica backend, or nil in primary mode.
@@ -214,12 +229,21 @@ func (s *Server) handle(conn net.Conn) {
 	if err != nil || op != OpHello {
 		return
 	}
-	clientID, _, err := takeString(payload)
+	clientID, rest, err := takeString(payload)
 	if err != nil {
 		return
 	}
+	// Version negotiation: a v2 client appends a proto byte after its client
+	// ID; a v1 client's payload ends at the string, so rest is empty. The
+	// negotiated version is echoed at the end of the response (which a v1
+	// client never looks at). Only after this exchange may either side send
+	// trace-flagged frames.
+	proto := ProtoV1
+	if len(rest) > 0 && rest[0] >= ProtoV2 {
+		proto = ProtoV2
+	}
 	if rb := s.replicaBackend(); rb != nil {
-		s.handleReplica(conn, rb, string(clientID))
+		s.handleReplica(conn, rb, string(clientID), proto, len(rest) > 0)
 		return
 	}
 	var sess *faster.Session
@@ -232,11 +256,15 @@ func (s *Server) handle(conn net.Conn) {
 	defer sess.StopSession()
 	resp := appendU64([]byte{StatusOK}, cprPoint)
 	resp = appendString(resp, []byte(sess.ID()))
+	if len(rest) > 0 {
+		resp = append(resp, proto)
+	}
 	if err := writeFrame(conn, OpHello, resp); err != nil {
 		return
 	}
 
 	br := bufio.NewReader(conn)
+	var at obs.ActiveTrace // per-connection scratch; armed per request by Begin
 	for {
 		// Bounded wait for the first byte of a frame so idle connections
 		// keep refreshing their epoch entry — otherwise an idle client
@@ -254,18 +282,49 @@ func (s *Server) handle(conn net.Conn) {
 			return // connection closed
 		}
 		conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
-		op, payload, err = readFrame(br)
+		op, tc, payload, err := readFrameTr(br)
 		if err != nil {
 			return // connection closed or protocol error
 		}
-		if err := s.dispatch(conn, sess, op, payload); err != nil {
+		if err := s.dispatch(conn, sess, op, tc, payload, &at); err != nil {
 			s.Logger.Printf("conn %v: %v", conn.RemoteAddr(), err)
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload []byte) error {
+// dispatch wraps one request in a trace: the root span opens at frame receipt
+// and closes after the response write, with queue/decode/exec/durwait/resp
+// child spans recorded along the way. With no tracer configured the scratch
+// stays disarmed and every span call is a single pointer test.
+func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, tc obs.TraceContext, payload []byte, at *obs.ActiveTrace) error {
+	store := s.getStore()
+	rt := store.RequestTracer()
+	om := s.opMetrics()
+	tRecv := time.Now().UnixNano()
+	rt.Begin(at, tc, opName(op), sess.ID())
+	if tc.IssuedUnixNanos > 0 {
+		iss := tc.IssuedUnixNanos
+		if iss > tRecv {
+			iss = tRecv // client/server clock skew: clamp to zero length
+		}
+		at.Span(obs.SpanQueue, iss, tRecv, 0, 0, "")
+		om.queueNs.ObserveValue(uint64(tRecv - iss))
+	}
+	err := s.dispatchOp(conn, store, om, sess, op, payload, at, tRecv)
+	rt.Finish(at, tRecv, time.Now().UnixNano())
+	return err
+}
+
+// respond writes one response frame, recording it as a resp-write span.
+func (s *Server) respond(conn net.Conn, at *obs.ActiveTrace, op byte, resp []byte) error {
+	t0 := time.Now().UnixNano()
+	err := writeFrame(conn, op, resp)
+	at.Span(obs.SpanRespWrite, t0, time.Now().UnixNano(), uint64(len(resp)), 0, "")
+	return err
+}
+
+func (s *Server) dispatchOp(conn net.Conn, store *faster.Store, om opMetrics, sess *faster.Session, op byte, payload []byte, at *obs.ActiveTrace, tRecv int64) error {
 	conn.SetWriteDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
 	switch op {
 	case OpGet:
@@ -273,6 +332,8 @@ func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload 
 		if err != nil {
 			return err
 		}
+		tDec := time.Now().UnixNano()
+		at.Span(obs.SpanDecode, tRecv, tDec, uint64(store.ShardOfKey(key)), 0, "")
 		var out []byte
 		var status byte
 		done := false
@@ -298,7 +359,10 @@ func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload 
 		if !done {
 			status = StatusError
 		}
-		return writeFrame(conn, OpGet, appendValue([]byte{status}, out))
+		tExec := time.Now().UnixNano()
+		at.Span(obs.SpanExec, tDec, tExec, sess.Serial(), 0, "")
+		om.execNs.ObserveValue(uint64(tExec - tDec))
+		return s.respond(conn, at, OpGet, appendValue([]byte{status}, out))
 
 	case OpSet, OpRMW:
 		key, rest, err := takeString(payload)
@@ -309,6 +373,8 @@ func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload 
 		if err != nil {
 			return err
 		}
+		tDec := time.Now().UnixNano()
+		at.Span(obs.SpanDecode, tRecv, tDec, uint64(store.ShardOfKey(key)), 0, "")
 		var st faster.Status
 		if op == OpSet {
 			st = sess.Upsert(key, val)
@@ -323,13 +389,18 @@ func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload 
 		if st != faster.Ok {
 			status = StatusError
 		}
-		return writeFrame(conn, op, appendU64([]byte{status}, sess.Serial()))
+		tExec := time.Now().UnixNano()
+		at.Span(obs.SpanExec, tDec, tExec, sess.Serial(), 0, "")
+		om.execNs.ObserveValue(uint64(tExec - tDec))
+		return s.respond(conn, at, op, appendU64([]byte{status}, sess.Serial()))
 
 	case OpDelete:
 		key, _, err := takeString(payload)
 		if err != nil {
 			return err
 		}
+		tDec := time.Now().UnixNano()
+		at.Span(obs.SpanDecode, tRecv, tDec, uint64(store.ShardOfKey(key)), 0, "")
 		st := sess.Delete(key)
 		if st == faster.Pending {
 			sess.CompletePending(true)
@@ -341,45 +412,106 @@ func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, payload 
 		} else if st == faster.NotFound {
 			status = StatusNotFound
 		}
-		return writeFrame(conn, OpDelete, appendU64([]byte{status}, sess.Serial()))
+		tExec := time.Now().UnixNano()
+		at.Span(obs.SpanExec, tDec, tExec, sess.Serial(), 0, "")
+		om.execNs.ObserveValue(uint64(tExec - tDec))
+		return s.respond(conn, at, OpDelete, appendU64([]byte{status}, sess.Serial()))
 
 	case OpCommit:
 		if len(payload) < 1 {
 			return fmt.Errorf("commit: missing flags")
 		}
 		withIndex := payload[0] != 0
-		token, err := s.getStore().Commit(faster.CommitOptions{WithIndex: withIndex})
+		token, err := store.Commit(faster.CommitOptions{WithIndex: withIndex})
 		if err == faster.ErrCommitInProgress {
 			// Piggyback on the commit already in flight.
 			token = ""
 		} else if err != nil {
-			return writeFrame(conn, OpCommit, appendU64([]byte{StatusError}, 0))
+			return s.respond(conn, at, OpCommit, appendU64([]byte{StatusError}, 0))
 		}
 		// Drive until some commit completes and this session is at rest.
+		tWait := time.Now().UnixNano()
+		var status byte = StatusOK
+		var point uint64
+	commitWait:
 		for {
 			if token != "" {
-				if res, ok := s.getStore().TryResult(token); ok {
-					point := res.Serials[sess.ID()]
-					status := StatusOK
+				if res, ok := store.TryResult(token); ok {
+					point = res.Serials[sess.ID()]
 					if res.Err != nil {
 						status = StatusError
 					}
-					return writeFrame(conn, OpCommit, appendU64([]byte{status}, point))
+					break commitWait
 				}
-			} else if s.getStore().Phase() == faster.Rest {
-				return writeFrame(conn, OpCommit, appendU64([]byte{StatusOK}, sess.Serial()))
+			} else if store.Phase() == faster.Rest {
+				point = sess.Serial()
+				break commitWait
 			}
 			sess.Refresh()
 			sess.CompletePending(false)
 		}
+		tDone := time.Now().UnixNano()
+		if token == "" {
+			token = sess.CommittedToken() // piggybacked: name the covering commit
+		}
+		at.Span(obs.SpanDurWait, tWait, tDone, point, sess.CommittedSerial(), token)
+		om.durwaitNs.ObserveValue(uint64(tDone - tWait))
+		return s.respond(conn, at, OpCommit, appendU64([]byte{status}, point))
+
+	case OpWaitDurable:
+		// Block until the session's committed point t_i covers everything this
+		// connection has issued, riding whatever commit (auto-committer or a
+		// peer's explicit commit) gets there first. This is the durability
+		// handshake a traced client uses to expose durwait as a distinct hop.
+		target := sess.Serial()
+		tWait := time.Now().UnixNano()
+		deadline := time.Now().Add(25 * time.Second)
+		for sess.CommittedSerial() < target {
+			if time.Now().After(deadline) {
+				return s.respond(conn, at, OpWaitDurable,
+					appendString(appendU64([]byte{StatusError}, sess.CommittedSerial()), nil))
+			}
+			sess.Refresh()
+			sess.CompletePending(false)
+			time.Sleep(100 * time.Microsecond)
+		}
+		tDone := time.Now().UnixNano()
+		token := sess.CommittedToken()
+		at.Span(obs.SpanDurWait, tWait, tDone, target, sess.CommittedSerial(), token)
+		om.durwaitNs.ObserveValue(uint64(tDone - tWait))
+		resp := appendU64([]byte{StatusOK}, sess.CommittedSerial())
+		resp = appendString(resp, []byte(token))
+		return s.respond(conn, at, OpWaitDurable, resp)
+
+	case OpTrace:
+		return s.writeTraceDump(conn, store, payload)
 
 	case OpStats:
-		return s.writeStats(conn, s.getStore())
+		return s.writeStats(conn, store)
 
 	case OpFlight:
-		return s.writeFlight(conn, s.getStore(), payload)
+		return s.writeFlight(conn, store, payload)
 	}
 	return fmt.Errorf("unknown opcode %d", op)
+}
+
+// writeTraceDump sends the OpTrace response: the request tracer's retained
+// slow-request span trees plus global replication spans as JSON.
+func (s *Server) writeTraceDump(conn net.Conn, store *faster.Store, payload []byte) error {
+	n := 16
+	if len(payload) >= 2 {
+		n = int(binary.LittleEndian.Uint16(payload))
+	}
+	rt := store.RequestTracer()
+	if rt == nil {
+		return writeFrame(conn, OpTrace, appendValue([]byte{StatusError},
+			[]byte("request tracer disabled")))
+	}
+	buf, err := json.Marshal(rt.Dump(n))
+	if err != nil {
+		return writeFrame(conn, OpTrace, appendValue([]byte{StatusError}, nil))
+	}
+	return writeFrame(conn, OpTrace, appendValue([]byte{StatusOK}, buf))
 }
 
 // writeFlight sends the OpFlight response: the store's flight-recorder
@@ -452,9 +584,12 @@ func (s *Server) writeStats(conn net.Conn, store *faster.Store) error {
 // served from the installed committed prefix; writes get StatusRedirect with
 // the primary's address. The loop ends (closing the connection) when the
 // server is promoted, so clients reconnect into real sessions.
-func (s *Server) handleReplica(conn net.Conn, rb ReplicaBackend, clientID string) {
+func (s *Server) handleReplica(conn net.Conn, rb ReplicaBackend, clientID string, proto byte, sentProto bool) {
 	resp := appendU64([]byte{StatusOK}, rb.RecoveredPoint(clientID))
 	resp = appendString(resp, []byte(clientID))
+	if sentProto {
+		resp = append(resp, proto)
+	}
 	if err := writeFrame(conn, OpHello, resp); err != nil {
 		return
 	}
@@ -494,13 +629,16 @@ func (s *Server) dispatchReplica(conn net.Conn, rb ReplicaBackend, op byte, payl
 			status, val = StatusNotFound, nil
 		}
 		return writeFrame(conn, OpGet, appendValue([]byte{status}, val))
-	case OpSet, OpRMW, OpDelete, OpCommit:
-		// Writes belong on the primary; tell the client where to go.
+	case OpSet, OpRMW, OpDelete, OpCommit, OpWaitDurable:
+		// Writes (and durability waits on them) belong on the primary; tell
+		// the client where to go.
 		return writeFrame(conn, op, appendString([]byte{StatusRedirect}, []byte(rb.Upstream())))
 	case OpStats:
 		return s.writeStats(conn, rb.Store())
 	case OpFlight:
 		return s.writeFlight(conn, rb.Store(), payload)
+	case OpTrace:
+		return s.writeTraceDump(conn, rb.Store(), payload)
 	}
 	return fmt.Errorf("unknown opcode %d", op)
 }

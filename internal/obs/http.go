@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // writeJSON marshals v (indented, stable key order) to w.
@@ -39,6 +40,21 @@ func FlightHandler(f *FlightRecorder) http.Handler {
 	})
 }
 
+// TraceHandler serves the request tracer's retained slow-request span trees
+// as a JSON TraceDump. An optional ?n=<count> query bounds the trace count
+// (default 16, 0 = everything retained).
+func TraceHandler(rt *RequestTracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 16
+		if q := req.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				n = v
+			}
+		}
+		writeJSON(w, rt.Dump(n))
+	})
+}
+
 // NewDebugMux returns the live-introspection mux mounted by servers that opt
 // in to a debug listener:
 //
@@ -46,16 +62,19 @@ func FlightHandler(f *FlightRecorder) http.Handler {
 //	/metrics.prom   the same registry in Prometheus text exposition format
 //	/timeline       CPR phase timeline (events + spans)
 //	/flight         flight-recorder timeline (?token=<commit> filters)
+//	/trace          slow-request span trees (?n=<count> bounds)
 //	/debug/pprof/*  the standard Go profiler endpoints
 //
-// fr may be nil (the /flight endpoint then reports an empty timeline). The
-// mux holds no locks between requests; every response is a fresh snapshot.
-func NewDebugMux(reg *Registry, tr *Tracer, fr *FlightRecorder) *http.ServeMux {
+// fr and rt may be nil (the corresponding endpoints then report empty
+// timelines). The mux holds no locks between requests; every response is a
+// fresh snapshot.
+func NewDebugMux(reg *Registry, tr *Tracer, fr *FlightRecorder, rt *RequestTracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.Handle("/metrics.prom", PrometheusHandler(reg))
 	mux.Handle("/timeline", TimelineHandler(tr))
 	mux.Handle("/flight", FlightHandler(fr))
+	mux.Handle("/trace", TraceHandler(rt))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -215,8 +215,10 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		return s.MaxNanos
 	}
 	s.P50Nanos = quantile(0.50)
+	s.P90Nanos = quantile(0.90)
 	s.P95Nanos = quantile(0.95)
 	s.P99Nanos = quantile(0.99)
+	s.P999Nanos = quantile(0.999)
 	return s
 }
 
@@ -230,8 +232,10 @@ type HistogramSnapshot struct {
 	SumNanos  uint64  `json:"sum_ns"`
 	MeanNanos float64 `json:"mean_ns"`
 	P50Nanos  uint64  `json:"p50_ns"`
+	P90Nanos  uint64  `json:"p90_ns"`
 	P95Nanos  uint64  `json:"p95_ns"`
 	P99Nanos  uint64  `json:"p99_ns"`
+	P999Nanos uint64  `json:"p999_ns"`
 	MaxNanos  uint64  `json:"max_ns"`
 
 	// Buckets are the raw per-bucket counts (bucket i covers values with
@@ -260,6 +264,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	gaugeFns map[string]func() int64
 	hists    map[string]*Histogram
+	help     map[string]string
 }
 
 // NewRegistry returns an empty, enabled registry.
@@ -269,6 +274,7 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		gaugeFns: make(map[string]func() int64),
 		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
 	}
 }
 
@@ -349,6 +355,21 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// SetHelp attaches a human-readable description to the named metric
+// (prefixed like registration). The text surfaces as a `# HELP` line in the
+// Prometheus exposition; special characters are escaped at render time, so
+// free text is fine here.
+func (r *Registry) SetHelp(name, text string) {
+	if r == nil || r.nop {
+		return
+	}
+	name = r.prefix + name
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.help[name] = text
+}
+
 // GaugeFunc registers a callback evaluated at snapshot time — the natural fit
 // for values the system already maintains (log region offsets, session
 // counts). fn must be safe to call from any goroutine. Re-registering a name
@@ -370,6 +391,11 @@ type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+
+	// Help carries metric descriptions for the Prometheus exposition.
+	// Excluded from JSON so the /metrics document and bench metric deltas
+	// stay value-only.
+	Help map[string]string `json:"-"`
 }
 
 // Snapshot evaluates all metrics, including gauge callbacks. Snapshotting a
@@ -396,6 +422,10 @@ func (r *Registry) Snapshot() Snapshot {
 	fns := make(map[string]func() int64, len(r.gaugeFns))
 	for n, fn := range r.gaugeFns {
 		fns[n] = fn
+	}
+	s.Help = make(map[string]string, len(r.help))
+	for n, h := range r.help {
+		s.Help[n] = h
 	}
 	r.mu.Unlock()
 
@@ -426,6 +456,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Counters:   make(map[string]uint64, len(s.Counters)),
 		Gauges:     make(map[string]int64, len(s.Gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+		Help:       s.Help,
 	}
 	for k, v := range s.Counters {
 		out.Counters[k] = v - prev.Counters[k]

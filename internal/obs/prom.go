@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -30,10 +31,41 @@ func promName(name string) string {
 	return b.String()
 }
 
+// escapeHelp escapes a HELP line's text per the exposition format: backslash
+// and line feed are the only characters with escape sequences there.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value per the exposition format: backslash,
+// double quote, and line feed. The only label this package emits today is the
+// numeric `le`, which never needs it, but every label value is routed through
+// here so a future string-valued label cannot silently break the format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// writePromHeader emits the optional `# HELP` line (escaped) followed by the
+// mandatory `# TYPE` line, in that order — the spec requires HELP and TYPE to
+// precede the metric's first sample, and convention puts HELP first.
+func writePromHeader(w io.Writer, pn, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", pn, escapeHelp(help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", pn, typ)
+	return err
+}
+
 // WritePrometheus renders a snapshot in the Prometheus text exposition format
 // (version 0.0.4): counters and gauges as single samples, histograms as
-// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`. Output is
-// sorted by metric name, so it is stable across calls.
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`, each
+// preceded by its `# HELP` (when registered via SetHelp) and `# TYPE` lines.
+// Output is sorted by metric name, so it is stable across calls.
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	names := make([]string, 0, len(s.Counters))
 	for n := range s.Counters {
@@ -42,7 +74,10 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	sort.Strings(names)
 	for _, n := range names {
 		pn := promName(n)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+		if err := writePromHeader(w, pn, s.Help[n], "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", pn, s.Counters[n]); err != nil {
 			return err
 		}
 	}
@@ -54,7 +89,10 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	sort.Strings(names)
 	for _, n := range names {
 		pn := promName(n)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[n]); err != nil {
+		if err := writePromHeader(w, pn, s.Help[n], "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", pn, s.Gauges[n]); err != nil {
 			return err
 		}
 	}
@@ -65,6 +103,9 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	}
 	sort.Strings(names)
 	for _, n := range names {
+		if err := writePromHeader(w, promName(n), s.Help[n], "histogram"); err != nil {
+			return err
+		}
 		if err := writePromHistogram(w, promName(n), s.Histograms[n]); err != nil {
 			return err
 		}
@@ -77,9 +118,6 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 // bucket 0). Empty trailing buckets are elided; the mandatory +Inf bucket
 // always carries the total count.
 func writePromHistogram(w io.Writer, pn string, h HistogramSnapshot) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
-		return err
-	}
 	var cum uint64
 	last := -1
 	for i, c := range h.Buckets {
@@ -93,7 +131,8 @@ func writePromHistogram(w io.Writer, pn string, h HistogramSnapshot) error {
 		if i > 0 {
 			ub = uint64(1)<<uint(i) - 1
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, ub, cum); err != nil {
+		le := escapeLabelValue(strconv.FormatUint(ub, 10))
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, le, cum); err != nil {
 			return err
 		}
 	}

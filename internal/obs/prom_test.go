@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildPromTestRegistry populates a registry exercising every metric type,
+// help-text escaping, and name sanitization.
+func buildPromTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("faster_ops").Add(7)
+	reg.SetHelp("faster_ops", "Operations executed.\nSecond line with a back\\slash.")
+	reg.Gauge("faster_version").Set(3)
+	reg.SetHelp("faster_version", "Current CPR version.")
+	h := reg.Histogram("faster_commit_ns")
+	reg.SetHelp("faster_commit_ns", "Commit latency.")
+	for _, d := range []time.Duration{time.Microsecond, 50 * time.Microsecond, 3 * time.Millisecond} {
+		h.Observe(d)
+	}
+	reg.Counter("weird-name.with/chars").Inc()
+	return reg
+}
+
+// TestPrometheusConformance lints the exposition against the text format
+// spec (version 0.0.4): HELP before TYPE before the first sample of a metric;
+// escaped HELP text; cumulative, monotonically non-decreasing histogram
+// buckets whose mandatory +Inf equals _count; float-parsable le values; and
+// only sanitized metric names.
+func TestPrometheusConformance(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, buildPromTestRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("exposition must end with a line feed")
+	}
+
+	typeSeen := map[string]string{} // metric name -> type
+	helpSeen := map[string]bool{}
+	sampleSeen := map[string]bool{}
+	baseName := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && typeSeen[b] == "histogram" {
+				return b
+			}
+		}
+		return name
+	}
+
+	type histState struct {
+		lastCum  uint64
+		lastLe   float64
+		infCum   uint64
+		count    uint64
+		hasInf   bool
+		hasCount bool
+	}
+	hists := map[string]*histState{}
+
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, text, _ := strings.Cut(rest, " ")
+			if sampleSeen[name] {
+				t.Fatalf("HELP for %s after its first sample", name)
+			}
+			if typeSeen[name] != "" {
+				t.Fatalf("HELP for %s after its TYPE line", name)
+			}
+			helpSeen[name] = true
+			// Escaped text must contain no raw newline (scanner guarantees
+			// that) and no lone backslash outside \\ and \n sequences.
+			for i := 0; i < len(text); i++ {
+				if text[i] == '\\' {
+					if i+1 >= len(text) || (text[i+1] != '\\' && text[i+1] != 'n') {
+						t.Fatalf("unescaped backslash in HELP %s: %q", name, text)
+					}
+					i++
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			name, typ := parts[0], parts[1]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("unknown type %q for %s", typ, name)
+			}
+			if sampleSeen[name] {
+				t.Fatalf("TYPE for %s after its first sample", name)
+			}
+			if _, dup := typeSeen[name]; dup {
+				t.Fatalf("duplicate TYPE line for %s", name)
+			}
+			typeSeen[name] = typ
+			if typ == "histogram" {
+				hists[name] = &histState{}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+
+		// Sample line: name[{labels}] value
+		name := line
+		labels := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				t.Fatalf("malformed labels: %q", line)
+			}
+			name, labels = line[:i], line[i+1:j]
+			line = line[:i] + line[j+1:]
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line: %q", sc.Text())
+		}
+		name = fields[0]
+		val, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("non-numeric sample value in %q: %v", sc.Text(), err)
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(i > 0 && c >= '0' && c <= '9')
+			if !ok {
+				t.Fatalf("unsanitized metric name %q", name)
+			}
+		}
+		base := baseName(name)
+		if typeSeen[base] == "" {
+			t.Fatalf("sample %s before its TYPE line", name)
+		}
+		sampleSeen[base] = true
+
+		if hs, ok := hists[base]; ok {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, found := strings.CutPrefix(labels, `le="`)
+				if !found {
+					t.Fatalf("bucket without le label: %q", sc.Text())
+				}
+				le = strings.TrimSuffix(le, `"`)
+				cum := uint64(val)
+				if cum < hs.lastCum {
+					t.Fatalf("%s buckets not cumulative: %d after %d", base, cum, hs.lastCum)
+				}
+				hs.lastCum = cum
+				if le == "+Inf" {
+					hs.hasInf = true
+					hs.infCum = cum
+				} else {
+					f, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						t.Fatalf("unparsable le value %q", le)
+					}
+					if hs.lastLe != 0 && f <= hs.lastLe {
+						t.Fatalf("%s le values not increasing: %g after %g", base, f, hs.lastLe)
+					}
+					hs.lastLe = f
+				}
+			case strings.HasSuffix(name, "_count"):
+				hs.hasCount = true
+				hs.count = uint64(val)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, hs := range hists {
+		if !hs.hasInf || !hs.hasCount {
+			t.Fatalf("histogram %s missing +Inf bucket or _count", name)
+		}
+		if hs.infCum != hs.count {
+			t.Fatalf("histogram %s: +Inf bucket %d != _count %d", name, hs.infCum, hs.count)
+		}
+	}
+	for _, n := range []string{"faster_ops", "faster_version", "faster_commit_ns"} {
+		if !helpSeen[n] {
+			t.Fatalf("missing HELP line for %s", n)
+		}
+		if !sampleSeen[n] {
+			t.Fatalf("missing samples for %s", n)
+		}
+	}
+	if typeSeen["weird_name_with_chars"] != "counter" {
+		t.Fatal("unsanitized registration name did not surface as weird_name_with_chars")
+	}
+}
+
+// TestPrometheusHandlerContentType: scrapers negotiate on the exact 0.0.4
+// content type.
+func TestPrometheusHandlerContentType(t *testing.T) {
+	rec := httptest.NewRecorder()
+	PrometheusHandler(buildPromTestRegistry()).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.prom", nil))
+	const want = "text/plain; version=0.0.4; charset=utf-8"
+	if got := rec.Header().Get("Content-Type"); got != want {
+		t.Fatalf("Content-Type = %q, want %q", got, want)
+	}
+	if !strings.Contains(rec.Body.String(), "# HELP faster_ops ") {
+		t.Fatal("handler output missing HELP line")
+	}
+}
+
+// TestEscapeLabelValue pins the three escape sequences the spec defines for
+// label values.
+func TestEscapeLabelValue(t *testing.T) {
+	if got := escapeLabelValue("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Fatalf("escapeLabelValue = %q", got)
+	}
+}
+
+// TestHistogramTailQuantiles: the new p90/p999 columns order correctly with
+// their neighbors and land in the right buckets.
+func TestHistogramTailQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q")
+	for i := 0; i < 990; i++ {
+		h.ObserveValue(1_000)
+	}
+	for i := 0; i < 9; i++ {
+		h.ObserveValue(1_000_000)
+	}
+	h.ObserveValue(100_000_000)
+	s := reg.Snapshot().Histograms["q"]
+	if s.P50Nanos > s.P90Nanos || s.P90Nanos > s.P95Nanos || s.P95Nanos > s.P99Nanos ||
+		s.P99Nanos > s.P999Nanos || s.P999Nanos > s.MaxNanos {
+		t.Fatalf("quantiles out of order: %+v", s)
+	}
+	if s.P90Nanos > 2_000 {
+		t.Fatalf("p90 = %d, want within the 1us bucket", s.P90Nanos)
+	}
+	// The 999th-ranked of 1000 values is the last 1ms observation.
+	if s.P999Nanos < 500_000 || s.P999Nanos > 1_100_000 {
+		t.Fatalf("p999 = %d, want in the 1ms bucket", s.P999Nanos)
+	}
+}

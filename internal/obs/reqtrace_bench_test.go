@@ -1,0 +1,14 @@
+package obs
+
+import "testing"
+
+func BenchmarkTraceLifecycle(b *testing.B) {
+	tr := NewRequestTracer(DefaultTraceReservoir)
+	var at ActiveTrace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Begin(&at, TraceContext{}, "SET", "s")
+		at.Span(SpanExec, int64(i), int64(i)+500, uint64(i), 0, "")
+		tr.Finish(&at, int64(i), int64(i)+500)
+	}
+}

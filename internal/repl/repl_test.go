@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/faster"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -593,5 +594,66 @@ func TestServerShardMismatch(t *testing.T) {
 	msg, _, _ := takeString(payload)
 	if len(msg) == 0 {
 		t.Fatal("empty error message")
+	}
+}
+
+// TestReplShipGlobalSpans: with a request tracer on the primary, every
+// shipped commit leaves repl-ship and repl-announce global spans keyed by the
+// commit token, and the replwait decomposition histogram fills in.
+func TestReplShipGlobalSpans(t *testing.T) {
+	cfg := testConfig(testShards())
+	cfg.ReqTrace = obs.NewRequestTracer(16)
+	primary, err := faster.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	srv := NewServer(primary)
+	addr := startServer(t, srv)
+	defer srv.Close()
+
+	rep, err := NewReplica(Config{Upstream: addr, StoreConfig: testConfig(testShards())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	defer rep.Store().Close()
+
+	sess := primary.StartSession()
+	defer sess.StopSession()
+	for i := uint64(0); i < 64; i++ {
+		sess.Upsert(key(i), u64(i))
+	}
+	res := commitWait(t, primary, sess)
+	waitApplied(t, rep, uint32(res.Version))
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		spans := primary.RequestTracer().GlobalSpans()
+		var ship, ann bool
+		for _, sp := range spans {
+			if sp.Token != res.Token {
+				continue
+			}
+			switch sp.Kind {
+			case obs.SpanReplShip:
+				ship = true
+			case obs.SpanReplAnnounce:
+				ann = true
+			}
+			if sp.EndUnixNanos < sp.StartUnixNanos {
+				t.Fatalf("inverted span %+v", sp)
+			}
+		}
+		if ship && ann {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no ship+announce spans for token %s (have %d global spans)", res.Token, len(spans))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if primary.Metrics().Histogram("faster_op_replwait_ns").Count() == 0 {
+		t.Fatal("replwait histogram never observed")
 	}
 }

@@ -42,6 +42,7 @@ type Server struct {
 	shippedArts  *obs.Counter
 	announced    *obs.Counter
 	verifyFails  *obs.Counter
+	replwaitNs   *obs.Histogram
 }
 
 // NewServer wraps an open (primary) store. Commits completed from here on
@@ -58,6 +59,9 @@ func NewServer(store *faster.Store) *Server {
 		shippedArts:  reg.Counter("repl_shipped_artifacts_total"),
 		announced:    reg.Counter("repl_commits_announced_total"),
 		verifyFails:  reg.Counter("repl_artifact_verify_failures_total"),
+		// Shared with kvserver's decomposition family: how long a locally
+		// durable commit waited to be announced to a replica.
+		replwaitNs: reg.Histogram("faster_op_replwait_ns"),
 	}
 	store.OnCommit(func(res faster.CommitResult) { s.broadcast(res.Token) })
 	return s
@@ -337,6 +341,7 @@ func (s *Server) shipTail(conn net.Conn, sent []uint64, upTo uint64) (bool, erro
 // shipCommit ships everything commit token depends on — log coverage to each
 // shard's end, then the commit's artifacts — and finally announces it.
 func (s *Server) shipCommit(conn net.Conn, token string, sent []uint64, shipped map[string]bool) error {
+	tShip0 := time.Now().UnixNano()
 	info, err := s.store.CommitShipInfo(token)
 	if err != nil {
 		return fmt.Errorf("ship info %s: %w", token, err)
@@ -395,8 +400,13 @@ func (s *Server) shipCommit(conn net.Conn, token string, sent []uint64, shipped 
 		s.shippedArts.Inc()
 		artifactBytes += uint64(len(data))
 	}
+	tShipped := time.Now().UnixNano()
 	s.store.Flight().Emit(obs.FlightReplShip, -1, uint64(info.Version), token, "",
 		artifactBytes, uint64(len(info.Artifacts)))
+	// Global (not per-request) spans: a slow request's durwait span and these
+	// share the commit token, which is the cross-link fasterctl trace uses.
+	s.store.RequestTracer().EmitGlobal(obs.SpanReplShip, token, tShip0, tShipped,
+		artifactBytes, uint64(info.Version))
 	ann := appendString(nil, []byte(token))
 	ann = appendU32(ann, info.Version)
 	ann = append(ann, byte(info.Kind))
@@ -410,7 +420,11 @@ func (s *Server) shipCommit(conn net.Conn, token string, sent []uint64, shipped 
 		return err
 	}
 	s.announced.Inc()
+	tAnn := time.Now().UnixNano()
 	s.store.Flight().Emit(obs.FlightCommitAnnounced, -1, uint64(info.Version), token, "", 0, 0)
+	s.store.RequestTracer().EmitGlobal(obs.SpanReplAnnounce, token, tShipped, tAnn,
+		uint64(info.Version), 0)
+	s.replwaitNs.ObserveValue(uint64(tAnn - tShip0))
 	return nil
 }
 
