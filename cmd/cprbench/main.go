@@ -31,7 +31,7 @@ func main() {
 		tp      = flag.Float64("timepoints", 1.0, "time-series compression (1.0 = 4s runs)")
 		shards  = flag.Int("shards", 1, "store partitions for FASTER experiments (shardscale sweeps its own)")
 		outdir  = flag.String("outdir", ".", "directory for BENCH_<id>.json artifacts ('' disables)")
-		srvAddr = flag.String("addr", "", "drive a running cprserver at this address (tailtrace only)")
+		srvAddr = flag.String("addr", "", "drive a running cprserver at this address (tailtrace, netscale)")
 	)
 	flag.Parse()
 

@@ -52,6 +52,9 @@ func main() {
 
 		flightCap = flag.Int("flightrec", obs.DefaultFlightCapacity, "flight-recorder ring capacity per CPU (events; 0 = off)")
 		traceCap  = flag.Int("reqtrace", 64, "slow-request trace retention (span trees; 0 = off)")
+
+		coalesceBytes = flag.Int("coalesce-bytes", kvserver.DefaultCoalesceBytes, "per-connection reply coalescing: flush past this many buffered bytes")
+		coalesceOps   = flag.Int("coalesce-ops", kvserver.DefaultCoalesceOps, "per-connection reply coalescing: flush past this many buffered replies")
 	)
 	flag.Parse()
 
@@ -127,7 +130,8 @@ func main() {
 	}
 
 	if *replicaOf != "" {
-		runReplica(cfg, *replicaOf, *addr, *replAddr, *autocommit, *debugAddr)
+		runReplica(cfg, *replicaOf, *addr, *replAddr, *autocommit, *debugAddr,
+			*coalesceBytes, *coalesceOps)
 		return
 	}
 
@@ -163,6 +167,8 @@ func main() {
 
 	srv := kvserver.NewServer(store)
 	srv.AutoCommit = *autocommit
+	srv.CoalesceBytes = *coalesceBytes
+	srv.CoalesceOps = *coalesceOps
 	if *replAddr != "" {
 		rsrv := repl.NewServer(store)
 		rsrv.ClientAddr = *addr
@@ -200,7 +206,7 @@ func dumpFlightOnPanic(store *faster.Store) {
 
 // runReplica serves prefix-consistent reads from a replica of upstream,
 // promoting to primary on SIGHUP.
-func runReplica(cfg faster.Config, upstream, addr, replAddr string, autocommit time.Duration, debugAddr string) {
+func runReplica(cfg faster.Config, upstream, addr, replAddr string, autocommit time.Duration, debugAddr string, coalesceBytes, coalesceOps int) {
 	rep, err := repl.NewReplica(repl.Config{Upstream: upstream, StoreConfig: cfg})
 	if err != nil {
 		log.Fatal(err)
@@ -219,6 +225,8 @@ func runReplica(cfg faster.Config, upstream, addr, replAddr string, autocommit t
 
 	srv := kvserver.NewReplicaServer(rep)
 	srv.AutoCommit = autocommit // takes effect after promotion
+	srv.CoalesceBytes = coalesceBytes
+	srv.CoalesceOps = coalesceOps
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGHUP)

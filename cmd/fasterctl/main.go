@@ -9,6 +9,7 @@
 //	fasterctl repl-status localhost:7070
 //	fasterctl flight -addr localhost:7070 ckpt-000042
 //	fasterctl flight -dump /tmp/db/checkpoints/flight-panic
+//	fasterctl pipeload -addr localhost:7070 -n 100000 -depth 64
 //
 // Every mutating invocation recovers the store from -dir (if a commit
 // exists), applies the operation, and takes a fresh CPR commit before
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -27,6 +29,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	cpr "repro"
 	"repro/internal/kvserver"
@@ -48,6 +51,10 @@ func main() {
 		traceCmd(flag.Args()[1:])
 		return
 	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "pipeload" {
+		pipeloadCmd(flag.Args()[1:])
+		return
+	}
 	if flag.NArg() >= 1 && flag.Arg(0) == "verify" {
 		// Offline integrity walk — never opens the store, so it is safe to
 		// run against a directory another process is serving from.
@@ -66,6 +73,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       fasterctl verify <checkpoint-dir>")
 		fmt.Fprintln(os.Stderr, "       fasterctl flight [-addr <server-addr> | -dump <file>] [token]")
 		fmt.Fprintln(os.Stderr, "       fasterctl trace -addr <server-addr> [-slowest N] [-json]")
+		fmt.Fprintln(os.Stderr, "       fasterctl pipeload -addr <server-addr> [-n ops] [-depth d]")
 		os.Exit(2)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -231,6 +239,74 @@ func main() {
 			}
 			sess.Refresh()
 		}
+	}
+}
+
+// pipeloadCmd drives a pipelined write load at a running cprserver (protocol
+// v3 BATCH frames; sequential calls against an older server) and reports the
+// achieved throughput plus the server's pipelining metrics, so the effect of
+// a chosen -depth is visible end to end.
+func pipeloadCmd(args []string) {
+	fs := flag.NewFlagSet("pipeload", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	n := fs.Int("n", 100_000, "total blind writes to send")
+	depth := fs.Int("depth", 64, "pipeline depth (ops per BATCH frame; 1 = synchronous)")
+	fs.Parse(args) //nolint:errcheck
+	if *depth < 1 {
+		*depth = 1
+	}
+	c, err := kvserver.Dial(*addr, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if c.Proto() < kvserver.ProtoV3 {
+		log.Printf("server negotiated proto v%d (< v3): pipelining degrades to sequential calls", c.Proto())
+	}
+	p := c.Pipeline()
+	var kb, vb [8]byte
+	rng := uint64(1)
+	start := time.Now()
+	for sent := 0; sent < *n; {
+		batch := *depth
+		if rem := *n - sent; batch > rem {
+			batch = rem
+		}
+		for i := 0; i < batch; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			binary.LittleEndian.PutUint64(kb[:], rng)
+			binary.LittleEndian.PutUint64(vb[:], ^rng)
+			if *depth == 1 {
+				if _, err := c.Set(kb[:], vb[:]); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				p.Set(kb[:], vb[:])
+			}
+		}
+		if *depth > 1 {
+			if _, err := p.Flush(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sent += batch
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("pipelined %d sets at depth %d in %v (%.0f ops/sec, proto v%d)\n",
+		*n, *depth, elapsed.Round(time.Millisecond),
+		float64(*n)/elapsed.Seconds(), c.Proto())
+	snap, err := c.Stats()
+	if err != nil {
+		return // older server without OpStats support for this view
+	}
+	if h, ok := snap.Metrics.Histograms["faster_batch_depth"]; ok && h.Count > 0 {
+		fmt.Printf("server batch depth: p50 %d p99 %d ops over %d batches\n",
+			h.P50Nanos, h.P99Nanos, snap.Metrics.Counters["faster_net_batches_total"])
+	}
+	if fl := snap.Metrics.Counters["faster_net_coalesced_flushes_total"]; fl > 0 {
+		fmt.Printf("server write coalescing: %d replies over %d flushes (%.1f replies/syscall)\n",
+			snap.Metrics.Counters["faster_net_coalesced_replies_total"], fl,
+			float64(snap.Metrics.Counters["faster_net_coalesced_replies_total"])/float64(fl))
 	}
 }
 

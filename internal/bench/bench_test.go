@@ -34,6 +34,7 @@ func TestRegistryComplete(t *testing.T) {
 		"faulttolerance",
 		"durabilitylag",
 		"tailtrace",
+		"netscale",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -121,7 +121,20 @@ type Session struct {
 
 	opsSinceRefresh int
 	closed          bool
+
+	// inBatch/opFree implement the multi-op batch entry (BeginBatch): while a
+	// batch is open, synchronously-completed operations recycle their
+	// pendingOp records — including key/input buffer capacity — through a
+	// small per-session freelist, so the steady-state in-memory path issues
+	// ops without allocating. Session ops are single-goroutine by contract,
+	// so the freelist needs no locking.
+	inBatch bool
+	opFree  []*pendingOp
 }
+
+// opFreeMax bounds the freelist so a burst of pending-heavy batches cannot
+// pin an unbounded set of retired op buffers.
+const opFreeMax = 64
 
 // shardSession is a session's per-shard context: its epoch guard on that
 // shard, its local view of the shard's CPR state machine, and the pending
@@ -403,6 +416,57 @@ func (sess *Session) maybeRefresh() {
 	}
 }
 
+// BeginBatch enters the session's batch mode for a run of pipelined
+// operations (the kvserver BATCH frame): one epoch refresh up front covers
+// the whole run — amortizing epoch protection across the batch instead of
+// paying the per-op bookkeeping — and completed operations recycle their op
+// records and buffers through the session freelist, making the in-memory hot
+// path allocation-free. The per-refreshInterval refresh still fires inside
+// very large batches so CPR commits never stall on a busy session.
+//
+// While a batch is open, the value slice returned by Read is valid only
+// until the session's next operation (it aliases a recycled buffer); callers
+// must consume or copy it immediately. EndBatch restores the default
+// caller-owns-the-value semantics.
+func (sess *Session) BeginBatch() {
+	sess.Refresh()
+	sess.inBatch = true
+}
+
+// EndBatch leaves batch mode. Pending (cold-read) operations, if any remain,
+// are still completed by CompletePending as usual.
+func (sess *Session) EndBatch() {
+	sess.inBatch = false
+}
+
+// newOp returns a pendingOp populated for a fresh operation. In batch mode it
+// reuses a retired record from the freelist, growing its key/input buffers in
+// place; otherwise it allocates, preserving the caller-owned-buffer semantics
+// of non-batch reads.
+func (sess *Session) newOp(kind opKind, key, input []byte, h uint64) *pendingOp {
+	if n := len(sess.opFree); sess.inBatch && n > 0 {
+		op := sess.opFree[n-1]
+		sess.opFree[n-1] = nil
+		sess.opFree = sess.opFree[:n-1]
+		k := append(op.key[:0], key...)
+		in := append(op.input[:0], input...)
+		*op = pendingOp{kind: kind, key: k, input: in, hash: h}
+		return op
+	}
+	return &pendingOp{kind: kind, key: append([]byte(nil), key...),
+		input: append([]byte(nil), input...), hash: h}
+}
+
+// recycle retires a synchronously-completed op to the freelist. Only called
+// in batch mode, and never for parked (Pending) ops — those own their buffers
+// until their callbacks have run, and are simply left to the GC.
+func (sess *Session) recycle(op *pendingOp) {
+	if len(sess.opFree) < opFreeMax {
+		op.readCB = nil
+		sess.opFree = append(sess.opFree, op)
+	}
+}
+
 // targetVersion returns the CPR version new work on this shard belongs to.
 // Once the session has demarcated its commit point for the shard's current
 // version (via any shard), fresh work is v+1 even if this shard's local
@@ -430,9 +494,8 @@ func (sess *Session) Upsert(key, value []byte) Status {
 	serial := sess.serial.Add(1)
 	h := hashfn.Hash64(key)
 	ctx := sess.ctx(h)
-	op := &pendingOp{kind: opUpsert, key: append([]byte(nil), key...),
-		input: append([]byte(nil), value...), hash: h,
-		serial: serial, version: ctx.targetVersion()}
+	op := sess.newOp(opUpsert, key, value, h)
+	op.serial, op.version = serial, ctx.targetVersion()
 	return ctx.run(op)
 }
 
@@ -443,9 +506,8 @@ func (sess *Session) RMW(key, input []byte) Status {
 	serial := sess.serial.Add(1)
 	h := hashfn.Hash64(key)
 	ctx := sess.ctx(h)
-	op := &pendingOp{kind: opRMW, key: append([]byte(nil), key...),
-		input: append([]byte(nil), input...), hash: h,
-		serial: serial, version: ctx.targetVersion()}
+	op := sess.newOp(opRMW, key, input, h)
+	op.serial, op.version = serial, ctx.targetVersion()
 	return ctx.run(op)
 }
 
@@ -456,23 +518,23 @@ func (sess *Session) Delete(key []byte) Status {
 	serial := sess.serial.Add(1)
 	h := hashfn.Hash64(key)
 	ctx := sess.ctx(h)
-	op := &pendingOp{kind: opDelete, key: append([]byte(nil), key...),
-		hash: h, serial: serial, version: ctx.targetVersion()}
+	op := sess.newOp(opDelete, key, nil, h)
+	op.serial, op.version = serial, ctx.targetVersion()
 	return ctx.run(op)
 }
 
 // Read returns the value for key. If the record is cold (on storage) the
 // read goes pending: the value is delivered to cb (which may be nil) during
-// a later CompletePending.
+// a later CompletePending. In batch mode (BeginBatch) the returned slice is
+// valid only until the session's next operation.
 func (sess *Session) Read(key []byte, cb func(val []byte, st Status)) ([]byte, Status) {
 	sess.store.metrics.reads.Inc()
 	sess.maybeRefresh()
 	serial := sess.serial.Add(1)
 	h := hashfn.Hash64(key)
 	ctx := sess.ctx(h)
-	op := &pendingOp{kind: opRead, key: append([]byte(nil), key...),
-		hash: h, serial: serial,
-		version: ctx.targetVersion(), readCB: cb}
+	op := sess.newOp(opRead, key, nil, h)
+	op.serial, op.version, op.readCB = serial, ctx.targetVersion(), cb
 	st := ctx.run(op)
 	if st == Ok {
 		return op.input, Ok // run stores the read value in op.input
@@ -486,6 +548,8 @@ func (sess *Session) Read(key []byte, cb func(val []byte, st Status)) ([]byte, S
 const maxPendingSoft = 4096
 
 // run executes a fresh operation, parking it on the pending list if needed.
+// In batch mode, synchronously-completed ops go back to the session freelist
+// (their buffers stay valid until the next operation reuses them).
 func (sess *shardSession) run(op *pendingOp) Status {
 	if len(sess.pending) >= maxPendingSoft {
 		sess.completeOnce()
@@ -494,6 +558,8 @@ func (sess *shardSession) run(op *pendingOp) Status {
 	if st == Pending {
 		sess.store.metrics.pendings.Inc()
 		sess.pending = append(sess.pending, op)
+	} else if sess.owner.inBatch {
+		sess.owner.recycle(op)
 	}
 	return st
 }

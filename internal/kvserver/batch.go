@@ -1,0 +1,150 @@
+package kvserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Batch codec (protocol v3). An OpBatch request carries N pipelined data ops
+// with client-assigned sequence numbers; the reply carries one entry per op,
+// in the same order. Both directions are built as append-style encoders over
+// caller-owned buffers so the steady-state path encodes and decodes without
+// allocating: the server parses ops as sub-slices of the (reused) frame
+// buffer and gathers replies into a per-connection (reused) reply buffer.
+//
+//	request payload  := u32 count | count * (u8 opcode | u64 seq | key string [| value])
+//	reply payload    := u8 status | u32 count | count * (u64 seq | u8 status | result)
+//
+// The value field is present only for OpSet/OpRMW requests. A reply result is
+// a value (only on StatusOK) for OpGet and a u64 serial for OpSet/OpRMW/
+// OpDelete. A reply whose leading status is StatusRedirect carries the
+// primary's address string instead of entries (the whole batch was rejected
+// by a read-only replica).
+
+// maxBatchOps bounds the op count a single BATCH frame may claim, so a
+// malicious count cannot drive a huge reply allocation. The frame length
+// itself is already bounded by maxFrame.
+const maxBatchOps = 1 << 16
+
+// ErrBadBatch is returned (wrapped) for structurally invalid batch payloads.
+// The connection is failed: mid-batch corruption leaves no way to resync.
+var ErrBadBatch = errors.New("kvserver: malformed batch")
+
+// batchOpBytes is the minimum encoding of one batch op: opcode, seq, and an
+// empty key string.
+const batchOpBytes = 1 + 8 + 2
+
+// appendBatchOp encodes one op onto a batch request body (the part after the
+// u32 count). val is ignored for opcodes that carry no value.
+func appendBatchOp(dst []byte, op byte, seq uint64, key, val []byte) []byte {
+	dst = append(dst, op)
+	dst = appendU64(dst, seq)
+	dst = appendString(dst, key)
+	if op == OpSet || op == OpRMW {
+		dst = appendValue(dst, val)
+	}
+	return dst
+}
+
+// appendU32 appends a little-endian u32.
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// takeU32 consumes a little-endian u32.
+func takeU32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("%w: truncated u32", ErrBadBatch)
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], nil
+}
+
+// batchReader iterates a batch request payload. Keys and values are
+// sub-slices of the payload (arena-style decode): valid only while the
+// underlying frame buffer is.
+type batchReader struct {
+	body  []byte
+	count int
+}
+
+// newBatchReader validates the count header against the payload size.
+func newBatchReader(payload []byte) (batchReader, error) {
+	n, body, err := takeU32(payload)
+	if err != nil {
+		return batchReader{}, err
+	}
+	if n > maxBatchOps {
+		return batchReader{}, fmt.Errorf("%w: %d ops (max %d)", ErrBadBatch, n, maxBatchOps)
+	}
+	if int(n)*batchOpBytes > len(body) {
+		return batchReader{}, fmt.Errorf("%w: %d ops in %d bytes", ErrBadBatch, n, len(body))
+	}
+	return batchReader{body: body, count: int(n)}, nil
+}
+
+// next decodes the next op. val is nil for opcodes that carry no value.
+func (r *batchReader) next() (op byte, seq uint64, key, val []byte, err error) {
+	if len(r.body) < batchOpBytes {
+		return 0, 0, nil, nil, fmt.Errorf("%w: truncated op", ErrBadBatch)
+	}
+	op = r.body[0]
+	seq = binary.LittleEndian.Uint64(r.body[1:])
+	key, rest, err := takeString(r.body[9:])
+	if err != nil {
+		return 0, 0, nil, nil, fmt.Errorf("%w: %v", ErrBadBatch, err)
+	}
+	switch op {
+	case OpSet, OpRMW:
+		val, rest, err = takeValue(rest)
+		if err != nil {
+			return 0, 0, nil, nil, fmt.Errorf("%w: %v", ErrBadBatch, err)
+		}
+	case OpGet, OpDelete:
+	default:
+		return 0, 0, nil, nil, fmt.Errorf("%w: opcode %d not batchable", ErrBadBatch, op)
+	}
+	r.body = rest
+	return op, seq, key, val, nil
+}
+
+// appendBatchValueResult encodes a GET reply entry: the value is present only
+// on StatusOK.
+func appendBatchValueResult(dst []byte, seq uint64, status byte, val []byte) []byte {
+	dst = appendU64(dst, seq)
+	dst = append(dst, status)
+	if status == StatusOK {
+		dst = appendValue(dst, val)
+	}
+	return dst
+}
+
+// appendBatchSerialResult encodes a SET/RMW/DELETE reply entry.
+func appendBatchSerialResult(dst []byte, seq uint64, status byte, serial uint64) []byte {
+	dst = appendU64(dst, seq)
+	dst = append(dst, status)
+	return appendU64(dst, serial)
+}
+
+// batchReplyHdr is the fixed prefix of a batch reply frame, built in place in
+// the reply buffer so the whole frame goes out as one contiguous write (a
+// stack header array would escape through an io.Writer interface and cost an
+// allocation per frame): u32 frame len | u8 OpBatch | u8 status | u32 count.
+const batchReplyHdr = 10
+
+// beginBatchReply resets frame to a reply frame's header placeholder; append
+// entries after it and call finishBatchReply before writing it out.
+func beginBatchReply(frame []byte) []byte {
+	var zero [batchReplyHdr]byte
+	return append(frame[:0], zero[:]...)
+}
+
+// finishBatchReply patches the in-place header for count entries.
+func finishBatchReply(frame []byte, count int) {
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	frame[4] = OpBatch
+	frame[5] = StatusOK
+	binary.LittleEndian.PutUint32(frame[6:], uint32(count))
+}

@@ -32,6 +32,7 @@ type Client struct {
 	id       string
 	cprPoint uint64
 	proto    byte
+	nextSeq  uint64 // last batch sequence number issued (Pipeline)
 	// Timeout bounds each call's network I/O (request write + response
 	// read), so a dead server surfaces as an error instead of hanging the
 	// session forever. Zero disables deadlines.
@@ -56,10 +57,12 @@ func Dial(addr, clientID string) (*Client, error) {
 	c := &Client{conn: conn, addr: addr, Timeout: DefaultCallTimeout}
 	conn.SetDeadline(time.Now().Add(DefaultCallTimeout)) //nolint:errcheck
 	defer conn.SetDeadline(time.Time{})                  //nolint:errcheck
-	// Offer ProtoV2 via the trailing proto byte; a v1 server's Hello parser
+	// Offer ProtoV3 via the trailing proto byte; a v1 server's Hello parser
 	// stops at the client-ID string and its response carries no proto byte,
-	// which downgrades this client to v1 (plain frames, no trace field).
-	payload := append(appendString(nil, []byte(clientID)), ProtoV2)
+	// which downgrades this client to v1 (plain frames, no trace field). A v2
+	// server echoes ProtoV2 — min(offered, supported) — which keeps traces but
+	// disables BATCH frames (Pipeline falls back to sequential calls).
+	payload := append(appendString(nil, []byte(clientID)), ProtoV3)
 	if err := writeFrame(conn, OpHello, payload); err != nil {
 		conn.Close()
 		return nil, err
@@ -80,8 +83,16 @@ func Dial(addr, clientID string) (*Client, error) {
 		return nil, err
 	}
 	c.proto = ProtoV1
-	if len(rest) > 0 && rest[0] >= ProtoV2 {
-		c.proto = ProtoV2
+	if len(rest) > 0 {
+		// The echoed version is already min(offered, server max); clamp it to
+		// what this client speaks in case a future server misbehaves.
+		c.proto = rest[0]
+		if c.proto > ProtoV3 {
+			c.proto = ProtoV3
+		}
+		if c.proto < ProtoV1 {
+			c.proto = ProtoV1
+		}
 	}
 	c.id = string(id)
 	c.cprPoint = point
@@ -98,7 +109,8 @@ func (c *Client) ID() string { return c.id }
 func (c *Client) CPRPoint() uint64 { return c.cprPoint }
 
 // Proto returns the wire protocol version negotiated at the last handshake
-// (ProtoV1 against an old server, ProtoV2 when both sides speak traces).
+// (ProtoV1 against an old server, ProtoV2 when both sides speak traces,
+// ProtoV3 when both also speak pipelined BATCH frames).
 func (c *Client) Proto() byte { return c.proto }
 
 // Close closes the connection (the server stops the session).

@@ -1,6 +1,7 @@
 package kvserver
 
 import (
+	"fmt"
 	"io"
 	"net"
 	"testing"
@@ -9,9 +10,9 @@ import (
 	"repro/internal/obs"
 )
 
-// TestHelloNegotiatesV2 checks that a current client against a current server
-// lands on ProtoV2 and that traced ops (flagged frames) work end to end.
-func TestHelloNegotiatesV2(t *testing.T) {
+// TestHelloNegotiatesV3 checks that a current client against a current server
+// lands on ProtoV3 and that traced ops and BATCH frames work end to end.
+func TestHelloNegotiatesV3(t *testing.T) {
 	_, addr, _ := startServer(t, smallCfg())
 
 	c, err := Dial(addr, "")
@@ -19,8 +20,8 @@ func TestHelloNegotiatesV2(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if c.Proto() != ProtoV2 {
-		t.Fatalf("negotiated proto %d, want %d", c.Proto(), ProtoV2)
+	if c.Proto() != ProtoV3 {
+		t.Fatalf("negotiated proto %d, want %d", c.Proto(), ProtoV3)
 	}
 	// Every call now carries a trace field; the server must strip it and
 	// serve normally.
@@ -30,6 +31,145 @@ func TestHelloNegotiatesV2(t *testing.T) {
 	v, found, err := c.Get([]byte("nk"))
 	if err != nil || !found || string(v) != "nv" {
 		t.Fatalf("traced get: %q %v %v", v, found, err)
+	}
+	// And a real BATCH frame round-trips.
+	p := c.Pipeline()
+	p.Set([]byte("nk2"), []byte("nv2"))
+	p.Get([]byte("nk2"))
+	res, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[1].Status != StatusOK || string(res[1].Value) != "nv2" {
+		t.Fatalf("batch results: %+v", res)
+	}
+}
+
+// TestV2ClientAgainstV3Server simulates last release's client: it offers
+// ProtoV2 in its Hello. The server must echo exactly ProtoV2 — not its own
+// maximum — and serve traced single-op frames as before.
+func TestV2ClientAgainstV3Server(t *testing.T) {
+	_, addr, _ := startServer(t, smallCfg())
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+
+	payload := append(appendString(nil, nil), ProtoV2)
+	if err := writeFrame(conn, OpHello, payload); err != nil {
+		t.Fatal(err)
+	}
+	op, resp, err := readFrame(conn)
+	if err != nil || op != OpHello || resp[0] != StatusOK {
+		t.Fatalf("hello: op=%d err=%v", op, err)
+	}
+	_, rest, err := takeU64(resp[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rest, err = takeString(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 1 || rest[0] != ProtoV2 {
+		t.Fatalf("server echoed %v to a v2 offer, want exactly [%d]", rest, ProtoV2)
+	}
+
+	// Traced v2 single-op frames still round-trip.
+	tc := obs.TraceContext{TraceID: obs.NewTraceID(), ParentSpan: 1, IssuedUnixNanos: time.Now().UnixNano()}
+	body := appendValue(appendString(nil, []byte("v2k")), []byte("v2v"))
+	if err := writeFrameTr(conn, OpSet, tc, body); err != nil {
+		t.Fatal(err)
+	}
+	op, resp, err = readFrame(conn)
+	if err != nil || op != OpSet || resp[0] != StatusOK {
+		t.Fatalf("v2 set: op=%d err=%v", op, err)
+	}
+}
+
+// TestV3ClientAgainstV2Server simulates last release's server: it clamps any
+// offer to ProtoV2 and speaks only single-op frames. The current client must
+// settle on ProtoV2 and Pipeline.Flush must degrade to sequential calls.
+func TestV3ClientAgainstV2Server(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srvErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		defer conn.Close()
+		op, _, payload, err := readFrameTr(conn)
+		if err != nil || op != OpHello {
+			srvErr <- fmt.Errorf("hello: op=%d err=%v", op, err)
+			return
+		}
+		if _, _, err := takeString(payload); err != nil {
+			srvErr <- err
+			return
+		}
+		resp := appendU64([]byte{StatusOK}, 0)
+		resp = appendString(resp, []byte("v2-sess"))
+		resp = append(resp, ProtoV2) // old server's max
+		if err := writeFrame(conn, OpHello, resp); err != nil {
+			srvErr <- err
+			return
+		}
+		// Serve exactly two single-op frames; an OpBatch here means the
+		// client ignored the negotiated version.
+		for i := 0; i < 2; i++ {
+			op, _, _, err := readFrameTr(conn)
+			if err != nil {
+				srvErr <- err
+				return
+			}
+			switch op {
+			case OpSet:
+				if err := writeFrame(conn, OpSet, appendU64([]byte{StatusOK}, uint64(i+1))); err != nil {
+					srvErr <- err
+					return
+				}
+			case OpGet:
+				if err := writeFrame(conn, OpGet, appendValue([]byte{StatusOK}, []byte("sv"))); err != nil {
+					srvErr <- err
+					return
+				}
+			default:
+				srvErr <- fmt.Errorf("v2 server got opcode %d (batch sent to a non-batch peer?)", op)
+				return
+			}
+		}
+		srvErr <- nil
+	}()
+
+	c, err := Dial(ln.Addr().String(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Proto() != ProtoV2 {
+		t.Fatalf("client negotiated proto %d against a v2 server, want %d", c.Proto(), ProtoV2)
+	}
+	c.Timeout = 5 * time.Second
+	p := c.Pipeline()
+	p.Set([]byte("k"), []byte("v"))
+	p.Get([]byte("k"))
+	res, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Serial != 1 || string(res[1].Value) != "sv" {
+		t.Fatalf("sequential fallback results: %+v", res)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatal(err)
 	}
 }
 

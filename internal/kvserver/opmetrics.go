@@ -13,6 +13,14 @@ type opMetrics struct {
 	execNs     *obs.Histogram
 	durwaitNs  *obs.Histogram
 	replwaitNs *obs.Histogram
+
+	// Protocol v3 pipelining counters: how deep BATCH frames run, and how
+	// well per-connection write coalescing amortizes flush syscalls
+	// (replies-per-flush = coalescedReplies / coalescedFlushes).
+	batchDepth       *obs.Histogram
+	batches          *obs.Counter
+	coalescedFlushes *obs.Counter
+	coalescedReplies *obs.Counter
 }
 
 // resolveOpMetrics resolves (creating if absent) the decomposition histograms
@@ -26,11 +34,23 @@ func resolveOpMetrics(reg *obs.Registry) opMetrics {
 		"Per-request durability wait: time spent blocked for a covering commit (COMMIT / WAITDUR ops).")
 	reg.SetHelp("faster_op_replwait_ns",
 		"Per-commit wait from local durability to replica commit-announce.")
+	reg.SetHelp("faster_batch_depth",
+		"Ops per BATCH frame (protocol v3 pipelining depth as observed by the server).")
+	reg.SetHelp("faster_net_batches_total",
+		"BATCH frames served (protocol v3).")
+	reg.SetHelp("faster_net_coalesced_flushes_total",
+		"Per-connection reply-buffer flushes (write syscalls after coalescing), summed across connections.")
+	reg.SetHelp("faster_net_coalesced_replies_total",
+		"Per-op replies that passed through the coalescing buffer, summed across connections; divide by flushes for replies-per-write-syscall.")
 	return opMetrics{
-		queueNs:    reg.Histogram("faster_op_queue_ns"),
-		execNs:     reg.Histogram("faster_op_exec_ns"),
-		durwaitNs:  reg.Histogram("faster_op_durwait_ns"),
-		replwaitNs: reg.Histogram("faster_op_replwait_ns"),
+		queueNs:          reg.Histogram("faster_op_queue_ns"),
+		execNs:           reg.Histogram("faster_op_exec_ns"),
+		durwaitNs:        reg.Histogram("faster_op_durwait_ns"),
+		replwaitNs:       reg.Histogram("faster_op_replwait_ns"),
+		batchDepth:       reg.Histogram("faster_batch_depth"),
+		batches:          reg.Counter("faster_net_batches_total"),
+		coalescedFlushes: reg.Counter("faster_net_coalesced_flushes_total"),
+		coalescedReplies: reg.Counter("faster_net_coalesced_replies_total"),
 	}
 }
 
@@ -58,6 +78,8 @@ func opName(op byte) string {
 		return "TRACE"
 	case OpWaitDurable:
 		return "WAITDUR"
+	case OpBatch:
+		return "BATCH"
 	}
 	return "OP?"
 }

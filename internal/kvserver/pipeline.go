@@ -1,0 +1,284 @@
+package kvserver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// BatchResult is one op's outcome from a flushed Pipeline, in issue order.
+type BatchResult struct {
+	Seq    uint64 // the client-assigned sequence number returned at issue time
+	Op     byte   // OpGet / OpSet / OpRMW / OpDelete
+	Status byte   // StatusOK / StatusNotFound / StatusError
+	Value  []byte // GET result (nil unless Status == StatusOK)
+	Serial uint64 // session serial for SET/RMW/DELETE
+}
+
+// Pipeline accumulates data ops and sends them as one BATCH frame (protocol
+// v3), amortizing the network round-trip — and, server-side, the epoch
+// protection — across the whole run. Replies come back per op, matched in
+// issue order by sequence number. Against a v1/v2 server Flush transparently
+// degrades to sequential single-op calls, so callers need not care what the
+// peer speaks.
+//
+// A Pipeline is reusable: Flush resets it for the next run, retaining its
+// buffers. It is bound to its Client and shares its single-logical-thread
+// rule. Results (including Value slices) are valid until the next Flush.
+type Pipeline struct {
+	c *Client
+
+	// Timeout bounds one whole Flush — the batch write plus every reply
+	// frame (the per-batch deadline). Zero falls back to c.Timeout.
+	Timeout time.Duration
+
+	buf     []byte // u32 count placeholder, then the encoded ops
+	meta    []pipeMeta
+	results []BatchResult
+}
+
+// pipeMeta remembers, per queued op, where its encoding lives in buf — the
+// bytes from start+9 (past opcode and seq) to end are exactly the single-op
+// request payload, which is what the v1/v2 sequential fallback replays.
+type pipeMeta struct {
+	op         byte
+	seq        uint64
+	start, end int
+}
+
+// Pipeline returns a new empty pipeline on this client.
+func (c *Client) Pipeline() *Pipeline {
+	p := &Pipeline{c: c}
+	p.buf = make([]byte, 4, 256) // count header patched at Flush
+	return p
+}
+
+// Len returns the number of ops queued since the last Flush.
+func (p *Pipeline) Len() int { return len(p.meta) }
+
+func (p *Pipeline) add(op byte, key, val []byte) uint64 {
+	p.c.nextSeq++
+	seq := p.c.nextSeq
+	start := len(p.buf)
+	p.buf = appendBatchOp(p.buf, op, seq, key, val)
+	p.meta = append(p.meta, pipeMeta{op: op, seq: seq, start: start, end: len(p.buf)})
+	return seq
+}
+
+// Get queues a read and returns its sequence number.
+func (p *Pipeline) Get(key []byte) uint64 { return p.add(OpGet, key, nil) }
+
+// Set queues a blind write and returns its sequence number.
+func (p *Pipeline) Set(key, val []byte) uint64 { return p.add(OpSet, key, val) }
+
+// RMW queues a read-modify-write and returns its sequence number.
+func (p *Pipeline) RMW(key, input []byte) uint64 { return p.add(OpRMW, key, input) }
+
+// Delete queues a delete and returns its sequence number.
+func (p *Pipeline) Delete(key []byte) uint64 { return p.add(OpDelete, key, nil) }
+
+// Reset drops queued ops without sending them, retaining buffers.
+func (p *Pipeline) Reset() {
+	p.buf = p.buf[:4]
+	p.meta = p.meta[:0]
+}
+
+// Flush sends the queued ops and returns one result per op, in issue order.
+// On a v3 connection everything travels in a single BATCH frame (the server
+// may split the reply across several; Flush reads until every op is
+// answered). On older connections ops are replayed as sequential single-op
+// calls. Flushing an empty pipeline returns (nil, nil). After Flush — error
+// or not — the pipeline is reset; results are valid until the next Flush.
+func (p *Pipeline) Flush() ([]BatchResult, error) {
+	if len(p.meta) == 0 {
+		return nil, nil
+	}
+	if len(p.meta) > maxBatchOps {
+		p.Reset()
+		return nil, fmt.Errorf("kvserver: pipeline of %d ops exceeds max %d", len(p.meta), maxBatchOps)
+	}
+	defer p.Reset()
+	if p.c.proto < ProtoV3 {
+		return p.flushSequential()
+	}
+	return p.flushBatch()
+}
+
+func (p *Pipeline) timeout() time.Duration {
+	if p.Timeout > 0 {
+		return p.Timeout
+	}
+	return p.c.Timeout
+}
+
+func (p *Pipeline) flushBatch() ([]BatchResult, error) {
+	c := p.c
+	if d := p.timeout(); d > 0 {
+		c.conn.SetDeadline(time.Now().Add(d)) //nolint:errcheck
+		defer c.conn.SetDeadline(time.Time{}) //nolint:errcheck
+	}
+	binary.LittleEndian.PutUint32(p.buf[:4], uint32(len(p.meta)))
+	var tc obs.TraceContext
+	t0 := time.Now().UnixNano()
+	if c.proto >= ProtoV2 {
+		// One trace context covers the whole batch; the server records per-op
+		// exec spans plus a batch-window span under it.
+		tc = obs.TraceContext{TraceID: obs.NewTraceID(), ParentSpan: 1, IssuedUnixNanos: t0}
+	}
+	if err := writeFrameTr(c.conn, OpBatch, tc, p.buf); err != nil {
+		return nil, err
+	}
+	results := p.results[:0]
+	i := 0
+	for i < len(p.meta) {
+		rop, resp, err := readFrame(c.conn)
+		if err != nil {
+			return nil, err
+		}
+		if rop != OpBatch {
+			return nil, fmt.Errorf("kvserver: response opcode %d for batch", rop)
+		}
+		if len(resp) < 1 {
+			return nil, fmt.Errorf("kvserver: empty batch response")
+		}
+		if resp[0] == StatusRedirect {
+			primary, _, perr := takeString(resp[1:])
+			if perr != nil {
+				primary = nil
+			}
+			return nil, &RedirectError{Addr: string(primary)}
+		}
+		if resp[0] != StatusOK {
+			return nil, fmt.Errorf("kvserver: batch failed (status %d)", resp[0])
+		}
+		n, body, err := takeU32(resp[1:])
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < int(n); j++ {
+			if i >= len(p.meta) {
+				return nil, fmt.Errorf("kvserver: batch reply has extra entries")
+			}
+			m := p.meta[i]
+			if len(body) < 9 {
+				return nil, fmt.Errorf("kvserver: truncated batch reply entry")
+			}
+			seq := binary.LittleEndian.Uint64(body)
+			status := body[8]
+			body = body[9:]
+			if seq != m.seq {
+				return nil, fmt.Errorf("kvserver: batch reply out of order: seq %d, want %d", seq, m.seq)
+			}
+			res := BatchResult{Seq: seq, Op: m.op, Status: status}
+			if m.op == OpGet {
+				if status == StatusOK {
+					v, rest, err := takeValue(body)
+					if err != nil {
+						return nil, err
+					}
+					res.Value = append([]byte(nil), v...)
+					body = rest
+				}
+			} else {
+				serial, rest, err := takeU64(body)
+				if err != nil {
+					return nil, err
+				}
+				res.Serial = serial
+				body = rest
+			}
+			results = append(results, res)
+			i++
+		}
+	}
+	if c.Tracer != nil && tc.TraceID != 0 {
+		var at obs.ActiveTrace
+		c.Tracer.Begin(&at, obs.TraceContext{TraceID: tc.TraceID}, opName(OpBatch), c.id)
+		c.Tracer.Finish(&at, t0, time.Now().UnixNano())
+	}
+	p.results = results
+	return results, nil
+}
+
+// flushSequential replays the queued ops one call at a time against a peer
+// that predates BATCH frames, reusing each op's already-encoded payload.
+func (p *Pipeline) flushSequential() ([]BatchResult, error) {
+	results := p.results[:0]
+	for _, m := range p.meta {
+		payload := p.buf[m.start+9 : m.end]
+		status, resp, err := p.c.call(m.op, payload)
+		if err != nil {
+			return nil, err
+		}
+		res := BatchResult{Seq: m.seq, Op: m.op, Status: status}
+		if m.op == OpGet {
+			if status == StatusOK {
+				v, _, err := takeValue(resp)
+				if err != nil {
+					return nil, err
+				}
+				res.Value = append([]byte(nil), v...)
+			}
+		} else {
+			serial, _, err := takeU64(resp)
+			if err != nil {
+				return nil, err
+			}
+			res.Serial = serial
+		}
+		results = append(results, res)
+	}
+	p.results = results
+	return results, nil
+}
+
+// GetN reads keys in one pipelined batch. found[i] reports whether keys[i]
+// existed; vals[i] is nil when it did not.
+func (c *Client) GetN(keys [][]byte) (vals [][]byte, found []bool, err error) {
+	p := c.Pipeline()
+	for _, k := range keys {
+		p.Get(k)
+	}
+	res, err := p.Flush()
+	if err != nil {
+		return nil, nil, err
+	}
+	vals = make([][]byte, len(res))
+	found = make([]bool, len(res))
+	for i, r := range res {
+		switch r.Status {
+		case StatusOK:
+			vals[i], found[i] = r.Value, true
+		case StatusNotFound:
+		default:
+			return nil, nil, fmt.Errorf("kvserver: get %d in batch failed (status %d)", i, r.Status)
+		}
+	}
+	return vals, found, nil
+}
+
+// SetN blindly writes keys[i]=vals[i] in one pipelined batch and returns the
+// per-op serials.
+func (c *Client) SetN(keys, vals [][]byte) ([]uint64, error) {
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("kvserver: SetN: %d keys, %d vals", len(keys), len(vals))
+	}
+	p := c.Pipeline()
+	for i := range keys {
+		p.Set(keys[i], vals[i])
+	}
+	res, err := p.Flush()
+	if err != nil {
+		return nil, err
+	}
+	serials := make([]uint64, len(res))
+	for i, r := range res {
+		if r.Status != StatusOK {
+			return nil, fmt.Errorf("kvserver: set %d in batch failed (status %d)", i, r.Status)
+		}
+		serials[i] = r.Serial
+	}
+	return serials, nil
+}

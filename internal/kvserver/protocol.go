@@ -16,6 +16,7 @@ package kvserver
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -41,15 +42,28 @@ const (
 	// whatever commit (auto-committer or another session's) gets there first.
 	// The response names the covering commit.
 	OpWaitDurable byte = 10 // payload: none -> resp: u64 committed serial, token string
+	// OpBatch (v3) carries N pipelined data ops in one frame. Request payload:
+	// u32 count, then per op: u8 opcode | u64 seq | key string [| value]
+	// (value present for OpSet/OpRMW only). Response payload: u8 status; on
+	// StatusOK a u32 count and per op u64 seq | u8 status | result (value for
+	// GET on StatusOK, u64 serial for SET/RMW/DELETE); on StatusRedirect the
+	// primary's address string. A server may split one request's replies
+	// across several OpBatch frames (each self-contained with its own count);
+	// the client reads frames until every seq is answered, in issue order.
+	OpBatch byte = 11
 )
 
 // Protocol versions, negotiated at Hello. A v1 Hello omits the proto byte;
 // peers on either side that never saw this field keep speaking v1 frames
 // (plain opcodes), so old and new binaries interoperate in both directions.
-// v2 adds the optional per-frame trace field (frameFlagTrace).
+// v2 adds the optional per-frame trace field (frameFlagTrace). v3 adds the
+// OpBatch pipelined frame. Each side offers its highest version; the server
+// echoes min(offered, supported), so every pair lands on the highest protocol
+// both speak and neither ever sends a frame the other cannot parse.
 const (
 	ProtoV1 byte = 1
 	ProtoV2 byte = 2
+	ProtoV3 byte = 3
 )
 
 // frameFlagTrace, set on the frame's opcode byte, means a 24-byte trace
@@ -129,6 +143,16 @@ const (
 // allocations.
 const maxFrame = 16 << 20
 
+// ErrFrameTooLarge is returned (wrapped) when a peer announces a frame larger
+// than maxFrame; the connection is failed cleanly instead of attempting the
+// allocation. Match with errors.Is.
+var ErrFrameTooLarge = errors.New("kvserver: frame exceeds maximum size")
+
+// ErrBadFrame is returned (wrapped) for structurally invalid frames — zero
+// length, or a trace-flagged frame too short to hold the trace field. Match
+// with errors.Is.
+var ErrBadFrame = errors.New("kvserver: malformed frame")
+
 // writeFrame sends opcode+payload as one v1 frame (no trace field).
 func writeFrame(w io.Writer, opcode byte, payload []byte) error {
 	return writeFrameTr(w, opcode, obs.TraceContext{}, payload)
@@ -171,25 +195,45 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 // readFrameTr reads one frame, returning its opcode (trace flag cleared), the
 // trace context (zero when the frame carries none), and the payload.
 func readFrameTr(r io.Reader) (byte, obs.TraceContext, []byte, error) {
+	var buf []byte
+	return readFrameBuf(r, &buf)
+}
+
+// readFrameBuf is readFrameTr on a caller-owned reusable buffer: the frame
+// body is read into *buf (grown only when a frame exceeds its capacity), so a
+// steady-state serving loop reads frames without allocating. The returned
+// payload aliases *buf and is valid until the next call.
+func readFrameBuf(r io.Reader, buf *[]byte) (byte, obs.TraceContext, []byte, error) {
 	var tc obs.TraceContext
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	// The length header is read into *buf too: a stack array here would
+	// escape through the io.Reader interface and cost an allocation per call.
+	if cap(*buf) < 4 {
+		*buf = make([]byte, 64)
+	}
+	hdr := (*buf)[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, tc, nil, err
 	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
-	if n == 0 || n > maxFrame {
-		return 0, tc, nil, fmt.Errorf("kvserver: bad frame length %d", n)
+	n := binary.LittleEndian.Uint32(hdr)
+	if n == 0 {
+		return 0, tc, nil, fmt.Errorf("%w: zero frame length", ErrBadFrame)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	if n > maxFrame {
+		return 0, tc, nil, fmt.Errorf("%w: %d bytes (max %d)", ErrFrameTooLarge, n, maxFrame)
+	}
+	if uint32(cap(*buf)) < n {
+		*buf = make([]byte, n)
+	}
+	b := (*buf)[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
 		return 0, tc, nil, err
 	}
-	op := buf[0]
-	body := buf[1:]
+	op := b[0]
+	body := b[1:]
 	if op&frameFlagTrace != 0 {
 		op &^= frameFlagTrace
 		if len(body) < traceFieldLen {
-			return 0, tc, nil, fmt.Errorf("kvserver: trace-flagged frame too short (%d bytes)", len(body))
+			return 0, tc, nil, fmt.Errorf("%w: trace-flagged frame too short (%d bytes)", ErrBadFrame, len(body))
 		}
 		tc.TraceID = binary.LittleEndian.Uint64(body)
 		tc.ParentSpan = binary.LittleEndian.Uint64(body[8:])

@@ -103,6 +103,14 @@ func FuzzFrame(f *testing.F) {
 	f.Add(byte(OpSet), []byte("hello"))
 	f.Add(byte(0), []byte{})
 	f.Add(byte(255), bytes.Repeat([]byte{0xAA}, 1024))
+	// Batch codec seeds: a well-formed two-op batch, a count overclaiming its
+	// body, and a batch whose op list is truncated mid-entry.
+	wellFormed := appendU32(nil, 2)
+	wellFormed = appendBatchOp(wellFormed, OpSet, 1, []byte("bk"), []byte("bv"))
+	wellFormed = appendBatchOp(wellFormed, OpGet, 2, []byte("bk"), nil)
+	f.Add(byte(OpBatch), wellFormed)
+	f.Add(byte(OpBatch), appendU32(nil, 1000))
+	f.Add(byte(OpBatch), wellFormed[:len(wellFormed)-3])
 	f.Fuzz(func(t *testing.T, opcode byte, payload []byte) {
 		if len(payload) >= maxFrame-traceFieldLen-1 {
 			t.Skip()
@@ -153,6 +161,43 @@ func FuzzFrame(f *testing.F) {
 			n := binary.LittleEndian.Uint32(payload)
 			if int(n) > len(payload)-4 {
 				t.Fatalf("readFrame fabricated a frame from %d stray bytes", len(payload))
+			}
+		}
+
+		// The same payload interpreted as a batch body must never panic, never
+		// yield more ops than announced, and keep every decoded key/value
+		// inside the payload's bounds (arena-style decode invariant).
+		if br, err := newBatchReader(payload); err == nil {
+			decoded := 0
+			for i := 0; i < br.count; i++ {
+				op, _, key, val, err := br.next()
+				if err != nil {
+					break
+				}
+				decoded++
+				if op != OpGet && op != OpSet && op != OpRMW && op != OpDelete {
+					t.Fatalf("batch decode yielded non-batchable opcode %d", op)
+				}
+				for _, b := range [][]byte{key, val} {
+					if len(b) > len(payload) {
+						t.Fatalf("batch decode returned a %d-byte slice from a %d-byte payload", len(b), len(payload))
+					}
+				}
+			}
+			if decoded > br.count {
+				t.Fatalf("batch decode yielded %d ops from a count of %d", decoded, br.count)
+			}
+			// A well-formed decode must re-encode to the identical bytes.
+			if decoded == br.count {
+				re := appendU32(nil, uint32(br.count))
+				rr, _ := newBatchReader(payload)
+				for i := 0; i < rr.count; i++ {
+					op, seq, key, val, _ := rr.next()
+					re = appendBatchOp(re, op, seq, key, val)
+				}
+				if len(rr.body) == 0 && !bytes.Equal(re, payload) {
+					t.Fatalf("batch re-encode mismatch: %d/%d bytes", len(re), len(payload))
+				}
 			}
 		}
 	})

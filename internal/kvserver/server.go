@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
@@ -20,6 +21,12 @@ import (
 // connection runs a handler goroutine that owns one store session; idle
 // connections still refresh their epoch entries periodically so in-flight
 // commits can complete.
+//
+// The serving loop is allocation-free in steady state: frames are read into
+// a per-connection reusable buffer, batch payloads are decoded arena-style
+// (keys and values as sub-slices of the frame buffer), the session recycles
+// op records through its freelist (faster.Session.BeginBatch), and replies
+// are gathered into a reusable buffer behind a coalescing writer.
 type Server struct {
 	ln net.Listener
 
@@ -43,7 +50,37 @@ type Server struct {
 	// NewReplicaServer on a replica).
 	ReplStats func() *ReplStats
 
+	// CoalesceBytes / CoalesceOps bound per-connection write coalescing (the
+	// MaxSyncLag idiom applied to reply frames): buffered replies are flushed
+	// to the socket when either the byte or reply-count cap is exceeded, and
+	// always before the connection blocks waiting for more requests — so a
+	// reply's lag behind its request is bounded by the pipeline the client
+	// itself keeps in flight. Zero means the defaults. Set before Serve.
+	CoalesceBytes int
+	CoalesceOps   int
+
 	stopAuto chan struct{}
+}
+
+// Write-coalescing defaults: flush the reply buffer beyond 64KiB or 128
+// reply frames, whichever trips first.
+const (
+	DefaultCoalesceBytes = 64 << 10
+	DefaultCoalesceOps   = 128
+)
+
+func (s *Server) coalesceBytes() int {
+	if s.CoalesceBytes > 0 {
+		return s.CoalesceBytes
+	}
+	return DefaultCoalesceBytes
+}
+
+func (s *Server) coalesceOps() int {
+	if s.CoalesceOps > 0 {
+		return s.CoalesceOps
+	}
+	return DefaultCoalesceOps
 }
 
 // ReplicaBackend is the read-only view a replica-mode server serves from
@@ -132,6 +169,12 @@ func (s *Server) replicaBackend() ReplicaBackend {
 	return s.replica
 }
 
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // Serve listens on addr (e.g. "127.0.0.1:0") and blocks accepting
 // connections until Close. It returns the bound address via Addr.
 func (s *Server) Serve(addr string) error {
@@ -177,7 +220,12 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops accepting, closes all connections, and waits for handlers.
+// Close stops the listener and waits for every in-flight handler to drain:
+// handlers notice the closed flag at their next frame boundary, flush any
+// coalesced replies, and close their own connections — a reply frame is
+// never torn mid-write by shutdown. Reads blocked mid-frame are woken via an
+// expired read deadline (tearing a *read* is safe; nothing was promised to
+// the peer yet).
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -188,8 +236,9 @@ func (s *Server) Close() {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	now := time.Now()
 	for c := range s.conns {
-		c.Close()
+		c.SetReadDeadline(now) //nolint:errcheck
 	}
 	s.mu.Unlock()
 	close(s.stopAuto)
@@ -212,8 +261,90 @@ func (s *Server) autoCommitter() {
 	}
 }
 
-// idlePoll is how often an idle connection refreshes its session's epoch.
+// idlePoll is how often an idle connection refreshes its session's epoch
+// (and checks for server shutdown).
 const idlePoll = 20 * time.Millisecond
+
+// helloTimeout bounds how long a fresh connection may sit silent before its
+// Hello; without it a dialed-but-mute client would pin a handler forever.
+const helloTimeout = 30 * time.Second
+
+// connState is a connection's reusable serving state: buffered reader,
+// coalescing writer, the frame/reply scratch buffers the zero-allocation
+// loop reuses across requests, and the pending-read completion scratch the
+// persistent readCB closure delivers into.
+type connState struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	frame []byte // reusable frame read buffer (readFrameBuf)
+	reply []byte // reusable batch reply build buffer
+
+	// unflushed counts per-op replies written into bw since the last flush
+	// (the op-count half of the coalescing cap; batch frames count each
+	// entry).
+	unflushed int
+
+	// Pending cold-read completion scratch: readCB (created once per
+	// connection) copies the value here, execBatch and the single-op GET
+	// path consume it.
+	pendVal  []byte
+	pendSt   faster.Status
+	pendDone bool
+	readCB   func(val []byte, st faster.Status)
+}
+
+// flushConn pushes coalesced replies to the socket and records the flush in
+// the coalescing counters.
+func (s *Server) flushConn(cs *connState, om opMetrics) error {
+	if cs.bw.Buffered() == 0 {
+		cs.unflushed = 0
+		return nil
+	}
+	cs.conn.SetWriteDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+	if err := cs.bw.Flush(); err != nil {
+		return err
+	}
+	om.coalescedFlushes.Inc()
+	om.coalescedReplies.Add(uint64(cs.unflushed))
+	cs.unflushed = 0
+	return nil
+}
+
+// waitReadable blocks until the connection has readable bytes, polling at
+// idlePoll so the session (if any) keeps refreshing its epoch entry —
+// otherwise an idle client would stall every commit — and so server shutdown
+// (or the stop condition) is noticed promptly. The deadline only ever gates
+// the peek, which consumes nothing on timeout. A positive cap bounds the
+// total wait.
+func (s *Server) waitReadable(cs *connState, sess *faster.Session, cap time.Duration, stop func() bool) error {
+	var deadline time.Time
+	if cap > 0 {
+		deadline = time.Now().Add(cap)
+	}
+	for {
+		if s.isClosed() || (stop != nil && stop()) {
+			return net.ErrClosed
+		}
+		cs.conn.SetReadDeadline(time.Now().Add(idlePoll)) //nolint:errcheck
+		if _, err := cs.br.Peek(1); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if sess != nil {
+					sess.Refresh()
+					sess.CompletePending(false)
+				}
+				if cap > 0 && time.Now().After(deadline) {
+					return err
+				}
+				continue
+			}
+			return err // connection closed
+		}
+		return nil
+	}
+}
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
@@ -224,8 +355,23 @@ func (s *Server) handle(conn net.Conn) {
 		conn.Close()
 	}()
 
+	cs := &connState{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 32<<10),
+	}
+	cs.bw = bufio.NewWriterSize(conn, s.coalesceBytes())
+	cs.readCB = func(v []byte, st faster.Status) {
+		cs.pendVal = append(cs.pendVal[:0], v...)
+		cs.pendSt = st
+		cs.pendDone = true
+	}
+
 	// The first frame must be Hello, binding the connection to a session.
-	op, payload, err := readFrame(conn)
+	if err := s.waitReadable(cs, nil, helloTimeout, nil); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(helloTimeout)) //nolint:errcheck
+	op, _, payload, err := readFrameBuf(cs.br, &cs.frame)
 	if err != nil || op != OpHello {
 		return
 	}
@@ -233,23 +379,31 @@ func (s *Server) handle(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	// Version negotiation: a v2 client appends a proto byte after its client
-	// ID; a v1 client's payload ends at the string, so rest is empty. The
-	// negotiated version is echoed at the end of the response (which a v1
-	// client never looks at). Only after this exchange may either side send
-	// trace-flagged frames.
+	// Version negotiation: a v2+ client appends its highest supported proto
+	// byte after its client ID; a v1 client's payload ends at the string, so
+	// rest is empty. The server takes min(offered, ProtoV3) and echoes it at
+	// the end of the response (which a v1 client never looks at), landing
+	// both sides on the highest protocol they share. Only after this
+	// exchange may either side send trace-flagged or BATCH frames.
 	proto := ProtoV1
-	if len(rest) > 0 && rest[0] >= ProtoV2 {
-		proto = ProtoV2
+	if len(rest) > 0 {
+		proto = rest[0]
+		if proto > ProtoV3 {
+			proto = ProtoV3
+		}
+		if proto < ProtoV1 {
+			proto = ProtoV1
+		}
 	}
+	id := string(clientID) // copy: payload aliases the reused frame buffer
 	if rb := s.replicaBackend(); rb != nil {
-		s.handleReplica(conn, rb, string(clientID), proto, len(rest) > 0)
+		s.handleReplica(cs, rb, id, proto, len(rest) > 0)
 		return
 	}
 	var sess *faster.Session
 	var cprPoint uint64
-	if len(clientID) > 0 {
-		sess, cprPoint = s.getStore().ContinueSession(string(clientID))
+	if len(id) > 0 {
+		sess, cprPoint = s.getStore().ContinueSession(id)
 	} else {
 		sess = s.getStore().StartSession()
 	}
@@ -259,34 +413,37 @@ func (s *Server) handle(conn net.Conn) {
 	if len(rest) > 0 {
 		resp = append(resp, proto)
 	}
-	if err := writeFrame(conn, OpHello, resp); err != nil {
+	if err := writeFrame(cs.bw, OpHello, resp); err != nil {
+		return
+	}
+	if err := s.flushConn(cs, s.opMetrics()); err != nil {
 		return
 	}
 
-	br := bufio.NewReader(conn)
 	var at obs.ActiveTrace // per-connection scratch; armed per request by Begin
 	for {
-		// Bounded wait for the first byte of a frame so idle connections
-		// keep refreshing their epoch entry — otherwise an idle client
-		// would stall every commit. The deadline only ever gates the peek
-		// (which consumes nothing on timeout); the frame itself is read
-		// with a generous deadline so it is never cut in half.
-		conn.SetReadDeadline(time.Now().Add(idlePoll)) //nolint:errcheck
-		if _, err := br.Peek(1); err != nil {
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				sess.Refresh()
-				sess.CompletePending(false)
-				continue
+		// Coalescing invariant: replies may lag their requests by at most
+		// CoalesceOps frames / CoalesceBytes bytes while more requests are
+		// already buffered (a pipelining client), and never lag past a quiet
+		// boundary — the buffer is always flushed before blocking for input.
+		if cs.br.Buffered() == 0 {
+			if err := s.flushConn(cs, s.opMetrics()); err != nil {
+				return
 			}
-			return // connection closed
+			if err := s.waitReadable(cs, sess, 0, nil); err != nil {
+				return
+			}
+		} else if cs.unflushed >= s.coalesceOps() || cs.bw.Buffered() >= s.coalesceBytes() {
+			if err := s.flushConn(cs, s.opMetrics()); err != nil {
+				return
+			}
 		}
 		conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
-		op, tc, payload, err := readFrameTr(br)
+		op, tc, payload, err := readFrameBuf(cs.br, &cs.frame)
 		if err != nil {
 			return // connection closed or protocol error
 		}
-		if err := s.dispatch(conn, sess, op, tc, payload, &at); err != nil {
+		if err := s.dispatch(cs, sess, op, tc, payload, &at); err != nil {
 			s.Logger.Printf("conn %v: %v", conn.RemoteAddr(), err)
 			return
 		}
@@ -297,7 +454,7 @@ func (s *Server) handle(conn net.Conn) {
 // and closes after the response write, with queue/decode/exec/durwait/resp
 // child spans recorded along the way. With no tracer configured the scratch
 // stays disarmed and every span call is a single pointer test.
-func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, tc obs.TraceContext, payload []byte, at *obs.ActiveTrace) error {
+func (s *Server) dispatch(cs *connState, sess *faster.Session, op byte, tc obs.TraceContext, payload []byte, at *obs.ActiveTrace) error {
 	store := s.getStore()
 	rt := store.RequestTracer()
 	om := s.opMetrics()
@@ -311,22 +468,28 @@ func (s *Server) dispatch(conn net.Conn, sess *faster.Session, op byte, tc obs.T
 		at.Span(obs.SpanQueue, iss, tRecv, 0, 0, "")
 		om.queueNs.ObserveValue(uint64(tRecv - iss))
 	}
-	err := s.dispatchOp(conn, store, om, sess, op, payload, at, tRecv)
+	err := s.dispatchOp(cs, store, om, sess, op, payload, at, tRecv)
 	rt.Finish(at, tRecv, time.Now().UnixNano())
 	return err
 }
 
-// respond writes one response frame, recording it as a resp-write span.
-func (s *Server) respond(conn net.Conn, at *obs.ActiveTrace, op byte, resp []byte) error {
+// respond writes one response frame into the coalescing buffer, recording it
+// as a resp-write span.
+func (s *Server) respond(cs *connState, at *obs.ActiveTrace, op byte, resp []byte) error {
 	t0 := time.Now().UnixNano()
-	err := writeFrame(conn, op, resp)
+	err := writeFrame(cs.bw, op, resp)
+	cs.unflushed++
 	at.Span(obs.SpanRespWrite, t0, time.Now().UnixNano(), uint64(len(resp)), 0, "")
 	return err
 }
 
-func (s *Server) dispatchOp(conn net.Conn, store *faster.Store, om opMetrics, sess *faster.Session, op byte, payload []byte, at *obs.ActiveTrace, tRecv int64) error {
+func (s *Server) dispatchOp(cs *connState, store *faster.Store, om opMetrics, sess *faster.Session, op byte, payload []byte, at *obs.ActiveTrace, tRecv int64) error {
+	conn := cs.conn
 	conn.SetWriteDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
 	switch op {
+	case OpBatch:
+		return s.execBatch(cs, store, om, sess, payload, at, tRecv)
+
 	case OpGet:
 		key, _, err := takeString(payload)
 		if err != nil {
@@ -334,35 +497,11 @@ func (s *Server) dispatchOp(conn net.Conn, store *faster.Store, om opMetrics, se
 		}
 		tDec := time.Now().UnixNano()
 		at.Span(obs.SpanDecode, tRecv, tDec, uint64(store.ShardOfKey(key)), 0, "")
-		var out []byte
-		var status byte
-		done := false
-		val, st := sess.Read(key, func(v []byte, s2 faster.Status) {
-			done = true
-			if s2 == faster.Ok {
-				out = append(out[:0], v...)
-				status = StatusOK
-			} else if s2 == faster.NotFound {
-				status = StatusNotFound
-			} else {
-				status = StatusError
-			}
-		})
-		switch st {
-		case faster.Ok:
-			out, status, done = append(out[:0], val...), StatusOK, true
-		case faster.NotFound:
-			status, done = StatusNotFound, true
-		case faster.Pending:
-			sess.CompletePending(true)
-		}
-		if !done {
-			status = StatusError
-		}
+		out, status := s.readOne(cs, sess, key)
 		tExec := time.Now().UnixNano()
 		at.Span(obs.SpanExec, tDec, tExec, sess.Serial(), 0, "")
 		om.execNs.ObserveValue(uint64(tExec - tDec))
-		return s.respond(conn, at, OpGet, appendValue([]byte{status}, out))
+		return s.respond(cs, at, OpGet, appendValue([]byte{status}, out))
 
 	case OpSet, OpRMW:
 		key, rest, err := takeString(payload)
@@ -392,7 +531,7 @@ func (s *Server) dispatchOp(conn net.Conn, store *faster.Store, om opMetrics, se
 		tExec := time.Now().UnixNano()
 		at.Span(obs.SpanExec, tDec, tExec, sess.Serial(), 0, "")
 		om.execNs.ObserveValue(uint64(tExec - tDec))
-		return s.respond(conn, at, op, appendU64([]byte{status}, sess.Serial()))
+		return s.respond(cs, at, op, appendU64([]byte{status}, sess.Serial()))
 
 	case OpDelete:
 		key, _, err := takeString(payload)
@@ -415,11 +554,15 @@ func (s *Server) dispatchOp(conn net.Conn, store *faster.Store, om opMetrics, se
 		tExec := time.Now().UnixNano()
 		at.Span(obs.SpanExec, tDec, tExec, sess.Serial(), 0, "")
 		om.execNs.ObserveValue(uint64(tExec - tDec))
-		return s.respond(conn, at, OpDelete, appendU64([]byte{status}, sess.Serial()))
+		return s.respond(cs, at, OpDelete, appendU64([]byte{status}, sess.Serial()))
 
 	case OpCommit:
 		if len(payload) < 1 {
 			return fmt.Errorf("commit: missing flags")
+		}
+		// Push earlier pipelined replies out before a potentially long wait.
+		if err := s.flushConn(cs, om); err != nil {
+			return err
 		}
 		withIndex := payload[0] != 0
 		token, err := store.Commit(faster.CommitOptions{WithIndex: withIndex})
@@ -427,7 +570,7 @@ func (s *Server) dispatchOp(conn net.Conn, store *faster.Store, om opMetrics, se
 			// Piggyback on the commit already in flight.
 			token = ""
 		} else if err != nil {
-			return s.respond(conn, at, OpCommit, appendU64([]byte{StatusError}, 0))
+			return s.respond(cs, at, OpCommit, appendU64([]byte{StatusError}, 0))
 		}
 		// Drive until some commit completes and this session is at rest.
 		tWait := time.Now().UnixNano()
@@ -456,19 +599,25 @@ func (s *Server) dispatchOp(conn net.Conn, store *faster.Store, om opMetrics, se
 		}
 		at.Span(obs.SpanDurWait, tWait, tDone, point, sess.CommittedSerial(), token)
 		om.durwaitNs.ObserveValue(uint64(tDone - tWait))
-		return s.respond(conn, at, OpCommit, appendU64([]byte{status}, point))
+		return s.respond(cs, at, OpCommit, appendU64([]byte{status}, point))
 
 	case OpWaitDurable:
 		// Block until the session's committed point t_i covers everything this
 		// connection has issued, riding whatever commit (auto-committer or a
 		// peer's explicit commit) gets there first. This is the durability
 		// handshake a traced client uses to expose durwait as a distinct hop.
+		if err := s.flushConn(cs, om); err != nil {
+			return err
+		}
 		target := sess.Serial()
 		tWait := time.Now().UnixNano()
 		deadline := time.Now().Add(25 * time.Second)
 		for sess.CommittedSerial() < target {
-			if time.Now().After(deadline) {
-				return s.respond(conn, at, OpWaitDurable,
+			if time.Now().After(deadline) || s.isClosed() {
+				// Timed out — or the server is shutting down and the covering
+				// commit may never arrive. Either way the client gets a
+				// complete, well-formed error frame, never a torn one.
+				return s.respond(cs, at, OpWaitDurable,
 					appendString(appendU64([]byte{StatusError}, sess.CommittedSerial()), nil))
 			}
 			sess.Refresh()
@@ -481,43 +630,163 @@ func (s *Server) dispatchOp(conn net.Conn, store *faster.Store, om opMetrics, se
 		om.durwaitNs.ObserveValue(uint64(tDone - tWait))
 		resp := appendU64([]byte{StatusOK}, sess.CommittedSerial())
 		resp = appendString(resp, []byte(token))
-		return s.respond(conn, at, OpWaitDurable, resp)
+		return s.respond(cs, at, OpWaitDurable, resp)
 
 	case OpTrace:
-		return s.writeTraceDump(conn, store, payload)
+		return s.writeTraceDump(cs.bw, store, payload)
 
 	case OpStats:
-		return s.writeStats(conn, store)
+		return s.writeStats(cs.bw, store)
 
 	case OpFlight:
-		return s.writeFlight(conn, store, payload)
+		return s.writeFlight(cs.bw, store, payload)
 	}
 	return fmt.Errorf("unknown opcode %d", op)
 }
 
+// readOne serves one GET on the connection's session, delivering cold-read
+// completions through the connection's persistent callback scratch so the
+// steady-state path allocates nothing.
+func (s *Server) readOne(cs *connState, sess *faster.Session, key []byte) ([]byte, byte) {
+	cs.pendDone = false
+	val, st := sess.Read(key, cs.readCB)
+	if st == faster.Pending {
+		sess.CompletePending(true)
+		if !cs.pendDone {
+			return nil, StatusError
+		}
+		val, st = cs.pendVal, cs.pendSt
+	}
+	switch st {
+	case faster.Ok:
+		return val, StatusOK
+	case faster.NotFound:
+		return nil, StatusNotFound
+	}
+	return nil, StatusError
+}
+
+// execBatch serves one BATCH frame: ops are decoded arena-style from the
+// frame buffer, scattered to shards through the session's hash router in
+// issue order, and their replies gathered in the same order into the reused
+// reply buffer. The session runs in batch mode (one epoch refresh up front,
+// op records recycled), so the in-memory steady state allocates nothing per
+// op. A reply run exceeding the coalescing byte cap is emitted as its own
+// self-contained frame, bounding buffered reply memory for huge batches.
+func (s *Server) execBatch(cs *connState, store *faster.Store, om opMetrics, sess *faster.Session, payload []byte, at *obs.ActiveTrace, tRecv int64) error {
+	r, err := newBatchReader(payload)
+	if err != nil {
+		return err
+	}
+	om.batches.Inc()
+	om.batchDepth.ObserveValue(uint64(r.count))
+	tBatch := time.Now().UnixNano()
+	at.Span(obs.SpanDecode, tRecv, tBatch, uint64(r.count), 0, "")
+	sess.BeginBatch()
+	defer sess.EndBatch()
+	byteCap := s.coalesceBytes()
+	reply := beginBatchReply(cs.reply)
+	count := 0 // entries in the current reply run
+	sent := 0  // reply frames already emitted (split batches)
+	for i := 0; i < r.count; i++ {
+		op, seq, key, val, err := r.next()
+		if err != nil {
+			cs.reply = reply[:0]
+			return err
+		}
+		t0 := time.Now().UnixNano()
+		switch op {
+		case OpGet:
+			v, status := s.readOne(cs, sess, key)
+			reply = appendBatchValueResult(reply, seq, status, v)
+		case OpSet, OpRMW:
+			var st faster.Status
+			if op == OpSet {
+				st = sess.Upsert(key, val)
+			} else {
+				st = sess.RMW(key, val)
+			}
+			if st == faster.Pending {
+				sess.CompletePending(true)
+				st = faster.Ok
+			}
+			status := StatusOK
+			if st != faster.Ok {
+				status = StatusError
+			}
+			reply = appendBatchSerialResult(reply, seq, status, sess.Serial())
+		case OpDelete:
+			st := sess.Delete(key)
+			if st == faster.Pending {
+				sess.CompletePending(true)
+				st = faster.Ok
+			}
+			status := StatusOK
+			if st == faster.Error {
+				status = StatusError
+			} else if st == faster.NotFound {
+				status = StatusNotFound
+			}
+			reply = appendBatchSerialResult(reply, seq, status, sess.Serial())
+		}
+		t1 := time.Now().UnixNano()
+		om.execNs.ObserveValue(uint64(t1 - t0))
+		if at.Remaining() > 1 {
+			// Per-op exec spans while the trace has room; the SpanBatch
+			// window below summarizes the whole run regardless.
+			at.Span(obs.SpanExec, t0, t1, sess.Serial(), 0, "")
+		}
+		count++
+		if len(reply) >= byteCap {
+			finishBatchReply(reply, count)
+			if _, err := cs.bw.Write(reply); err != nil {
+				cs.reply = reply[:0]
+				return err
+			}
+			cs.unflushed += count
+			sent++
+			reply = beginBatchReply(reply)
+			count = 0
+		}
+	}
+	tEnd := time.Now().UnixNano()
+	at.Span(obs.SpanBatch, tBatch, tEnd, uint64(r.count), uint64(len(reply)), "")
+	if count > 0 || sent == 0 {
+		t0 := time.Now().UnixNano()
+		finishBatchReply(reply, count)
+		_, err := cs.bw.Write(reply)
+		cs.unflushed += count
+		at.Span(obs.SpanRespWrite, t0, time.Now().UnixNano(), uint64(len(reply)), 0, "")
+		cs.reply = reply[:0]
+		return err
+	}
+	cs.reply = reply[:0]
+	return nil
+}
+
 // writeTraceDump sends the OpTrace response: the request tracer's retained
 // slow-request span trees plus global replication spans as JSON.
-func (s *Server) writeTraceDump(conn net.Conn, store *faster.Store, payload []byte) error {
+func (s *Server) writeTraceDump(w io.Writer, store *faster.Store, payload []byte) error {
 	n := 16
 	if len(payload) >= 2 {
 		n = int(binary.LittleEndian.Uint16(payload))
 	}
 	rt := store.RequestTracer()
 	if rt == nil {
-		return writeFrame(conn, OpTrace, appendValue([]byte{StatusError},
+		return writeFrame(w, OpTrace, appendValue([]byte{StatusError},
 			[]byte("request tracer disabled")))
 	}
 	buf, err := json.Marshal(rt.Dump(n))
 	if err != nil {
-		return writeFrame(conn, OpTrace, appendValue([]byte{StatusError}, nil))
+		return writeFrame(w, OpTrace, appendValue([]byte{StatusError}, nil))
 	}
-	return writeFrame(conn, OpTrace, appendValue([]byte{StatusOK}, buf))
+	return writeFrame(w, OpTrace, appendValue([]byte{StatusOK}, buf))
 }
 
 // writeFlight sends the OpFlight response: the store's flight-recorder
 // contents as an obs.FlightDump JSON document, filtered to events whose
 // commit token matches the requested token when one is given.
-func (s *Server) writeFlight(conn net.Conn, store *faster.Store, payload []byte) error {
+func (s *Server) writeFlight(w io.Writer, store *faster.Store, payload []byte) error {
 	var token string
 	if len(payload) > 0 {
 		tok, _, err := takeString(payload)
@@ -528,7 +797,7 @@ func (s *Server) writeFlight(conn net.Conn, store *faster.Store, payload []byte)
 	}
 	fr := store.Flight()
 	if fr == nil {
-		return writeFrame(conn, OpFlight, appendValue([]byte{StatusError},
+		return writeFrame(w, OpFlight, appendValue([]byte{StatusError},
 			[]byte("flight recorder disabled")))
 	}
 	events, dropped := fr.Events()
@@ -538,13 +807,13 @@ func (s *Server) writeFlight(conn net.Conn, store *faster.Store, payload []byte)
 	dump := obs.FlightDump{WallStartNanos: fr.WallStart(), Dropped: dropped, Events: events}
 	buf, err := json.Marshal(dump)
 	if err != nil {
-		return writeFrame(conn, OpFlight, appendValue([]byte{StatusError}, nil))
+		return writeFrame(w, OpFlight, appendValue([]byte{StatusError}, nil))
 	}
-	return writeFrame(conn, OpFlight, appendValue([]byte{StatusOK}, buf))
+	return writeFrame(w, OpFlight, appendValue([]byte{StatusOK}, buf))
 }
 
 // writeStats marshals and sends the OpStats response for store.
-func (s *Server) writeStats(conn net.Conn, store *faster.Store) error {
+func (s *Server) writeStats(w io.Writer, store *faster.Store) error {
 	lg := store.Log()
 	snap := StatsSnapshot{
 		V:          StatsVersion,
@@ -575,16 +844,20 @@ func (s *Server) writeStats(conn net.Conn, store *faster.Store) error {
 	snap.SessionLags = store.SessionLags()
 	buf, err := json.Marshal(snap)
 	if err != nil {
-		return writeFrame(conn, OpStats, appendValue([]byte{StatusError}, nil))
+		return writeFrame(w, OpStats, appendValue([]byte{StatusError}, nil))
 	}
-	return writeFrame(conn, OpStats, appendValue([]byte{StatusOK}, buf))
+	return writeFrame(w, OpStats, appendValue([]byte{StatusOK}, buf))
 }
 
 // handleReplica runs a connection against the replica backend: reads are
 // served from the installed committed prefix; writes get StatusRedirect with
 // the primary's address. The loop ends (closing the connection) when the
-// server is promoted, so clients reconnect into real sessions.
-func (s *Server) handleReplica(conn net.Conn, rb ReplicaBackend, clientID string, proto byte, sentProto bool) {
+// server is promoted, so clients reconnect into real sessions. Replies are
+// written straight through (no coalescing): replica read traffic is not
+// pipelined by the fallback client, and promotion must not strand buffered
+// replies.
+func (s *Server) handleReplica(cs *connState, rb ReplicaBackend, clientID string, proto byte, sentProto bool) {
+	conn := cs.conn
 	resp := appendU64([]byte{StatusOK}, rb.RecoveredPoint(clientID))
 	resp = appendString(resp, []byte(clientID))
 	if sentProto {
@@ -593,17 +866,17 @@ func (s *Server) handleReplica(conn net.Conn, rb ReplicaBackend, clientID string
 	if err := writeFrame(conn, OpHello, resp); err != nil {
 		return
 	}
+	promoted := func() bool { return s.replicaBackend() == nil }
 	for {
-		conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
-		op, payload, err := readFrame(conn)
-		if err != nil {
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() && s.replicaBackend() != nil {
-				continue // idle replica reader; keep waiting
-			}
+		if err := s.waitReadable(cs, nil, 0, promoted); err != nil {
 			return
 		}
-		if s.replicaBackend() == nil {
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+		op, _, payload, err := readFrameBuf(cs.br, &cs.frame)
+		if err != nil {
+			return
+		}
+		if promoted() {
 			return // promoted mid-stream: force the client to reconnect
 		}
 		if err := s.dispatchReplica(conn, rb, op, payload); err != nil {
@@ -629,6 +902,8 @@ func (s *Server) dispatchReplica(conn net.Conn, rb ReplicaBackend, op byte, payl
 			status, val = StatusNotFound, nil
 		}
 		return writeFrame(conn, OpGet, appendValue([]byte{status}, val))
+	case OpBatch:
+		return s.replicaBatch(conn, rb, payload)
 	case OpSet, OpRMW, OpDelete, OpCommit, OpWaitDurable:
 		// Writes (and durability waits on them) belong on the primary; tell
 		// the client where to go.
@@ -641,4 +916,47 @@ func (s *Server) dispatchReplica(conn net.Conn, rb ReplicaBackend, op byte, payl
 		return s.writeTraceDump(conn, rb.Store(), payload)
 	}
 	return fmt.Errorf("unknown opcode %d", op)
+}
+
+// replicaBatch serves a BATCH frame in replica mode: a read-only batch is
+// served from the installed prefix; a batch containing any write is
+// redirected whole — mixing served reads with redirected writes would tear
+// the client's pipeline in half.
+func (s *Server) replicaBatch(conn net.Conn, rb ReplicaBackend, payload []byte) error {
+	scan, err := newBatchReader(payload)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < scan.count; i++ {
+		op, _, _, _, err := scan.next()
+		if err != nil {
+			return err
+		}
+		if op != OpGet {
+			return writeFrame(conn, OpBatch,
+				appendString([]byte{StatusRedirect}, []byte(rb.Upstream())))
+		}
+	}
+	r, err := newBatchReader(payload)
+	if err != nil {
+		return err
+	}
+	frame := beginBatchReply(nil)
+	for i := 0; i < r.count; i++ {
+		_, seq, key, _, err := r.next()
+		if err != nil {
+			return err
+		}
+		val, found, rerr := rb.Read(key)
+		status := StatusOK
+		if rerr != nil {
+			status, val = StatusError, nil
+		} else if !found {
+			status, val = StatusNotFound, nil
+		}
+		frame = appendBatchValueResult(frame, seq, status, val)
+	}
+	finishBatchReply(frame, r.count)
+	_, err = conn.Write(frame)
+	return err
 }

@@ -69,6 +69,11 @@ const (
 	// SpanReplAnnounce (global) covers local commit completion to the
 	// commit-announce reaching a replica.
 	SpanReplAnnounce
+	// SpanBatch covers the execution window of one pipelined BATCH frame
+	// (kvserver protocol v3). Arg1 is the op count, Arg2 the reply bytes.
+	// Per-op hops inside the window appear as SpanExec children while the
+	// trace has room (see ActiveTrace.Remaining).
+	SpanBatch
 
 	numSpanKinds
 )
@@ -85,6 +90,7 @@ var spanKindNames = [numSpanKinds]string{
 	SpanRespWrite:    "resp-write",
 	SpanReplShip:     "repl-ship",
 	SpanReplAnnounce: "repl-announce",
+	SpanBatch:        "batch",
 }
 
 var spanKindByName = func() map[string]SpanKind {
@@ -237,6 +243,18 @@ func (at *ActiveTrace) Span(kind SpanKind, startUnix, endUnix int64, arg1, arg2 
 		Arg1: arg1, Arg2: arg2, Token: token,
 	}
 	at.n++
+}
+
+// Remaining reports how many more spans this trace can record before drops
+// begin (0 when disarmed). Emitters of per-item spans inside a bounded window
+// — the batch loop's per-op exec spans — use it to stop early instead of
+// flooding the drop counter: the window span (SpanBatch) still summarizes the
+// whole run.
+func (at *ActiveTrace) Remaining() int {
+	if at == nil || at.tr == nil {
+		return 0
+	}
+	return maxTraceSpans - at.n
 }
 
 // reservoir geometry.
