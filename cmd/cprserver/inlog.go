@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"path/filepath"
+	"time"
+
+	cpr "repro"
+	"repro/internal/faster"
+	"repro/internal/inlog"
+	"repro/internal/obs"
+)
+
+// inlogOptions carries the -inlog-* flags.
+type inlogOptions struct {
+	addr          string
+	fsync         string
+	segmentBytes  int64
+	batchRecords  int
+	batchInterval time.Duration
+}
+
+// startInlog wires the ingestion pipeline onto a serving store: a durable
+// segmented log (files under <dir>/inlog, or memory without -dir), the
+// apply pump draining it into a FASTER session (watermarked per CPR commit,
+// trimmed after), and the TCP ingest front door on opts.addr. The returned
+// closer tears the pipeline down in dependency order.
+func startInlog(store *faster.Store, dir string, opts inlogOptions,
+	metrics *obs.Registry, flight *obs.FlightRecorder,
+	wrapDevice func(cpr.Device) cpr.Device) (func(), error) {
+
+	policy, err := inlog.ParseFsyncPolicy(opts.fsync)
+	if err != nil {
+		return nil, err
+	}
+	var segments inlog.SegmentStore
+	if dir != "" {
+		segments, err = inlog.NewDirSegmentStore(filepath.Join(dir, "inlog"))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		segments = inlog.NewMemSegmentStore()
+	}
+	lg, err := inlog.Open(inlog.Config{
+		Segments:      segments,
+		SegmentBytes:  opts.segmentBytes,
+		Fsync:         policy,
+		BatchRecords:  opts.batchRecords,
+		BatchInterval: opts.batchInterval,
+		WrapDevice: func(d cpr.Device) (cpr.Device, error) {
+			return wrapDevice(d), nil
+		},
+		Metrics: metrics,
+		Flight:  flight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pump, err := inlog.StartPump(inlog.PumpConfig{
+		Log: lg, Store: store, Metrics: metrics, Flight: flight,
+	})
+	if err != nil {
+		lg.Close()
+		return nil, fmt.Errorf("inlog pump: %w", err)
+	}
+	srv := inlog.NewIngestServer(lg, metrics, flight)
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		pump.Close()
+		lg.Close()
+		return nil, err
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			log.Printf("ingest listener: %v", err)
+		}
+	}()
+	log.Printf("ingesting on %s (fsync=%s, resume offset %d, log [%d, %d))",
+		opts.addr, policy, pump.Applied(), lg.Start(), lg.Tail())
+
+	return func() {
+		srv.Close()
+		pump.Close()
+		if err := lg.Close(); err != nil {
+			log.Printf("inlog close: %v", err)
+		}
+	}, nil
+}

@@ -7,6 +7,15 @@
 // client reconnecting with its session ID learns its recovered CPR point.
 // Without -dir the store is memory-backed (durable only within the process).
 //
+// With -inlog-addr the server also runs a durable ingestion log (segments
+// under <dir>/inlog): clients stream operations to that address, every ack
+// means the record is fsynced, and an apply pump drains the log into the
+// store with an offset watermark persisted per CPR commit — acked traffic
+// is replayed exactly once after a crash, and committed-out segments are
+// trimmed:
+//
+//	cprserver -addr :7070 -inlog-addr :7090 -dir /var/lib/cprdb -inlog-fsync batch
+//
 // With -repl the primary also ships commits and the durable log tail to
 // replicas; a replica runs with -replica-of and serves prefix-consistent
 // reads (writes are redirected to the primary). SIGHUP promotes a replica to
@@ -55,6 +64,12 @@ func main() {
 
 		coalesceBytes = flag.Int("coalesce-bytes", kvserver.DefaultCoalesceBytes, "per-connection reply coalescing: flush past this many buffered bytes")
 		coalesceOps   = flag.Int("coalesce-ops", kvserver.DefaultCoalesceOps, "per-connection reply coalescing: flush past this many buffered replies")
+
+		inlogAddr     = flag.String("inlog-addr", "", "ingestion-log listen address; enables the durable ingest pipeline (empty = off)")
+		inlogFsync    = flag.String("inlog-fsync", "batch", "ingest fsync policy: always | batch | manual")
+		inlogSegBytes = flag.Int64("inlog-segment-bytes", 1<<20, "ingest log segment roll threshold in bytes")
+		inlogBatchN   = flag.Int("inlog-batch-records", 64, "ingest batch fsync: sync after this many appends")
+		inlogBatchIvl = flag.Duration("inlog-batch-interval", 2*time.Millisecond, "ingest batch fsync: background flush cadence (0 = default, negative = off)")
 	)
 	flag.Parse()
 
@@ -154,6 +169,20 @@ func main() {
 		log.Printf("recovered store at version %d (commit %s)", store.Version(), report.Token)
 	}
 	defer store.Close()
+
+	if *inlogAddr != "" {
+		stop, err := startInlog(store, *dir, inlogOptions{
+			addr:          *inlogAddr,
+			fsync:         *inlogFsync,
+			segmentBytes:  *inlogSegBytes,
+			batchRecords:  *inlogBatchN,
+			batchInterval: *inlogBatchIvl,
+		}, metrics, flight, wrapDevice)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
 
 	if *debugAddr != "" {
 		mux := obs.NewDebugMux(store.Metrics(), store.Tracer(), store.Flight(), store.RequestTracer())

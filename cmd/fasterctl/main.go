@@ -10,6 +10,7 @@
 //	fasterctl flight -addr localhost:7070 ckpt-000042
 //	fasterctl flight -dump /tmp/db/checkpoints/flight-panic
 //	fasterctl pipeload -addr localhost:7070 -n 100000 -depth 64
+//	fasterctl inlog -dir /tmp/db
 //
 // Every mutating invocation recovers the store from -dir (if a commit
 // exists), applies the operation, and takes a fresh CPR commit before
@@ -55,6 +56,9 @@ func main() {
 		pipeloadCmd(flag.Args()[1:])
 		return
 	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "inlog" {
+		os.Exit(inlogCmd(flag.Args()[1:]))
+	}
 	if flag.NArg() >= 1 && flag.Arg(0) == "verify" {
 		// Offline integrity walk — never opens the store, so it is safe to
 		// run against a directory another process is serving from.
@@ -74,6 +78,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       fasterctl flight [-addr <server-addr> | -dump <file>] [token]")
 		fmt.Fprintln(os.Stderr, "       fasterctl trace -addr <server-addr> [-slowest N] [-json]")
 		fmt.Fprintln(os.Stderr, "       fasterctl pipeload -addr <server-addr> [-n ops] [-depth d]")
+		fmt.Fprintln(os.Stderr, "       fasterctl inlog [-dir <db-dir>] [-segments <seg-dir>] [-checkpoints <ck-dir>]")
 		os.Exit(2)
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {

@@ -35,6 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		"durabilitylag",
 		"tailtrace",
 		"netscale",
+		"ingest",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/inlog"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// ingest measures the durable ingestion path end to end: client -> TCP
+// ingest server -> segmented log (fsync policy under test) -> ack, with the
+// apply pump draining records into a FASTER store behind the acks. The sweep
+// is fsync policy x batch size — the paper's durability story (Sec. 7.3.4)
+// hinges on acks meaning "fsynced", so the experiment quantifies what that
+// guarantee costs per policy and how batching amortizes it.
+func init() {
+	register(Experiment{
+		ID:    "ingest",
+		Title: "Durable ingestion: ack throughput/latency vs fsync policy and batch size",
+		Paper: "Sec. 7.3.4 (ingestion feed)",
+		Run: func(cfg Config, w io.Writer) error {
+			msgs := scaled(40_000, cfg.Scale)
+			fmt.Fprintf(w, "%-8s %8s %10s %10s %10s %10s %10s   (%d msgs/point, pipelined)\n",
+				"fsync", "batch", "kmsgs/s", "ack-p50", "ack-p99", "fsyncs", "msgs/sync", msgs)
+			points := []struct {
+				policy inlog.FsyncPolicy
+				batch  int
+			}{
+				{inlog.FsyncAlways, 1},
+				{inlog.FsyncBatch, 8},
+				{inlog.FsyncBatch, 64},
+				{inlog.FsyncBatch, 256},
+			}
+			for _, pt := range points {
+				if err := runIngestPoint(cfg, w, pt.policy, pt.batch, msgs); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+}
+
+// runIngestPoint runs one (policy, batch) cell: msgs pipelined messages with
+// a bounded in-flight window, acked by the durable frontier, applied by the
+// pump, and finished with one CPR commit so the watermark/trim path runs.
+func runIngestPoint(cfg Config, w io.Writer, policy inlog.FsyncPolicy, batch, msgs int) error {
+	reg := obs.NewRegistry()
+	dir, err := os.MkdirTemp("", "cprbench-ingest-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	segs, err := inlog.NewDirSegmentStore(dir)
+	if err != nil {
+		return err
+	}
+	lg, err := inlog.Open(inlog.Config{
+		Segments: segs, SegmentBytes: 8 << 20,
+		Fsync: policy, BatchRecords: batch, BatchInterval: 2 * time.Millisecond,
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	store, err := faster.Open(faster.Config{
+		IndexBuckets: 1 << 14, PageBits: 16, MemPages: 64,
+		Device:      storage.NewMemDevice(),
+		Checkpoints: storage.NewMemCheckpointStore(),
+		RMW:         faster.AddUint64{},
+	})
+	if err != nil {
+		lg.Close()
+		return err
+	}
+	pump, err := inlog.StartPump(inlog.PumpConfig{Log: lg, Store: store, Metrics: reg})
+	if err != nil {
+		store.Close()
+		lg.Close()
+		return err
+	}
+	srv := inlog.NewIngestServer(lg, reg, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln) //nolint:errcheck
+
+	client, err := inlog.DialIngest(ln.Addr().String())
+	if err != nil {
+		return err
+	}
+
+	// Pipelined send with a bounded window: sendAt[off % window] timestamps
+	// each in-flight message; acks arrive in offset order.
+	const window = 512
+	sendAt := make([]time.Time, window)
+	ackNs := make([]int64, 0, msgs)
+	var kb [8]byte
+	start := time.Now()
+	acked := 0
+	for sent := 0; sent < msgs || acked < msgs; {
+		for sent < msgs && sent-acked < window {
+			binary.LittleEndian.PutUint64(kb[:], uint64(sent)%1024)
+			sendAt[sent%window] = time.Now()
+			if err := client.Send(inlog.Message{Op: inlog.OpRMW, Key: kb[:], Value: one8}); err != nil {
+				return err
+			}
+			sent++
+		}
+		off, err := client.Ack()
+		if err != nil {
+			return err
+		}
+		ackNs = append(ackNs, time.Since(sendAt[off%window]).Nanoseconds())
+		acked++
+	}
+	elapsed := time.Since(start)
+
+	// Drain the pump and take one commit so the run exercises the watermark
+	// attachment and the CPR trim.
+	if err := pump.WaitApplied(uint64(msgs) - 1); err != nil {
+		return err
+	}
+	token, err := store.Commit(faster.CommitOptions{WithIndex: true})
+	if err != nil {
+		return err
+	}
+	if res := store.WaitForCommit(token); res.Err != nil {
+		return res.Err
+	}
+
+	client.Close()
+	srv.Close()
+	pump.Close()
+	store.Close()
+	if err := lg.Close(); err != nil {
+		return err
+	}
+
+	snap := reg.Snapshot()
+	fsyncs := snap.Counters["inlog_fsyncs"]
+	perSync := float64(msgs)
+	if fsyncs > 0 {
+		perSync = float64(msgs) / float64(fsyncs)
+	}
+	kps := float64(msgs) / elapsed.Seconds() / 1e3
+	p50 := pctile(ackNs, 0.50)
+	p99 := pctile(ackNs, 0.99)
+	row := Row{
+		"fsync":         policy.String(),
+		"batch_records": batch,
+		"msgs":          msgs,
+		"kmsgs_per_sec": kps,
+		"ack_p50_ns":    p50,
+		"ack_p99_ns":    p99,
+		"elapsed_sec":   elapsed.Seconds(),
+	}
+	// Embed the inlog_* metric deltas (fresh registry per point, so the
+	// totals are the deltas): appends, fsync count/latency, applied, trims.
+	counters := make(map[string]uint64)
+	for k, v := range snap.Counters {
+		if v != 0 && len(k) >= 6 && k[:6] == "inlog_" {
+			counters[k] = v
+		}
+	}
+	row["counter_deltas"] = counters
+	if h, ok := snap.Histograms["inlog_fsync_ns"]; ok && h.Count > 0 {
+		row["histogram_deltas"] = map[string]Row{"inlog_fsync_ns": histRow(h)}
+	}
+	cfg.Record(row)
+	fmt.Fprintf(w, "%-8s %8d %10.1f %10s %10s %10d %10.1f\n",
+		policy, batch, kps,
+		time.Duration(p50).Round(time.Microsecond),
+		time.Duration(p99).Round(time.Microsecond),
+		fsyncs, perSync)
+	return nil
+}
+
+// one8 is an 8-byte LE 1, the RMW increment the ingest workload applies.
+var one8 = []byte{1, 0, 0, 0, 0, 0, 0, 0}

@@ -198,6 +198,9 @@ func (s *Store) finishMultiCommit(mc *multiCommit) {
 			// The manifest and latest-pointer are durable: the commit is now
 			// recoverable on every shard.
 			s.cfg.Flight.Emit(obs.FlightManifestWrite, -1, uint64(mc.version), mc.token, "", 0, 0)
+			err = s.writeCommitAttachments(CommitResult{
+				Token: mc.token, Version: mc.version, Kind: kind, Serials: serials,
+			})
 		}
 		firstErr = err
 	}
@@ -534,6 +537,15 @@ func (ck *checkpointCtx) waitFlush() {
 		}
 		if err == nil && ck.opts.WithIndex {
 			sh.lastIndexToken, sh.lastLis, sh.lastLie = indexToken, ck.lis, ck.lie
+		}
+		// Commit attachments (Store.OnCommitArtifact) ride the same
+		// durability boundary: written after the checkpoint's own artifacts,
+		// and a failure fails the commit. Coordinated commits attach at the
+		// store level, after the cross-shard manifest.
+		if err == nil && !ck.coordinated && sh.commitAttach != nil {
+			err = sh.commitAttach(CommitResult{
+				Token: ck.token, Version: ck.version, Kind: ck.kind, Serials: serials,
+			})
 		}
 	}
 	if err == nil {

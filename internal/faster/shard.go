@@ -51,6 +51,12 @@ type shard struct {
 	// commits fire at the store level instead).
 	onCommit func(CommitResult)
 
+	// commitAttach, when set, persists the store's commit-artifact
+	// attachments (Store.OnCommitArtifact) once this shard's uncoordinated
+	// checkpoint is durable; an error fails the commit. Coordinated commits
+	// attach at the store level after the manifest instead.
+	commitAttach func(CommitResult) error
+
 	// recoveredScanStart is the address from which this shard's own recovery
 	// (or promotion) rewrote log state on the device — see Store.ResyncFrom.
 	// Zero when the shard was opened fresh. Written single-threaded at

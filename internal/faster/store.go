@@ -281,9 +281,11 @@ type Store struct {
 	commitSeq atomic.Uint64 // token counter, shared with the shards
 
 	// hookMu guards commitHooks (see OnCommit; fired after every completed
-	// commit, used by the replication shipper).
-	hookMu      sync.Mutex
-	commitHooks []func(CommitResult)
+	// commit, used by the replication shipper) and artifactHooks (see
+	// OnCommitArtifact; produce extra artifacts persisted with each commit).
+	hookMu        sync.Mutex
+	commitHooks   []func(CommitResult)
+	artifactHooks []func(CommitResult) (string, []byte, error)
 
 	metrics storeMetrics
 	tracer  *obs.Tracer
@@ -606,6 +608,47 @@ func (s *Store) registerLagGauges() {
 		_, ns := s.maxSessionLag()
 		return ns
 	})
+}
+
+// OnCommitArtifact registers fn as a commit attachment: at every commit,
+// after the checkpoint (and, on a partitioned store, the cross-shard
+// manifest) is durable but before the commit is announced as complete, fn is
+// invoked with the commit's result and returns an artifact name and payload
+// to persist alongside the commit's own artifacts — inside the checksum
+// envelope, with the usual retries. An empty name skips the write. An error
+// from fn or from the write fails the commit, so a completed commit always
+// carries its attachments (the ingestion log's inlog-<token> watermark
+// depends on this ordering). fn runs on the checkpoint goroutine and must
+// not block on session progress.
+func (s *Store) OnCommitArtifact(fn func(CommitResult) (name string, payload []byte, err error)) {
+	s.hookMu.Lock()
+	s.artifactHooks = append(s.artifactHooks, fn)
+	s.hookMu.Unlock()
+	if len(s.shards) == 1 {
+		s.shards[0].commitAttach = s.writeCommitAttachments
+	}
+}
+
+// writeCommitAttachments runs the registered attachment hooks for a commit
+// that has just become durable, persisting each returned artifact in the
+// store's top-level checkpoint namespace.
+func (s *Store) writeCommitAttachments(res CommitResult) error {
+	s.hookMu.Lock()
+	hooks := s.artifactHooks
+	s.hookMu.Unlock()
+	for _, fn := range hooks {
+		name, payload, err := fn(res)
+		if err != nil {
+			return fmt.Errorf("faster: commit %s attachment: %w", res.Token, err)
+		}
+		if name == "" {
+			continue
+		}
+		if err := writeArtifactFlight(s.cfg.Checkpoints, name, payload, s.cfg.Flight, -1, res.Version); err != nil {
+			return fmt.Errorf("faster: commit %s attachment %q: %w", res.Token, name, err)
+		}
+	}
+	return nil
 }
 
 // SessionCount reports the number of live sessions.

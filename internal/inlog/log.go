@@ -1,0 +1,545 @@
+package inlog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// FsyncPolicy selects when appended records become durable (and therefore
+// ackable — an offset is acked only once WaitDurable covers it).
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: lowest ack latency per record,
+	// one fsync per record.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncBatch syncs after BatchRecords appends, plus a background flusher
+	// every BatchInterval so a trickle of appends is never stranded.
+	FsyncBatch
+	// FsyncManual syncs only on explicit Sync calls (tests and the crash
+	// harness, which place fsync boundaries by hand).
+	FsyncManual
+)
+
+// String implements fmt.Stringer (bench rows key on it).
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncBatch:
+		return "batch"
+	case FsyncManual:
+		return "manual"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParseFsyncPolicy parses the flag spelling used by cprserver and cprbench.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "batch":
+		return FsyncBatch, nil
+	case "manual":
+		return FsyncManual, nil
+	}
+	return 0, fmt.Errorf("inlog: unknown fsync policy %q (want always|batch|manual)", s)
+}
+
+// Config configures a Log.
+type Config struct {
+	// Segments is the backing segment store (required).
+	Segments SegmentStore
+	// SegmentBytes is the roll threshold: once the active segment reaches
+	// this many bytes, the next append opens a new segment. Default 1 MiB.
+	SegmentBytes int64
+	// Fsync selects the durability policy. Default FsyncAlways.
+	Fsync FsyncPolicy
+	// BatchRecords is the append count that triggers a sync under
+	// FsyncBatch. Default 64.
+	BatchRecords int
+	// BatchInterval bounds how long a record can sit unsynced under
+	// FsyncBatch. Default 2ms; 0 keeps the default, negative disables the
+	// background flusher.
+	BatchInterval time.Duration
+	// WrapDevice, when set, wraps every segment device as it is opened —
+	// the layering hook for fault injection (storage.NewFaultDevice) and the
+	// page-cache crash model (storage.NewSyncBufferDevice).
+	WrapDevice func(storage.Device) (storage.Device, error)
+	// Metrics receives inlog_* metrics (default: a nop registry).
+	Metrics *obs.Registry
+	// Flight receives inlog-append/fsync/trim events (nil-safe).
+	Flight *obs.FlightRecorder
+}
+
+func (c *Config) fill() error {
+	if c.Segments == nil {
+		return errors.New("inlog: Config.Segments is required")
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 1 << 20
+	}
+	if c.BatchRecords <= 0 {
+		c.BatchRecords = 64
+	}
+	if c.BatchInterval == 0 {
+		c.BatchInterval = 2 * time.Millisecond
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewNop()
+	}
+	return nil
+}
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("inlog: log closed")
+
+// segment is one open segment: its device plus an in-memory byte index of
+// its records (rebuilt by scanning on open).
+type segment struct {
+	base  uint64 // logical offset of the first record
+	dev   storage.Device
+	size  int64   // valid byte extent (stale bytes beyond are ignored)
+	index []int64 // byte position of record base+i
+	dirty bool    // has writes not yet covered by a successful sync
+}
+
+func (s *segment) end() uint64 { return s.base + uint64(len(s.index)) }
+
+// Log is the durable segmented ingestion log. Logical offsets are dense
+// record numbers (0, 1, 2, ...): offset arithmetic is what lets a CPR
+// commit's session serial be converted to a log watermark by pure linear
+// math (see Pump). All methods are safe for concurrent use.
+type Log struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast when tail or durable advances, and on close
+	segs []*segment // ascending base; the last is the active segment
+	next uint64     // next logical offset to assign
+	// durable: every record with offset < durable is fsynced. Only a
+	// successful sync advances it, and segment syncs run in ascending
+	// order, so the durable prefix is always a physical prefix of the log.
+	durable   uint64
+	sinceSync int
+	closed    bool
+
+	stopFlush chan struct{}
+	flushWG   sync.WaitGroup
+
+	scratch []byte // frame build buffer, reused under mu
+
+	appends      *obs.Counter
+	appendBytes  *obs.Counter
+	fsyncs       *obs.Counter
+	fsyncNs      *obs.Histogram
+	trims        *obs.Counter
+	trimmedBytes *obs.Counter
+	flight       *obs.FlightRecorder
+}
+
+// Open opens (or creates) the log over cfg.Segments. Existing segments are
+// scanned in order: each record must parse with the expected logical offset
+// and a valid CRC. The first failure — the torn tail of a crashed append —
+// logically truncates the log there: the remainder of that segment is
+// ignored (later appends overwrite it) and any later segments are removed.
+// Under ordered prefix fsyncs nothing past the first invalid frame can have
+// been acked, so truncation never loses an acked record.
+func Open(cfg Config) (*Log, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	l := &Log{
+		cfg:          cfg,
+		appends:      cfg.Metrics.Counter("inlog_appends"),
+		appendBytes:  cfg.Metrics.Counter("inlog_append_bytes"),
+		fsyncs:       cfg.Metrics.Counter("inlog_fsyncs"),
+		fsyncNs:      cfg.Metrics.Histogram("inlog_fsync_ns"),
+		trims:        cfg.Metrics.Counter("inlog_trims"),
+		trimmedBytes: cfg.Metrics.Counter("inlog_trimmed_bytes"),
+		flight:       cfg.Flight,
+	}
+	l.cond = sync.NewCond(&l.mu)
+
+	bases, err := cfg.Segments.List()
+	if err != nil {
+		return nil, fmt.Errorf("inlog: list segments: %w", err)
+	}
+	torn := false
+	for _, base := range bases {
+		if torn || (len(l.segs) > 0 && l.segs[len(l.segs)-1].end() != base) {
+			// Everything after a torn tail (or a continuity break) was never
+			// acked; drop it.
+			if err := cfg.Segments.Remove(base); err != nil {
+				l.closeSegs()
+				return nil, fmt.Errorf("inlog: drop stale segment %d: %w", base, err)
+			}
+			continue
+		}
+		seg, segTorn, err := l.openSegment(base)
+		if err != nil {
+			l.closeSegs()
+			return nil, err
+		}
+		l.segs = append(l.segs, seg)
+		torn = segTorn
+	}
+	if len(l.segs) == 0 {
+		seg, _, err := l.openSegment(0)
+		if err != nil {
+			return nil, err
+		}
+		l.segs = append(l.segs, seg)
+	}
+	l.next = l.segs[len(l.segs)-1].end()
+	// Everything that survived the scan is on the medium by definition.
+	l.durable = l.next
+
+	cfg.Metrics.GaugeFunc("inlog_tail", func() int64 { return int64(l.Tail()) })
+	cfg.Metrics.GaugeFunc("inlog_durable", func() int64 { return int64(l.Durable()) })
+	cfg.Metrics.GaugeFunc("inlog_start", func() int64 { return int64(l.Start()) })
+	cfg.Metrics.GaugeFunc("inlog_segments", func() int64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return int64(len(l.segs))
+	})
+
+	if cfg.Fsync == FsyncBatch && cfg.BatchInterval > 0 {
+		l.stopFlush = make(chan struct{})
+		l.flushWG.Add(1)
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// openSegment opens and scans one segment, returning whether its tail was
+// torn (bytes past the last valid record).
+func (l *Log) openSegment(base uint64) (*segment, bool, error) {
+	dev, err := l.cfg.Segments.Open(base)
+	if err != nil {
+		return nil, false, fmt.Errorf("inlog: open segment %d: %w", base, err)
+	}
+	if l.cfg.WrapDevice != nil {
+		if dev, err = l.cfg.WrapDevice(dev); err != nil {
+			return nil, false, fmt.Errorf("inlog: wrap segment %d: %w", base, err)
+		}
+	}
+	seg := &segment{base: base, dev: dev}
+	sz := dev.Size()
+	if sz == 0 {
+		return seg, false, nil
+	}
+	buf := make([]byte, sz)
+	if _, err := dev.ReadAt(buf, 0); err != nil {
+		dev.Close()
+		return nil, false, fmt.Errorf("inlog: scan segment %d: %w", base, err)
+	}
+	pos := 0
+	for pos < len(buf) {
+		_, n, err := parseRecord(buf[pos:], base+uint64(len(seg.index)))
+		if err != nil {
+			seg.size = int64(pos)
+			return seg, true, nil // torn tail: valid extent ends at pos
+		}
+		seg.index = append(seg.index, int64(pos))
+		pos += n
+	}
+	seg.size = int64(pos)
+	return seg, false, nil
+}
+
+func (l *Log) closeSegs() {
+	for _, seg := range l.segs {
+		seg.dev.Close()
+	}
+}
+
+// flushLoop is the FsyncBatch background flusher: it bounds how long an
+// appended record can wait for the batch to fill.
+func (l *Log) flushLoop() {
+	defer l.flushWG.Done()
+	t := time.NewTicker(l.cfg.BatchInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopFlush:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.sinceSync > 0 {
+				l.syncLocked() // best effort; appenders see the error on retry
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Append appends one record and returns its logical offset. Durability is
+// governed by the fsync policy; the offset must not be acked to a client
+// until WaitDurable(offset) returns (or Durable() covers it).
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	offset := l.next
+	seg := l.segs[len(l.segs)-1]
+	if seg.size >= l.cfg.SegmentBytes && len(seg.index) > 0 {
+		rolled, _, err := l.openSegment(offset)
+		if err != nil {
+			return 0, err
+		}
+		l.segs = append(l.segs, rolled)
+		seg = rolled
+	}
+	l.scratch = appendRecord(l.scratch[:0], offset, payload)
+	if _, err := seg.dev.WriteAt(l.scratch, seg.size); err != nil {
+		// size/index unchanged: a partial write is overwritten by the retry.
+		return 0, fmt.Errorf("inlog: append at offset %d: %w", offset, err)
+	}
+	seg.index = append(seg.index, seg.size)
+	seg.size += int64(len(l.scratch))
+	seg.dirty = true
+	l.next = offset + 1
+	l.sinceSync++
+	l.appends.Inc()
+	l.appendBytes.Add(uint64(len(payload)))
+	l.flight.Emit(obs.FlightInlogAppend, -1, 0, "", "", offset, uint64(len(payload)))
+	l.cond.Broadcast()
+
+	switch l.cfg.Fsync {
+	case FsyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case FsyncBatch:
+		if l.sinceSync >= l.cfg.BatchRecords {
+			if err := l.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return offset, nil
+}
+
+// Sync makes every appended record durable (fsync). It is the whole of the
+// FsyncManual policy and a barrier under the others.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+// syncLocked flushes dirty segments in ascending base order, then advances
+// the durable offset to the current tail. Ascending order is what keeps the
+// durable prefix physical: if a sync fails (or a crash tears it), only a
+// suffix of the unsynced records is lost, never a hole.
+func (l *Log) syncLocked() error {
+	target := l.next
+	start := time.Now()
+	synced := false
+	for _, seg := range l.segs {
+		if !seg.dirty {
+			continue
+		}
+		if err := seg.dev.Sync(); err != nil {
+			return fmt.Errorf("inlog: fsync segment %d: %w", seg.base, err)
+		}
+		seg.dirty = false
+		synced = true
+	}
+	l.sinceSync = 0
+	if l.durable != target {
+		l.durable = target
+		l.cond.Broadcast()
+	}
+	if synced {
+		d := time.Since(start)
+		l.fsyncs.Inc()
+		l.fsyncNs.Observe(d)
+		l.flight.Emit(obs.FlightInlogFsync, -1, 0, "", "", target, uint64(d.Nanoseconds()))
+	}
+	return nil
+}
+
+// Tail returns the next offset to be assigned (one past the last appended
+// record).
+func (l *Log) Tail() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Durable returns the durability frontier: every record with offset <
+// Durable() is fsynced and safe to ack.
+func (l *Log) Durable() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// Start returns the logical offset of the oldest retained record (records
+// below it have been trimmed).
+func (l *Log) Start() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segs[0].base
+}
+
+// WaitDurable blocks until the record at offset is durable (Durable() >
+// offset) — the ack gate. Returns ErrClosed if the log closes first.
+func (l *Log) WaitDurable(offset uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durable <= offset && !l.closed {
+		l.cond.Wait()
+	}
+	if l.durable > offset {
+		return nil
+	}
+	return ErrClosed
+}
+
+// WaitOffset blocks until the record at offset exists (Tail() > offset) —
+// the tailing-read gate. Returns ErrClosed if the log closes first.
+func (l *Log) WaitOffset(offset uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.next <= offset && !l.closed {
+		l.cond.Wait()
+	}
+	if l.next > offset {
+		return nil
+	}
+	return ErrClosed
+}
+
+// Read returns the payload of the record at the given logical offset. The
+// record must exist (offset < Tail()) and not be trimmed (offset >= Start()).
+func (l *Log) Read(offset uint64) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	seg := l.findSegment(offset)
+	if seg == nil {
+		return nil, fmt.Errorf("inlog: offset %d out of range [%d, %d)", offset, l.segs[0].base, l.next)
+	}
+	i := int(offset - seg.base)
+	start := seg.index[i]
+	end := seg.size
+	if i+1 < len(seg.index) {
+		end = seg.index[i+1]
+	}
+	buf := make([]byte, end-start)
+	if _, err := seg.dev.ReadAt(buf, start); err != nil {
+		return nil, fmt.Errorf("inlog: read offset %d: %w", offset, err)
+	}
+	payload, _, err := parseRecord(buf, offset)
+	if err != nil {
+		return nil, fmt.Errorf("inlog: offset %d failed verification: %w", offset, storage.ErrCorruptArtifact)
+	}
+	return payload, nil
+}
+
+// WaitRead blocks until the record at offset exists, then returns it.
+func (l *Log) WaitRead(offset uint64) ([]byte, error) {
+	if err := l.WaitOffset(offset); err != nil {
+		return nil, err
+	}
+	return l.Read(offset)
+}
+
+func (l *Log) findSegment(offset uint64) *segment {
+	for i := len(l.segs) - 1; i >= 0; i-- {
+		seg := l.segs[i]
+		if offset >= seg.base && offset < seg.end() {
+			return seg
+		}
+	}
+	return nil
+}
+
+// Trim removes segments whose every record lies below the given offset —
+// the committed prefix made durable by a CPR commit's watermark. The active
+// segment is never removed, so the log always retains its offset anchor.
+// Returns the number of bytes physically deleted.
+func (l *Log) Trim(before uint64) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	var removed int64
+	for len(l.segs) > 1 && l.segs[0].end() <= before {
+		seg := l.segs[0]
+		seg.dev.Close()
+		if err := l.cfg.Segments.Remove(seg.base); err != nil {
+			return removed, fmt.Errorf("inlog: trim segment %d: %w", seg.base, err)
+		}
+		removed += seg.size
+		l.segs = l.segs[1:]
+	}
+	if removed > 0 {
+		l.trims.Inc()
+		l.trimmedBytes.Add(uint64(removed))
+		l.flight.Emit(obs.FlightInlogTrim, -1, 0, "", "", before, uint64(removed))
+	}
+	return removed, nil
+}
+
+// SegmentInfo describes one live segment (fasterctl inlog).
+type SegmentInfo struct {
+	Base    uint64 `json:"base"`    // logical offset of the first record
+	End     uint64 `json:"end"`     // one past the last record
+	Bytes   int64  `json:"bytes"`   // valid byte extent
+	Records int    `json:"records"` // record count
+	Dirty   bool   `json:"dirty"`   // has unsynced writes
+}
+
+// Segments returns a snapshot of the live segments in ascending base order.
+func (l *Log) Segments() []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SegmentInfo, len(l.segs))
+	for i, seg := range l.segs {
+		out[i] = SegmentInfo{Base: seg.base, End: seg.end(), Bytes: seg.size,
+			Records: len(seg.index), Dirty: seg.dirty}
+	}
+	return out
+}
+
+// Close syncs outstanding appends (clean shutdown — the crash paths never
+// call Close; they clone the segment store instead) and closes every
+// segment device. Blocked WaitDurable/WaitOffset callers return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	l.closed = true
+	l.cond.Broadcast()
+	stop := l.stopFlush
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		l.flushWG.Wait()
+	}
+	l.mu.Lock()
+	l.closeSegs()
+	l.mu.Unlock()
+	return err
+}

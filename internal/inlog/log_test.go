@@ -1,0 +1,394 @@
+package inlog
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+func mustOpen(t *testing.T, cfg Config) *Log {
+	t.Helper()
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestAppendReadRoundtrip(t *testing.T) {
+	l := mustOpen(t, Config{Segments: NewMemSegmentStore()})
+	defer l.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		off, err := l.Append([]byte(fmt.Sprintf("payload-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != uint64(i) {
+			t.Fatalf("append %d assigned offset %d", i, off)
+		}
+	}
+	if l.Tail() != n {
+		t.Fatalf("tail = %d, want %d", l.Tail(), n)
+	}
+	// FsyncAlways: everything is durable the moment Append returns.
+	if l.Durable() != n {
+		t.Fatalf("durable = %d, want %d under FsyncAlways", l.Durable(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, err := l.Read(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("payload-%03d", i); string(got) != want {
+			t.Fatalf("offset %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestSegmentRollAndTrim(t *testing.T) {
+	segs := NewMemSegmentStore()
+	l := mustOpen(t, Config{Segments: segs, SegmentBytes: 256})
+	defer l.Close()
+	payload := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := l.Segments()
+	if len(infos) < 3 {
+		t.Fatalf("expected >= 3 segments after 12 x 120-byte records at 256-byte roll, got %d", len(infos))
+	}
+	for i := 1; i < len(infos); i++ {
+		if infos[i].Base != infos[i-1].End {
+			t.Fatalf("segment %d base %d does not continue previous end %d",
+				i, infos[i].Base, infos[i-1].End)
+		}
+	}
+	// Trim below the base of the last segment: all earlier segments must be
+	// physically deleted from the store.
+	cut := infos[len(infos)-1].Base
+	removed, err := l.Trim(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("trim removed nothing")
+	}
+	if l.Start() != cut {
+		t.Fatalf("start = %d after trim, want %d", l.Start(), cut)
+	}
+	bases, _ := segs.List()
+	for _, b := range bases {
+		if b < cut {
+			t.Fatalf("segment %d still on disk below trim point %d", b, cut)
+		}
+	}
+	// Reads below the trim point fail; at and above succeed.
+	if _, err := l.Read(cut - 1); err == nil {
+		t.Fatal("read below trim point succeeded")
+	}
+	if _, err := l.Read(cut); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenPreservesRecords(t *testing.T) {
+	segs := NewMemSegmentStore()
+	l := mustOpen(t, Config{Segments: segs, SegmentBytes: 128})
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("r%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := mustOpen(t, Config{Segments: segs, SegmentBytes: 128})
+	defer re.Close()
+	if re.Tail() != 20 || re.Durable() != 20 {
+		t.Fatalf("reopened tail/durable = %d/%d, want 20/20", re.Tail(), re.Durable())
+	}
+	for i := 0; i < 20; i++ {
+		got, err := re.Read(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("r%02d", i); string(got) != want {
+			t.Fatalf("offset %d = %q, want %q", i, got, want)
+		}
+	}
+	// Appends continue at the right offset.
+	off, err := re.Append([]byte("r20"))
+	if err != nil || off != 20 {
+		t.Fatalf("append after reopen = (%d, %v), want (20, nil)", off, err)
+	}
+}
+
+// TestTornTailTruncatedOnReopen is the torn-record seam test: a crashed
+// append leaves a partial frame at the end of the last segment; reopening
+// must treat it as clean truncation — not an error — and the next append
+// must overwrite it.
+func TestTornTailTruncatedOnReopen(t *testing.T) {
+	segs := NewMemSegmentStore()
+	l := mustOpen(t, Config{Segments: segs})
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("ok-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	validBytes := l.Segments()[0].Bytes
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash residue: a half-written frame for offset 5.
+	frame := appendRecord(nil, 5, []byte("torn-payload"))
+	dev, err := segs.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.WriteAt(frame[:len(frame)/2], validBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, Config{Segments: segs})
+	defer re.Close()
+	if re.Tail() != 5 {
+		t.Fatalf("reopened tail = %d, want 5 (torn record dropped)", re.Tail())
+	}
+	// The replacement record lands where the torn one was and survives the
+	// next reopen even though stale torn bytes may extend past it.
+	off, err := re.Append([]byte("replacement"))
+	if err != nil || off != 5 {
+		t.Fatalf("append = (%d, %v), want (5, nil)", off, err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2 := mustOpen(t, Config{Segments: segs})
+	defer re2.Close()
+	if re2.Tail() != 6 {
+		t.Fatalf("second reopen tail = %d, want 6", re2.Tail())
+	}
+	got, err := re2.Read(5)
+	if err != nil || string(got) != "replacement" {
+		t.Fatalf("offset 5 = (%q, %v), want replacement", got, err)
+	}
+}
+
+// TestTornMidLogDropsLaterSegments: damage in a non-final segment means
+// everything after it was never acked (syncs are ordered); reopen keeps the
+// valid prefix and deletes the later segments.
+func TestTornMidLogDropsLaterSegments(t *testing.T) {
+	segs := NewMemSegmentStore()
+	l := mustOpen(t, Config{Segments: segs, SegmentBytes: 64})
+	payload := bytes.Repeat([]byte("y"), 40)
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := l.Segments()
+	if len(infos) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(infos))
+	}
+	l.Close()
+
+	// Corrupt the tail record of the second segment.
+	second := infos[1]
+	dev, err := segs.Open(second.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.WriteAt([]byte{0xFF}, second.Bytes-1); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, Config{Segments: segs, SegmentBytes: 64})
+	defer re.Close()
+	if want := second.End - 1; re.Tail() != want {
+		t.Fatalf("tail = %d, want %d (corrupted record and later segments dropped)", re.Tail(), want)
+	}
+	bases, _ := segs.List()
+	for _, b := range bases {
+		if b > second.Base {
+			t.Fatalf("segment %d past the damage still on disk", b)
+		}
+	}
+}
+
+func TestBatchPolicyDurability(t *testing.T) {
+	l := mustOpen(t, Config{
+		Segments: NewMemSegmentStore(), Fsync: FsyncBatch,
+		BatchRecords: 4, BatchInterval: -1, // no background flusher
+	})
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := l.Durable(); d != 0 {
+		t.Fatalf("durable = %d before the batch fills, want 0", d)
+	}
+	if _, err := l.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if d := l.Durable(); d != 4 {
+		t.Fatalf("durable = %d after 4th append, want 4", d)
+	}
+}
+
+func TestBatchIntervalFlusher(t *testing.T) {
+	l := mustOpen(t, Config{
+		Segments: NewMemSegmentStore(), Fsync: FsyncBatch,
+		BatchRecords: 1000, BatchInterval: time.Millisecond,
+	})
+	defer l.Close()
+	if _, err := l.Append([]byte("straggler")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManualSyncAndWaitDurable(t *testing.T) {
+	l := mustOpen(t, Config{Segments: NewMemSegmentStore(), Fsync: FsyncManual})
+	defer l.Close()
+	off, err := l.Append([]byte("manual"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.WaitDurable(off) }()
+	select {
+	case <-done:
+		t.Fatal("WaitDurable returned before Sync")
+	case <-time.After(5 * time.Millisecond):
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashDropsUnsyncedAppends wires the page-cache model under the log:
+// records appended but not fsynced must vanish from a crash image, while
+// synced ones survive — the physical basis of the ack contract.
+func TestCrashDropsUnsyncedAppends(t *testing.T) {
+	segs := NewMemSegmentStore()
+	l := mustOpen(t, Config{
+		Segments: segs, Fsync: FsyncManual,
+		WrapDevice: func(d storage.Device) (storage.Device, error) {
+			return storage.NewSyncBufferDevice(d)
+		},
+	})
+	for i := 0; i < 8; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("s%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 8; i < 12; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("u%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := l.Durable(); d != 8 {
+		t.Fatalf("durable = %d, want 8", d)
+	}
+
+	crash := segs.Clone() // crash image: only fsynced bytes
+	re := mustOpen(t, Config{Segments: crash})
+	defer re.Close()
+	if re.Tail() != 8 {
+		t.Fatalf("crash image tail = %d, want 8 (unsynced appends dropped)", re.Tail())
+	}
+	for i := 0; i < 8; i++ {
+		got, err := re.Read(uint64(i))
+		if err != nil || string(got) != fmt.Sprintf("s%d", i) {
+			t.Fatalf("offset %d = (%q, %v)", i, got, err)
+		}
+	}
+	l.Close()
+}
+
+func TestWaitOffsetTailingRead(t *testing.T) {
+	l := mustOpen(t, Config{Segments: NewMemSegmentStore()})
+	defer l.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		p, err := l.WaitRead(0)
+		if err != nil {
+			p = []byte("err:" + err.Error())
+		}
+		got <- p
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if _, err := l.Append([]byte("tailed")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if string(p) != "tailed" {
+			t.Fatalf("WaitRead = %q", p)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("WaitRead never woke")
+	}
+}
+
+func TestInspectFlagsMidLogCorruption(t *testing.T) {
+	segs := NewMemSegmentStore()
+	l := mustOpen(t, Config{Segments: segs, SegmentBytes: 64})
+	payload := bytes.Repeat([]byte("z"), 40)
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	rep, err := Inspect(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrupt {
+		t.Fatalf("clean log reported corrupt: %v", rep.Errors)
+	}
+	if rep.End != 4 {
+		t.Fatalf("inspect end = %d, want 4", rep.End)
+	}
+
+	// Flip a byte inside the FIRST segment (not the final one): that can
+	// never be a torn tail, so it must be flagged as corruption.
+	dev, err := segs.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := dev.ReadAt(b[:], 30); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := dev.WriteAt(b[:], 30); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Inspect(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Corrupt {
+		t.Fatal("mid-log bit flip not flagged as corruption")
+	}
+}

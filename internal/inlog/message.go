@@ -1,0 +1,66 @@
+package inlog
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op identifies the store operation an ingested record carries.
+type Op byte
+
+// Record operations, mirroring the FASTER session surface.
+const (
+	OpRMW    Op = 1
+	OpUpsert Op = 2
+	OpDelete Op = 3
+)
+
+// String implements fmt.Stringer.
+func (op Op) String() string {
+	switch op {
+	case OpRMW:
+		return "rmw"
+	case OpUpsert:
+		return "upsert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", byte(op))
+}
+
+// Message is the payload of one ingestion record: a single store operation.
+// Wire form: op(1) | klen u32 LE(4) | key | value. Value is the RMW input
+// for OpRMW, the new value for OpUpsert, and empty for OpDelete.
+type Message struct {
+	Op    Op
+	Key   []byte
+	Value []byte
+}
+
+// EncodeMessage appends m's wire form to dst and returns the extended slice.
+func EncodeMessage(dst []byte, m Message) []byte {
+	var hdr [5]byte
+	hdr[0] = byte(m.Op)
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(m.Key)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, m.Key...)
+	return append(dst, m.Value...)
+}
+
+// DecodeMessage parses one message. Key and Value alias buf.
+func DecodeMessage(buf []byte) (Message, error) {
+	if len(buf) < 5 {
+		return Message{}, fmt.Errorf("inlog: message too short (%d bytes)", len(buf))
+	}
+	op := Op(buf[0])
+	switch op {
+	case OpRMW, OpUpsert, OpDelete:
+	default:
+		return Message{}, fmt.Errorf("inlog: unknown op %d", buf[0])
+	}
+	klen := int(binary.LittleEndian.Uint32(buf[1:5]))
+	if klen < 0 || 5+klen > len(buf) {
+		return Message{}, fmt.Errorf("inlog: key length %d exceeds message (%d bytes)", klen, len(buf))
+	}
+	return Message{Op: op, Key: buf[5 : 5+klen], Value: buf[5+klen:]}, nil
+}

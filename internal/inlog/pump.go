@@ -1,0 +1,309 @@
+package inlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/obs"
+)
+
+// DefaultPumpSession is the session ID the apply pump runs under when the
+// config names none. The session is owned exclusively by the pump: its
+// serial stream must mirror the log's offset stream one-to-one, which is
+// the invariant every watermark anchor depends on.
+const DefaultPumpSession = "inlog-pump"
+
+// PumpConfig configures an apply pump.
+type PumpConfig struct {
+	Log   *Log
+	Store *faster.Store
+	// Session is the FASTER session ID the pump applies under (default
+	// DefaultPumpSession). No other client may issue operations on it.
+	Session string
+	// IdleInterval is how long the pump sleeps between polls when the log
+	// has no durable records to drain (default 200µs). While idle it keeps
+	// refreshing its session so CPR commits never stall on the pump.
+	IdleInterval time.Duration
+	// Metrics receives inlog_applied / inlog_replayed (default nop).
+	Metrics *obs.Registry
+	// Flight receives inlog-apply/watermark/replay events (nil-safe).
+	Flight *obs.FlightRecorder
+}
+
+// Pump drains durable ingestion-log records into a FASTER session, exactly
+// once across crashes:
+//
+//   - It applies only records below the log's durability frontier, so a CPR
+//     commit can never capture an operation whose log record might still be
+//     lost — the committed prefix is always a durable-log prefix.
+//   - Each record consumes exactly one session serial, making serial and
+//     offset interconvertible by a linear anchor (see Watermark). At every
+//     commit the pump attaches the inlog-<token> watermark via
+//     Store.OnCommitArtifact, and trims committed-out segments afterwards.
+//   - On restart it continues the session, converts the recovered CPR point
+//     back to an offset through the newest readable anchor, and resumes
+//     applying from exactly that record.
+type Pump struct {
+	log    *Log
+	store  *faster.Store
+	sess   *faster.Session
+	sessID string
+	anchor Watermark // serial<->offset anchor (Token empty for the origin)
+	idle   time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	applied uint64 // next offset to apply
+	err     error
+	closed  bool
+	stopped chan struct{}
+
+	applies  *obs.Counter
+	replays  *obs.Counter
+	applyErr *obs.Counter
+	flight   *obs.FlightRecorder
+}
+
+// StartPump recovers the pump's position and starts the apply loop. Call it
+// after the store is opened (or recovered); the replayed suffix, if any, is
+// applied asynchronously — WaitApplied(log.Durable()-1) blocks until the
+// store has caught up.
+func StartPump(cfg PumpConfig) (*Pump, error) {
+	if cfg.Log == nil || cfg.Store == nil {
+		return nil, fmt.Errorf("inlog: PumpConfig.Log and Store are required")
+	}
+	if cfg.Session == "" {
+		cfg.Session = DefaultPumpSession
+	}
+	if cfg.IdleInterval <= 0 {
+		cfg.IdleInterval = 200 * time.Microsecond
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewNop()
+	}
+	p := &Pump{
+		log:      cfg.Log,
+		store:    cfg.Store,
+		sessID:   cfg.Session,
+		idle:     cfg.IdleInterval,
+		stopped:  make(chan struct{}),
+		applies:  cfg.Metrics.Counter("inlog_applied"),
+		replays:  cfg.Metrics.Counter("inlog_replayed"),
+		applyErr: cfg.Metrics.Counter("inlog_apply_errors"),
+		flight:   cfg.Flight,
+	}
+	p.cond = sync.NewCond(&p.mu)
+
+	anchor, ok, err := LatestWatermark(cfg.Store.Checkpoints())
+	if err != nil {
+		return nil, err
+	}
+	if ok && anchor.Session != p.sessID {
+		return nil, fmt.Errorf("inlog: watermark %s anchors session %q, pump runs %q",
+			anchor.Token, anchor.Session, p.sessID)
+	}
+	sess, point := cfg.Store.ContinueSession(p.sessID)
+	if !ok {
+		// No commit has ever covered the pump: the session starts at its
+		// recovered point (0 on a fresh store) aligned with the oldest
+		// retained record.
+		anchor = Watermark{Session: p.sessID, Serial: point, Offset: cfg.Log.Start()}
+	}
+	p.sess = sess
+	p.anchor = anchor
+	start := anchor.OffsetForSerial(point)
+	if start < cfg.Log.Start() || start > cfg.Log.Durable() {
+		sess.StopSession()
+		return nil, fmt.Errorf(
+			"inlog: recovered point %d maps to offset %d outside retained log [%d, %d]",
+			point, start, cfg.Log.Start(), cfg.Log.Durable())
+	}
+	p.applied = start
+	if d := cfg.Log.Durable(); d > start {
+		// The suffix above the recovered watermark replays through the
+		// normal apply loop; announce its extent up front.
+		p.replays.Add(d - start)
+		p.flight.Emit(obs.FlightInlogReplay, -1, 0, anchor.Token, p.sessID, start, d-start)
+	}
+
+	cfg.Metrics.GaugeFunc("inlog_apply_lag", func() int64 {
+		return int64(p.log.Tail()) - int64(p.Applied())
+	})
+	cfg.Store.OnCommitArtifact(p.commitWatermark)
+	cfg.Store.OnCommit(p.trimCommitted)
+	go p.loop()
+	return p, nil
+}
+
+// Session returns the pump's FASTER session ID.
+func (p *Pump) Session() string { return p.sessID }
+
+// Applied returns the next offset to apply: every record below it has been
+// applied to the store.
+func (p *Pump) Applied() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.applied
+}
+
+// Err returns the pump's terminal error, if it has stopped on one.
+func (p *Pump) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// WaitApplied blocks until the record at offset has been applied (Applied()
+// > offset), the pump stops on an error, or it is closed.
+func (p *Pump) WaitApplied(offset uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.applied <= offset && p.err == nil && !p.closed {
+		p.cond.Wait()
+	}
+	if p.applied > offset {
+		return nil
+	}
+	if p.err != nil {
+		return p.err
+	}
+	return ErrClosed
+}
+
+// OffsetForSerial converts a pump-session serial to its log offset through
+// the pump's anchor.
+func (p *Pump) OffsetForSerial(serial uint64) uint64 {
+	return p.anchor.OffsetForSerial(serial)
+}
+
+// commitWatermark is the Store.OnCommitArtifact hook: it pins the commit's
+// pump-session CPR point to its log offset, persisted as inlog-<token>
+// beside the commit's own artifacts. A write failure fails the commit.
+func (p *Pump) commitWatermark(res faster.CommitResult) (string, []byte, error) {
+	serial, ok := res.Serials[p.sessID]
+	if !ok {
+		return "", nil, nil // pump session not registered at commit time
+	}
+	w := Watermark{
+		Token:   res.Token,
+		Session: p.sessID,
+		Serial:  serial,
+		Offset:  p.anchor.OffsetForSerial(serial),
+	}
+	buf, err := json.Marshal(w)
+	if err != nil {
+		return "", nil, err
+	}
+	p.flight.Emit(obs.FlightInlogWatermark, -1, uint64(res.Version), res.Token, p.sessID, w.Offset, serial)
+	return WatermarkName(res.Token), buf, nil
+}
+
+// trimCommitted is the Store.OnCommit hook: once a commit (and therefore
+// its watermark) is durable, segments wholly below the watermark are
+// deleted. Trim failure is non-fatal — the commit stands, the space is
+// reclaimed by a later trim.
+func (p *Pump) trimCommitted(res faster.CommitResult) {
+	serial, ok := res.Serials[p.sessID]
+	if !ok {
+		return
+	}
+	p.log.Trim(p.anchor.OffsetForSerial(serial))
+}
+
+// loop is the apply pump: drain durable records in offset order, refreshing
+// the session while idle so commits keep advancing.
+func (p *Pump) loop() {
+	defer close(p.stopped)
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		cursor := p.applied
+		p.mu.Unlock()
+
+		d := p.log.Durable()
+		if d <= cursor {
+			p.sess.Refresh()
+			p.sess.CompletePending(false)
+			time.Sleep(p.idle)
+			continue
+		}
+		n := uint64(0)
+		for cursor < d {
+			if err := p.applyOne(cursor); err != nil {
+				p.fail(err)
+				return
+			}
+			cursor++
+			n++
+			p.mu.Lock()
+			p.applied = cursor
+			closed := p.closed
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			if closed {
+				return
+			}
+		}
+		p.sess.CompletePending(false)
+		p.applies.Add(n)
+		p.flight.Emit(obs.FlightInlogApply, -1, 0, "", p.sessID, cursor, n)
+	}
+}
+
+// applyOne reads and applies the record at offset through the pump session.
+// Exactly one serial is consumed per record — including on a decode error,
+// which would otherwise silently shear the serial<->offset anchor.
+func (p *Pump) applyOne(offset uint64) error {
+	payload, err := p.log.Read(offset)
+	if err != nil {
+		return fmt.Errorf("inlog: pump read offset %d: %w", offset, err)
+	}
+	msg, err := DecodeMessage(payload)
+	if err != nil {
+		p.applyErr.Inc()
+		return fmt.Errorf("inlog: pump offset %d: %w", offset, err)
+	}
+	var st faster.Status
+	switch msg.Op {
+	case OpRMW:
+		st = p.sess.RMW(msg.Key, msg.Value)
+	case OpUpsert:
+		st = p.sess.Upsert(msg.Key, msg.Value)
+	case OpDelete:
+		st = p.sess.Delete(msg.Key)
+	}
+	if st == faster.Error {
+		p.applyErr.Inc()
+		return fmt.Errorf("inlog: pump offset %d: %s failed", offset, msg.Op)
+	}
+	return nil
+}
+
+func (p *Pump) fail(err error) {
+	p.mu.Lock()
+	p.err = err
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Close stops the apply loop and the pump's session. The log and store stay
+// open (they have their own Close).
+func (p *Pump) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	<-p.stopped
+	p.sess.CompletePending(true)
+	p.sess.StopSession()
+}

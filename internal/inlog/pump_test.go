@@ -1,0 +1,293 @@
+package inlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/storage"
+)
+
+func storeConfig(dev storage.Device, ckpts storage.CheckpointStore) faster.Config {
+	return faster.Config{
+		IndexBuckets: 1 << 8, PageBits: 12, MemPages: 8,
+		Device: dev, Checkpoints: ckpts, RMW: faster.AddUint64{},
+	}
+}
+
+func counterKey(i int) []byte {
+	var k [8]byte
+	binary.LittleEndian.PutUint64(k[:], uint64(i))
+	return k[:]
+}
+
+var one = func() []byte {
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], 1)
+	return v[:]
+}()
+
+// appendAdd appends "RMW key+=1" for record offset i (key = i % keys).
+func appendAdd(t *testing.T, l *Log, i, keys int) {
+	t.Helper()
+	msg := EncodeMessage(nil, Message{Op: OpRMW, Key: counterKey(i % keys), Value: one})
+	if _, err := l.Append(msg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readCounter(t *testing.T, sess *faster.Session, key []byte) uint64 {
+	t.Helper()
+	var got uint64
+	var done bool
+	_, st := sess.Read(key, func(v []byte, s faster.Status) {
+		done = true
+		if s == faster.Ok {
+			got = binary.LittleEndian.Uint64(v)
+		}
+	})
+	if st == faster.Pending {
+		sess.CompletePending(true)
+	}
+	if !done {
+		t.Fatal("read never completed")
+	}
+	return got
+}
+
+// expectedCount is the value of counter k after records [0, tail) applied
+// exactly once, where record o increments key o % keys.
+func expectedCount(k, keys int, tail uint64) uint64 {
+	if tail <= uint64(k) {
+		return 0
+	}
+	return (tail-uint64(k)-1)/uint64(keys) + 1
+}
+
+func TestPumpAppliesAndCommitsWatermark(t *testing.T) {
+	const n, keys = 60, 4
+	segs := NewMemSegmentStore()
+	l := mustOpen(t, Config{Segments: segs, SegmentBytes: 256})
+	ckpts := storage.NewMemCheckpointStore()
+	s, err := faster.Open(storeConfig(storage.NewMemDevice(), ckpts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := StartPump(PumpConfig{Log: l, Store: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		appendAdd(t, l, i, keys)
+	}
+	if err := p.WaitApplied(n - 1); err != nil {
+		t.Fatal(err)
+	}
+
+	token, err := s.Commit(faster.CommitOptions{WithIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.WaitForCommit(token)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+
+	w, ok, err := LoadWatermark(ckpts, token)
+	if err != nil || !ok {
+		t.Fatalf("no watermark for %s: %v", token, err)
+	}
+	if w.Session != p.Session() || w.Offset != n || w.Serial != res.Serials[p.Session()] {
+		t.Fatalf("watermark = %+v, want offset %d for serial %d",
+			w, n, res.Serials[p.Session()])
+	}
+
+	// The trim hook fires after the commit; wait for the start to advance
+	// past every fully-committed segment.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		infos := l.Segments()
+		if len(infos) == 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	infos := l.Segments()
+	if len(infos) != 1 {
+		t.Fatalf("trim left %d segments: %+v", len(infos), infos)
+	}
+	bases, _ := segs.List()
+	if len(bases) != 1 {
+		t.Fatalf("trimmed segments not deleted from store: %v", bases)
+	}
+
+	p.Close()
+	s.Close()
+	l.Close()
+}
+
+// TestPumpRecoveryReplaysSuffixExactlyOnce is the end-to-end contract: a
+// crash after a commit recovers the store to the committed prefix and the
+// pump replays only the log suffix above the recovered watermark — every
+// durable record applied exactly once overall.
+func TestPumpRecoveryReplaysSuffixExactlyOnce(t *testing.T) {
+	const phaseA, phaseB, keys = 100, 80, 10
+	segs := NewMemSegmentStore()
+	l := mustOpen(t, Config{Segments: segs, SegmentBytes: 512, Fsync: FsyncManual})
+	dev := storage.NewMemDevice()
+	ckpts := storage.NewMemCheckpointStore()
+	s, err := faster.Open(storeConfig(dev, ckpts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := StartPump(PumpConfig{Log: l, Store: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < phaseA; i++ {
+		appendAdd(t, l, i, keys)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WaitApplied(phaseA - 1); err != nil {
+		t.Fatal(err)
+	}
+	token, err := s.Commit(faster.CommitOptions{WithIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := s.WaitForCommit(token); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+
+	// Phase B lands in the log (durably) and is applied in memory, but no
+	// further commit covers it.
+	for i := phaseA; i < phaseA+phaseB; i++ {
+		appendAdd(t, l, i, keys)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WaitApplied(phaseA + phaseB - 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: clone checkpoints, then device, then the log's segments.
+	ckCrash := ckpts.Clone()
+	devCrash := dev.Clone()
+	segCrash := segs.Clone()
+
+	// Recover: the store restores the committed prefix (phase A only) ...
+	r, err := faster.Recover(storeConfig(devCrash, ckCrash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := mustOpen(t, Config{Segments: segCrash, Fsync: FsyncManual})
+	rp, err := StartPump(PumpConfig{Log: rl, Store: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ... and the pump replays exactly the suffix above the watermark.
+	if rp.Applied() > phaseA+phaseB {
+		t.Fatalf("pump resumed at %d, beyond the durable tail", rp.Applied())
+	}
+	if err := rp.WaitApplied(phaseA + phaseB - 1); err != nil {
+		t.Fatal(err)
+	}
+
+	check := r.StartSession()
+	for k := 0; k < keys; k++ {
+		want := expectedCount(k, keys, phaseA+phaseB)
+		if got := readCounter(t, check, counterKey(k)); got != want {
+			t.Fatalf("key %d = %d after recovery, want %d (exactly-once violated)", k, got, want)
+		}
+	}
+	check.StopSession()
+	rp.Close()
+	r.Close()
+	rl.Close()
+
+	p.Close()
+	s.Close()
+	l.Close()
+}
+
+// TestPumpFreshStoreFromExistingLog: a brand-new store pointed at a log
+// with existing durable records replays them all from offset zero.
+func TestPumpFreshStoreFromExistingLog(t *testing.T) {
+	const n, keys = 30, 3
+	segs := NewMemSegmentStore()
+	l := mustOpen(t, Config{Segments: segs})
+	for i := 0; i < n; i++ {
+		appendAdd(t, l, i, keys)
+	}
+	l.Close()
+
+	re := mustOpen(t, Config{Segments: segs})
+	s, err := faster.Open(storeConfig(storage.NewMemDevice(), storage.NewMemCheckpointStore()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := StartPump(PumpConfig{Log: re, Store: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WaitApplied(n - 1); err != nil {
+		t.Fatal(err)
+	}
+	check := s.StartSession()
+	for k := 0; k < keys; k++ {
+		if got, want := readCounter(t, check, counterKey(k)), expectedCount(k, keys, n); got != want {
+			t.Fatalf("key %d = %d, want %d", k, got, want)
+		}
+	}
+	check.StopSession()
+	p.Close()
+	s.Close()
+	re.Close()
+}
+
+// TestIngestServerAcksAreDurable drives the TCP front door: every acked
+// offset must already be durable in the log.
+func TestIngestServerAcksAreDurable(t *testing.T) {
+	segs := NewMemSegmentStore()
+	l := mustOpen(t, Config{Segments: segs, Fsync: FsyncBatch, BatchRecords: 8,
+		BatchInterval: time.Millisecond})
+	defer l.Close()
+	srv := NewIngestServer(l, nil, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	c, err := DialIngest(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := c.Send(Message{Op: OpUpsert, Key: counterKey(i), Value: []byte(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		off, err := c.Ack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != uint64(i) {
+			t.Fatalf("ack %d carried offset %d", i, off)
+		}
+		if l.Durable() <= off {
+			t.Fatalf("offset %d acked while durable frontier is %d", off, l.Durable())
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package inlog is the durable ingestion log in front of the FASTER store:
+// clients append operation records, an fsync policy makes them durable, and
+// acks carry the record's logical offset. An apply pump drains durable
+// records into a dedicated FASTER session and, at every CPR commit, persists
+// the highest log offset contained in the committed prefix as an
+// inlog-<token> watermark artifact next to the commit's own artifacts.
+// Segments wholly below the watermark are truncated after the commit; after
+// a crash, recovery restores the store to its last verified commit and
+// replays only the log suffix above the recovered watermark — each acked
+// record applied exactly once.
+//
+// The log is segmented: records live in fixed-threshold segments named by
+// the logical offset of their first record, each a storage.Device so the
+// fault injector and the SyncBufferDevice page-cache model layer underneath
+// unchanged (see Config.WrapDevice).
+package inlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Record frame: a 20-byte header followed by the payload.
+//
+//	magic  "ILR1"             4 bytes
+//	offset uint64 LE          8 bytes  — the record's logical offset
+//	length uint32 LE          4 bytes  — payload bytes
+//	crc    uint32 LE          4 bytes  — CRC32-C over offset||length||payload
+//
+// The CRC covers the logical offset, so bytes recycled from an earlier
+// (crashed) write at the same file position can never masquerade as a
+// different record: a frame is valid only at the exact logical offset the
+// reader expects next. This is what makes logical truncation safe — the
+// torn tail of a crashed append is simply overwritten, and any stale bytes
+// beyond the new extent fail to parse on the next open.
+const (
+	recordMagic  = "ILR1"
+	recordHeader = 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks bytes that do not parse as the expected next record. Under
+// the log's append-only discipline with ordered prefix fsyncs, such bytes
+// can only be the torn tail of the last crashed write (or stale garbage
+// beyond it), never acked data; openers truncate at the first occurrence.
+var errTorn = errors.New("inlog: torn record")
+
+func recordCRC(offset uint64, payload []byte) uint32 {
+	var pre [12]byte
+	binary.LittleEndian.PutUint64(pre[0:8], offset)
+	binary.LittleEndian.PutUint32(pre[8:12], uint32(len(payload)))
+	c := crc32.Update(0, castagnoli, pre[:])
+	return crc32.Update(c, castagnoli, payload)
+}
+
+// appendRecord appends the wire frame for (offset, payload) to dst and
+// returns the extended slice.
+func appendRecord(dst []byte, offset uint64, payload []byte) []byte {
+	var hdr [recordHeader]byte
+	copy(hdr[0:4], recordMagic)
+	binary.LittleEndian.PutUint64(hdr[4:12], offset)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[16:20], recordCRC(offset, payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// parseRecord decodes the record at the start of buf, which must carry
+// logical offset want. It returns the payload (aliasing buf) and the total
+// frame size. Every deviation — short header, bad magic, wrong offset,
+// payload running past the buffer, CRC mismatch — is errTorn.
+func parseRecord(buf []byte, want uint64) ([]byte, int, error) {
+	if len(buf) < recordHeader {
+		return nil, 0, errTorn
+	}
+	if string(buf[0:4]) != recordMagic {
+		return nil, 0, errTorn
+	}
+	off := binary.LittleEndian.Uint64(buf[4:12])
+	if off != want {
+		return nil, 0, errTorn
+	}
+	n := int(binary.LittleEndian.Uint32(buf[12:16]))
+	if n < 0 || recordHeader+n > len(buf) {
+		return nil, 0, errTorn
+	}
+	payload := buf[recordHeader : recordHeader+n]
+	if binary.LittleEndian.Uint32(buf[16:20]) != recordCRC(want, payload) {
+		return nil, 0, errTorn
+	}
+	return payload, recordHeader + n, nil
+}

@@ -1,0 +1,149 @@
+package inlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// SegmentStore names and stores log segments by the logical offset of their
+// first record. It is the ingestion log's analogue of storage.CheckpointStore:
+// MemSegmentStore backs the crash simulations (Clone is the crash image),
+// DirSegmentStore runs the identical code path against real files.
+type SegmentStore interface {
+	// Open returns the device for the segment based at the given offset,
+	// creating it if absent.
+	Open(base uint64) (storage.Device, error)
+	// List returns the base offsets of all existing segments in ascending
+	// order.
+	List() ([]uint64, error)
+	// Remove deletes the segment based at the given offset.
+	Remove(base uint64) error
+}
+
+// MemSegmentStore is a RAM-backed SegmentStore. Clone — taken at an
+// arbitrary instant — is the crash-simulation primitive, mirroring
+// MemDevice.Clone and MemCheckpointStore.Clone.
+type MemSegmentStore struct {
+	mu   sync.Mutex
+	segs map[uint64]*storage.MemDevice
+}
+
+// NewMemSegmentStore returns an empty RAM-backed segment store.
+func NewMemSegmentStore() *MemSegmentStore {
+	return &MemSegmentStore{segs: make(map[uint64]*storage.MemDevice)}
+}
+
+// Open implements SegmentStore. Reopening a segment whose device was closed
+// (a clean Log.Close) yields a fresh device over the same bytes, like
+// remounting a file.
+func (s *MemSegmentStore) Open(base uint64) (storage.Device, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.segs[base]
+	if !ok {
+		d = storage.NewMemDevice()
+		s.segs[base] = d
+		return d, nil
+	}
+	if d.Sync() == storage.ErrClosed {
+		d = d.Clone()
+		s.segs[base] = d
+	}
+	return d, nil
+}
+
+// List implements SegmentStore.
+func (s *MemSegmentStore) List() ([]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bases := make([]uint64, 0, len(s.segs))
+	for b := range s.segs {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases, nil
+}
+
+// Remove implements SegmentStore.
+func (s *MemSegmentStore) Remove(base uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.segs, base)
+	return nil
+}
+
+// Clone returns an independent copy of every segment's current contents —
+// restarting from a clone models recovering from whatever had reached
+// "disk". Layer SyncBufferDevice on top (Config.WrapDevice) to make that
+// boundary an fsync boundary.
+func (s *MemSegmentStore) Clone() *MemSegmentStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := NewMemSegmentStore()
+	for b, d := range s.segs {
+		c.segs[b] = d.Clone()
+	}
+	return c
+}
+
+// DirSegmentStore keeps each segment as a file <dir>/inlog-<base>.seg.
+type DirSegmentStore struct {
+	dir string
+}
+
+const (
+	segPrefix = "inlog-"
+	segSuffix = ".seg"
+)
+
+// NewDirSegmentStore creates dir if needed and returns a store over it.
+func NewDirSegmentStore(dir string) (*DirSegmentStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("inlog: segment dir: %w", err)
+	}
+	return &DirSegmentStore{dir: dir}, nil
+}
+
+func (s *DirSegmentStore) path(base uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%016x%s", segPrefix, base, segSuffix))
+}
+
+// Open implements SegmentStore.
+func (s *DirSegmentStore) Open(base uint64) (storage.Device, error) {
+	return storage.OpenFileDevice(s.path(base))
+}
+
+// List implements SegmentStore.
+func (s *DirSegmentStore) List() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var bases []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		base, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases, nil
+}
+
+// Remove implements SegmentStore.
+func (s *DirSegmentStore) Remove(base uint64) error {
+	return os.Remove(s.path(base))
+}

@@ -1,0 +1,174 @@
+package inlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// IngestServer accepts TCP connections speaking the ingest wire protocol:
+// the client sends length-prefixed messages (u32 LE length, then a Message
+// wire form — see EncodeMessage), and for each one the server replies with
+// the record's logical offset (u64 LE) once the record is fsync-durable.
+// The ack therefore IS the durability guarantee: a client that saw offset o
+// acked will find that record applied after any crash. Appends and acks are
+// pipelined per connection so a batched fsync policy amortizes across
+// in-flight requests.
+type IngestServer struct {
+	log    *Log
+	flight *obs.FlightRecorder
+	msgs   *obs.Counter
+	conns  *obs.Counter
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+}
+
+// NewIngestServer returns a server appending into log. metrics may be nil.
+func NewIngestServer(log *Log, metrics *obs.Registry, flight *obs.FlightRecorder) *IngestServer {
+	if metrics == nil {
+		metrics = obs.NewNop()
+	}
+	return &IngestServer{
+		log:    log,
+		flight: flight,
+		msgs:   metrics.Counter("inlog_ingest_msgs"),
+		conns:  metrics.Counter("inlog_ingest_conns"),
+	}
+}
+
+// Serve accepts connections on ln until Close (or the listener fails).
+func (s *IngestServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.conns.Inc()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting; in-flight connections finish their current acks.
+func (s *IngestServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// serveConn pipelines one connection: the read loop appends records and
+// queues their offsets; the ack loop waits for durability in offset order
+// and writes each ack. A batch fsync policy makes many queued offsets
+// durable at once, so acks drain in bursts.
+func (s *IngestServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	acks := make(chan uint64, 1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var buf [8]byte
+		for off := range acks {
+			if s.log.WaitDurable(off) != nil {
+				return
+			}
+			binary.LittleEndian.PutUint64(buf[:], off)
+			if _, err := conn.Write(buf[:]); err != nil {
+				return
+			}
+		}
+	}()
+
+	var lenBuf [4]byte
+	var msgBuf []byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			break
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n == 0 || n > 16<<20 {
+			break
+		}
+		if int(n) > cap(msgBuf) {
+			msgBuf = make([]byte, n)
+		}
+		msgBuf = msgBuf[:n]
+		if _, err := io.ReadFull(conn, msgBuf); err != nil {
+			break
+		}
+		if _, err := DecodeMessage(msgBuf); err != nil {
+			break // malformed payloads are rejected before they reach the log
+		}
+		off, err := s.log.Append(msgBuf)
+		if err != nil {
+			break
+		}
+		s.msgs.Inc()
+		acks <- off
+	}
+	close(acks)
+	<-done
+}
+
+// IngestClient is the matching client: Send pipelines a message, Ack reads
+// the next durable offset. It is a test/bench aid, not a production SDK.
+type IngestClient struct {
+	conn net.Conn
+	wbuf []byte
+}
+
+// DialIngest connects to an IngestServer.
+func DialIngest(addr string) (*IngestClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("inlog: dial %s: %w", addr, err)
+	}
+	return &IngestClient{conn: conn}, nil
+}
+
+// Send writes one message; the matching Ack arrives in order.
+func (c *IngestClient) Send(m Message) error {
+	c.wbuf = c.wbuf[:0]
+	c.wbuf = append(c.wbuf, 0, 0, 0, 0)
+	c.wbuf = EncodeMessage(c.wbuf, m)
+	if len(c.wbuf)-4 == 0 {
+		return errors.New("inlog: empty message")
+	}
+	binary.LittleEndian.PutUint32(c.wbuf[0:4], uint32(len(c.wbuf)-4))
+	_, err := c.conn.Write(c.wbuf)
+	return err
+}
+
+// Ack blocks for the next ack and returns the acked record's offset.
+func (c *IngestClient) Ack() (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(c.conn, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// Close closes the connection.
+func (c *IngestClient) Close() error { return c.conn.Close() }

@@ -1,0 +1,330 @@
+package inlog
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faster"
+	"repro/internal/storage"
+)
+
+// Crash-torture: seeded crashes mid-append, mid-fsync, mid-commit and
+// mid-trim. Every crash image must recover to a state containing exactly
+// the records the reopened log retains — each acked offset applied exactly
+// once, and nothing that the log lost (never-fsynced appends) surviving as
+// applied. The workload is self-describing: record o is "RMW key (o % keys)
+// += 1", so the exact expected value of every counter is computable from
+// the reopened log's tail alone.
+
+const tortureKeys = 5
+
+// crashImage is a hard-crash snapshot: cloned in write-ordering order —
+// checkpoint store, then the store's log device, then the ingestion-log
+// segments — paired with the ack frontier the client had observed.
+type crashImage struct {
+	name  string
+	acked uint64
+	ck    *storage.MemCheckpointStore
+	dev   *storage.MemDevice
+	segs  *MemSegmentStore
+}
+
+// rig wires the full stack: ingestion log over SyncBufferDevice(FaultDevice)
+// segments (so crashes drop unsynced appends and armed faults tear fsyncs),
+// a FASTER store whose checkpoint artifacts flow through the same injector
+// (for named commit crash points), and the apply pump between them.
+type rig struct {
+	t     *testing.T
+	segs  *MemSegmentStore
+	inj   *storage.Injector
+	memCk *storage.MemCheckpointStore
+	dev   *storage.MemDevice
+	log   *Log
+	store *faster.Store
+	pump  *Pump
+	acked atomic.Uint64
+	next  int // next record index to append
+}
+
+func newRig(t *testing.T, segmentBytes int64) *rig {
+	t.Helper()
+	r := &rig{
+		t:     t,
+		segs:  NewMemSegmentStore(),
+		inj:   storage.NewInjector(storage.FaultConfig{Seed: 1}),
+		memCk: storage.NewMemCheckpointStore(),
+		dev:   storage.NewMemDevice(),
+	}
+	var err error
+	r.log, err = Open(Config{
+		Segments: r.segs, SegmentBytes: segmentBytes, Fsync: FsyncManual,
+		WrapDevice: func(d storage.Device) (storage.Device, error) {
+			return storage.NewSyncBufferDevice(storage.NewFaultDevice(d, r.inj))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.store, err = faster.Open(faster.Config{
+		IndexBuckets: 1 << 8, PageBits: 12, MemPages: 8,
+		Device:      r.dev,
+		Checkpoints: storage.NewFaultCheckpointStore(r.memCk, r.inj),
+		RMW:         faster.AddUint64{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.pump, err = StartPump(PumpConfig{Log: r.log, Store: r.store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func (r *rig) append(n int) {
+	for i := 0; i < n; i++ {
+		appendAdd(r.t, r.log, r.next, tortureKeys)
+		r.next++
+	}
+}
+
+// sync fsyncs the log and advances the client-visible ack frontier — the
+// moment after which those offsets count as acked for the crash contract.
+func (r *rig) sync() {
+	if err := r.log.Sync(); err != nil {
+		r.t.Fatal(err)
+	}
+	r.acked.Store(r.log.Durable())
+}
+
+func (r *rig) waitApplied() {
+	if r.next > 0 {
+		if err := r.pump.WaitApplied(uint64(r.next) - 1); err != nil {
+			r.t.Fatal(err)
+		}
+	}
+}
+
+func (r *rig) commit() faster.CommitResult {
+	token, err := r.store.Commit(faster.CommitOptions{WithIndex: true})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	res := r.store.WaitForCommit(token)
+	if res.Err != nil {
+		r.t.Fatalf("commit %s: %v", token, res.Err)
+	}
+	return res
+}
+
+// snap takes a crash image. Safe to call from fault-injection callbacks:
+// it reads the ack frontier first (conservative — an ack that races the
+// clone is simply not checked) and touches no Log locks.
+func (r *rig) snap(name string) crashImage {
+	return crashImage{
+		name:  name,
+		acked: r.acked.Load(),
+		ck:    r.memCk.Clone(),
+		dev:   r.dev.Clone(),
+		segs:  r.segs.Clone(),
+	}
+}
+
+func (r *rig) close() {
+	r.pump.Close()
+	r.store.Close()
+	r.log.Close()
+}
+
+// verifyImage recovers from a crash image and asserts the exactly-once
+// contract.
+func verifyImage(t *testing.T, img crashImage) {
+	t.Helper()
+	cfg := faster.Config{IndexBuckets: 1 << 8, PageBits: 12, MemPages: 8,
+		Device: img.dev, Checkpoints: img.ck, RMW: faster.AddUint64{}}
+	s, err := faster.Recover(cfg)
+	if err != nil {
+		// No commit had completed in this image: recovery is a fresh store
+		// fed by a full log replay.
+		cfg.Device = storage.NewMemDevice()
+		cfg.Checkpoints = storage.NewMemCheckpointStore()
+		if s, err = faster.Open(cfg); err != nil {
+			t.Fatalf("%s: %v", img.name, err)
+		}
+	}
+	l, err := Open(Config{Segments: img.segs, Fsync: FsyncManual})
+	if err != nil {
+		t.Fatalf("%s: reopen log: %v", img.name, err)
+	}
+	tail := l.Tail()
+	if tail < img.acked {
+		t.Fatalf("%s: log lost acked records: tail %d < acked %d", img.name, tail, img.acked)
+	}
+	p, err := StartPump(PumpConfig{Log: l, Store: s})
+	if err != nil {
+		t.Fatalf("%s: %v", img.name, err)
+	}
+	if tail > 0 {
+		if err := p.WaitApplied(tail - 1); err != nil {
+			t.Fatalf("%s: %v", img.name, err)
+		}
+	}
+	sess := s.StartSession()
+	for k := 0; k < tortureKeys; k++ {
+		want := expectedCount(k, tortureKeys, tail)
+		got := readCounter(t, sess, counterKey(k))
+		if got != want {
+			t.Fatalf("%s: key %d = %d, want %d (tail %d, acked %d): exactly-once violated",
+				img.name, k, got, want, tail, img.acked)
+		}
+	}
+	sess.StopSession()
+	p.Close()
+	s.Close()
+	l.Close()
+}
+
+// TestTortureMidAppend: crash with a suffix of appends never fsynced —
+// they must vanish, everything acked must survive.
+func TestTortureMidAppend(t *testing.T) {
+	for seed := 1; seed <= 3; seed++ {
+		r := newRig(t, 1<<20)
+		r.append(30)
+		r.sync()
+		r.waitApplied()
+		r.commit()
+		r.append(10)
+		r.sync()
+		r.append(3 + 2*seed) // never synced: must not survive the crash
+		img := r.snap(fmt.Sprintf("mid-append/seed%d", seed))
+		r.close()
+		verifyImage(t, img)
+		if img.acked != 40 {
+			t.Fatalf("seed %d: acked = %d, want 40", seed, img.acked)
+		}
+	}
+}
+
+// TestTortureMidFsync: the crash tears the fsync flush itself — a prefix
+// of the dirty range reaches the medium mid-Sync. The reopened log must
+// truncate at the tear, losing only unacked records.
+func TestTortureMidFsync(t *testing.T) {
+	for seed := 1; seed <= 3; seed++ {
+		r := newRig(t, 1<<20) // single segment: each Sync is one flush write
+		r.append(25)
+		r.sync() // flush write #1
+		r.waitApplied()
+		r.commit()
+		r.append(10 + 3*seed)
+		var img crashImage
+		name := fmt.Sprintf("mid-fsync/seed%d", seed)
+		r.inj.ArmDeviceWrite(2, func() { img = r.snap(name) }) // tear flush write #2
+		r.sync()
+		if img.ck == nil {
+			t.Fatalf("seed %d: device-write crash point never fired", seed)
+		}
+		r.waitApplied()
+		r.close()
+		verifyImage(t, img)
+		// The tear hit after phase A was acked but before phase B's sync
+		// returned, so the image's ack frontier is still phase A.
+		if img.acked != 25 {
+			t.Fatalf("seed %d: acked = %d, want 25", seed, img.acked)
+		}
+	}
+}
+
+// TestTortureMidCommit: crashes at every interesting instant of the commit
+// pipeline — before/mid the metadata write, mid the latest-pointer write,
+// after the latest-pointer but before the watermark attachment, and mid the
+// watermark artifact itself. Recovery must land on a consistent commit
+// (falling back as needed) and the anchor arithmetic must still produce an
+// exact replay offset.
+func TestTortureMidCommit(t *testing.T) {
+	points := []string{
+		"before:meta-ckpt-000002",
+		"torn:meta-ckpt-000002",
+		"torn:latest",
+		"after:latest",
+		"torn:inlog-ckpt-000002",
+	}
+	for _, point := range points {
+		point := point
+		t.Run(point, func(t *testing.T) {
+			r := newRig(t, 512)
+			r.append(30)
+			r.sync()
+			r.waitApplied()
+			r.commit() // ckpt-000001, with watermark
+			r.append(20)
+			r.sync()
+			r.waitApplied()
+			var img crashImage
+			r.inj.Arm(point, func() { img = r.snap(point) })
+			r.commit() // ckpt-000002: crash point fires mid-flight, live run completes
+			if img.ck == nil {
+				t.Fatalf("crash point %s never fired", point)
+			}
+			r.append(12) // post-crash-point traffic: not in the image, live run must still work
+			r.sync()
+			r.waitApplied()
+			r.close()
+			verifyImage(t, img)
+		})
+	}
+}
+
+// TestTortureMidTrim: crash right after a commit whose trim is (or may
+// still be) running, plus a deterministic "one segment removed, then died"
+// image. Recovery must replay from the watermark even though the log no
+// longer starts at offset zero.
+func TestTortureMidTrim(t *testing.T) {
+	r := newRig(t, 256)
+	r.append(40)
+	r.sync()
+	r.waitApplied()
+	r.commit() // trims everything below offset 40 (async)
+	waitTrim := func(min uint64) {
+		deadline := time.Now().Add(2 * time.Second)
+		for r.log.Start() < min && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitTrim(1)
+	if r.log.Start() == 0 {
+		t.Fatal("trim never advanced the log start")
+	}
+	bases, _ := r.segs.List()
+	if bases[0] != r.log.Start() {
+		t.Fatalf("segments below the trim watermark still on disk: %v (start %d)", bases, r.log.Start())
+	}
+
+	r.append(20)
+	r.sync()
+	r.waitApplied()
+	r.commit()
+	img := r.snap("mid-trim/racing") // trim for this commit races the clone
+	r.append(15)                     // uncommitted suffix above the watermark
+	r.sync()
+	r.waitApplied()
+	imgSuffix := r.snap("mid-trim/suffix")
+	r.close()
+
+	verifyImage(t, img)
+	verifyImage(t, imgSuffix)
+
+	// Deterministic partial trim: the crash struck after one segment was
+	// unlinked but before the rest were.
+	partial := crashImage{name: "mid-trim/partial", acked: imgSuffix.acked,
+		ck: imgSuffix.ck.Clone(), dev: imgSuffix.dev.Clone(), segs: imgSuffix.segs.Clone()}
+	pb, _ := partial.segs.List()
+	committed := uint64(60) // both commits cover offsets < 60
+	if len(pb) > 1 && pb[1] <= committed {
+		if err := partial.segs.Remove(pb[0]); err != nil {
+			t.Fatal(err)
+		}
+		verifyImage(t, partial)
+	}
+}

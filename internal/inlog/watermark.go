@@ -1,0 +1,99 @@
+package inlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Watermark is the inlog-<token> commit attachment: for CPR commit Token,
+// the pump session's committed serial and the corresponding log offset —
+// every record with offset < Offset is inside the committed prefix.
+//
+// A watermark is also a serial<->offset *anchor*: the pump applies exactly
+// one record per serial, so serial - offset is constant for the life of the
+// pump session and any watermark (however old) converts a recovered CPR
+// point to its exact replay offset by linear arithmetic. That is what makes
+// a crash between a commit's manifest and its watermark artifact harmless:
+// recovery falls back to an older anchor and still lands on the same byte.
+type Watermark struct {
+	Token   string `json:"token"`
+	Session string `json:"session"`
+	Serial  uint64 `json:"serial"`
+	Offset  uint64 `json:"offset"`
+}
+
+// WatermarkName returns the artifact name carrying the watermark for a
+// commit token.
+func WatermarkName(token string) string { return "inlog-" + token }
+
+const watermarkPrefix = "inlog-"
+
+// OffsetForSerial converts a session serial to its log offset using this
+// watermark as the anchor (signed-safe in both directions).
+func (w Watermark) OffsetForSerial(serial uint64) uint64 {
+	return uint64(int64(w.Offset) + (int64(serial) - int64(w.Serial)))
+}
+
+// LoadWatermark reads the watermark attached to one commit token.
+// ok is false when the commit has no watermark artifact.
+func LoadWatermark(cs storage.CheckpointStore, token string) (Watermark, bool, error) {
+	return readWatermark(cs, WatermarkName(token))
+}
+
+// LatestWatermark returns the newest watermark artifact in the checkpoint
+// store (tokens sort chronologically), or ok=false when none exists yet.
+func LatestWatermark(cs storage.CheckpointStore) (Watermark, bool, error) {
+	names, err := storage.ListPrefix(cs, watermarkPrefix)
+	if err != nil {
+		return Watermark{}, false, fmt.Errorf("inlog: list watermarks: %w", err)
+	}
+	sort.Strings(names)
+	// Walk newest-first so a single corrupt (torn) watermark artifact falls
+	// back to the previous anchor instead of failing recovery.
+	for i := len(names) - 1; i >= 0; i-- {
+		w, ok, err := readWatermark(cs, names[i])
+		if err == nil && ok {
+			return w, true, nil
+		}
+	}
+	return Watermark{}, false, nil
+}
+
+// ListWatermarks returns every readable watermark, oldest first (fasterctl
+// inlog).
+func ListWatermarks(cs storage.CheckpointStore) ([]Watermark, error) {
+	names, err := storage.ListPrefix(cs, watermarkPrefix)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var out []Watermark
+	for _, name := range names {
+		if w, ok, err := readWatermark(cs, name); err == nil && ok {
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+func readWatermark(cs storage.CheckpointStore, name string) (Watermark, bool, error) {
+	if !strings.HasPrefix(name, watermarkPrefix) {
+		return Watermark{}, false, fmt.Errorf("inlog: %q is not a watermark artifact", name)
+	}
+	buf, err := storage.ReadArtifactChecked(cs, name)
+	if err != nil {
+		if storage.IsNotFound(err) {
+			return Watermark{}, false, nil
+		}
+		return Watermark{}, false, fmt.Errorf("inlog: read %s: %w", name, err)
+	}
+	var w Watermark
+	if err := json.Unmarshal(buf, &w); err != nil {
+		return Watermark{}, false, fmt.Errorf("inlog: decode %s: %w", name, err)
+	}
+	return w, true, nil
+}

@@ -95,6 +95,29 @@ const (
 	// FlightRecoverFallback: recovery rejected a commit candidate as
 	// unverifiable and fell back to an older one.
 	FlightRecoverFallback
+	// FlightInlogAppend: one ingestion-log append call persisted records to
+	// the active segment. Arg1 is the first offset appended, Arg2 the payload
+	// bytes.
+	FlightInlogAppend
+	// FlightInlogFsync: the ingestion log fsynced its active segment,
+	// advancing the durable (ackable) frontier. Arg1 is the durable offset
+	// after the sync, Arg2 the fsync latency (ns).
+	FlightInlogFsync
+	// FlightInlogApply: the apply pump drained ingestion-log records into its
+	// FASTER session. Arg1 is the next-to-apply offset after the drain, Arg2
+	// the records applied in this drain.
+	FlightInlogApply
+	// FlightInlogWatermark: a commit persisted the inlog-<token> watermark
+	// artifact. Token is the commit token, Arg1 the watermark offset, Arg2
+	// the session serial it anchors.
+	FlightInlogWatermark
+	// FlightInlogTrim: segments wholly below the commit watermark were
+	// physically deleted. Arg1 is the trim offset, Arg2 the bytes removed.
+	FlightInlogTrim
+	// FlightInlogReplay: recovery replayed the ingestion-log suffix above the
+	// recovered watermark. Arg1 is the replay start offset, Arg2 the records
+	// replayed.
+	FlightInlogReplay
 
 	numFlightKinds
 )
@@ -124,6 +147,12 @@ var flightKindNames = [numFlightKinds]string{
 	FlightReplPromote:     "repl-promote",
 	FlightRecoverVerdict:  "recover-verdict",
 	FlightRecoverFallback: "recover-fallback",
+	FlightInlogAppend:     "inlog-append",
+	FlightInlogFsync:      "inlog-fsync",
+	FlightInlogApply:      "inlog-apply",
+	FlightInlogWatermark:  "inlog-watermark",
+	FlightInlogTrim:       "inlog-trim",
+	FlightInlogReplay:     "inlog-replay",
 }
 
 var flightKindByName = func() map[string]FlightKind {
