@@ -50,6 +50,8 @@ func main() {
 		dir        = flag.String("dir", "", "database directory (empty = in-memory)")
 		shards     = flag.Int("shards", 1, "store partitions, each an independent CPR domain (commits stay coordinated)")
 		autocommit = flag.Duration("autocommit", 500*time.Millisecond, "automatic log-only commit cadence (0 = off)")
+		instant    = flag.Bool("instant-restore", false, "recover in instant-restore mode: serve immediately on the last commit's index and warm hash buckets on demand (see fasterctl restore-status)")
+		idleTO     = flag.Duration("idle-timeout", 0, "reap connections idle past this long, releasing their FASTER sessions (0 = off)")
 		debugAddr  = flag.String("debug", "", "debug HTTP listen address serving /metrics, /timeline and /debug/pprof (empty = off)")
 		replAddr   = flag.String("repl", "", "replication listen address; replicas connect here (empty = off)")
 		replicaOf  = flag.String("replica-of", "", "run as a read replica of this primary replication address")
@@ -107,7 +109,8 @@ func main() {
 		return cpr.NewFaultDevice(d, injector)
 	}
 
-	cfg := faster.Config{Shards: *shards, Metrics: metrics, Flight: flight}
+	cfg := faster.Config{Shards: *shards, Metrics: metrics, Flight: flight,
+		InstantRestore: *instant}
 	if *traceCap > 0 {
 		cfg.ReqTrace = obs.NewRequestTracer(*traceCap)
 	}
@@ -150,6 +153,7 @@ func main() {
 		return
 	}
 
+	t0 := time.Now()
 	store, report, err := faster.RecoverWithReport(cfg)
 	if err != nil {
 		if !errors.Is(err, faster.ErrNoCheckpoint) {
@@ -166,7 +170,16 @@ func main() {
 		for _, sk := range report.Skipped {
 			log.Printf("recovery skipped unverifiable commit %s: %v", sk.Token, sk.Reason)
 		}
-		log.Printf("recovered store at version %d (commit %s)", store.Version(), report.Token)
+		mode := "full replay"
+		if report.Instant {
+			mode = "instant restore"
+		}
+		log.Printf("recovered store at version %d (commit %s): %s, time-to-serving %v",
+			store.Version(), report.Token, mode, time.Since(t0))
+		if rst := store.RestoreStatus(); rst != nil && rst.Restoring {
+			log.Printf("instant restore warming %d cold buckets in the background (fasterctl restore-status tracks progress)",
+				rst.ColdBuckets())
+		}
 	}
 	defer store.Close()
 
@@ -196,6 +209,7 @@ func main() {
 
 	srv := kvserver.NewServer(store)
 	srv.AutoCommit = *autocommit
+	srv.IdleTimeout = *idleTO
 	srv.CoalesceBytes = *coalesceBytes
 	srv.CoalesceOps = *coalesceOps
 	if *replAddr != "" {
@@ -203,6 +217,13 @@ func main() {
 		rsrv.ClientAddr = *addr
 		srv.ReplStats = rsrv.ReplStats
 		go func() {
+			// Replication ships from commits, and commits are refused until
+			// the store is warm — hold the listener until then so a replica
+			// never connects to a primary that cannot ship yet.
+			if err := store.WaitRestored(); err != nil {
+				log.Printf("replication listener not started: %v", err)
+				return
+			}
 			log.Printf("shipping to replicas on %s", *replAddr)
 			if err := rsrv.Serve(*replAddr); err != nil {
 				log.Printf("replication listener: %v", err)

@@ -7,6 +7,7 @@
 //	fasterctl -dir /tmp/db stats
 //	fasterctl -dir /tmp/db metrics
 //	fasterctl repl-status localhost:7070
+//	fasterctl restore-status localhost:7070
 //	fasterctl flight -addr localhost:7070 ckpt-000042
 //	fasterctl flight -dump /tmp/db/checkpoints/flight-panic
 //	fasterctl pipeload -addr localhost:7070 -n 100000 -depth 64
@@ -44,6 +45,10 @@ func main() {
 		replStatus(flag.Args())
 		return
 	}
+	if flag.NArg() >= 1 && flag.Arg(0) == "restore-status" {
+		restoreStatusCmd(flag.Args())
+		return
+	}
 	if flag.NArg() >= 1 && flag.Arg(0) == "flight" {
 		flightCmd(flag.Args()[1:])
 		return
@@ -74,6 +79,7 @@ func main() {
 	if *dir == "" || flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: fasterctl -dir <dir> [-shards n] <set|get|del|rmw|bulkload|stats|metrics [hist]|verify> [args]")
 		fmt.Fprintln(os.Stderr, "       fasterctl repl-status <server-addr>")
+		fmt.Fprintln(os.Stderr, "       fasterctl restore-status <server-addr>")
 		fmt.Fprintln(os.Stderr, "       fasterctl verify <checkpoint-dir>")
 		fmt.Fprintln(os.Stderr, "       fasterctl flight [-addr <server-addr> | -dump <file>] [token]")
 		fmt.Fprintln(os.Stderr, "       fasterctl trace -addr <server-addr> [-slowest N] [-json]")

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/kvserver"
+)
+
+// restoreStatusCmd implements `fasterctl restore-status <server-addr>`: dial a
+// running cprserver and report its instant-restore progress from the RESTORE
+// stats block — warm/cold buckets, pending suffix records, sweeper progress
+// and, once warm, the per-shard time-to-warm split by who did the warming.
+func restoreStatusCmd(args []string) {
+	need(args, 2)
+	client, err := kvserver.Dial(args[1], "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	snap, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if snap.Restore == nil {
+		fmt.Println("restore:        none (store was opened fresh or fully replayed)")
+		fmt.Printf("version:        %d\n", snap.Version)
+		return
+	}
+	r := snap.Restore
+	state := "warm (restore complete)"
+	if r.Restoring {
+		state = "restoring (buckets warming)"
+	}
+	fmt.Printf("restore:        %s, %s\n", r.Mode, state)
+	fmt.Printf("buckets:        %d warm / %d cold\n", r.WarmBuckets(), r.ColdBuckets())
+	for _, sh := range r.Shards {
+		fmt.Printf("shard %d:\n", sh.Shard)
+		if sh.Failed != "" {
+			fmt.Printf("  FAILED:       %s\n", sh.Failed)
+		}
+		fmt.Printf("  analyzed:     %v (suffix scan %v)\n",
+			sh.Analyzed, time.Duration(sh.AnalysisNanos))
+		fmt.Printf("  buckets:      %d/%d warm (%d on-demand, %d swept)\n",
+			sh.WarmBuckets, sh.TotalBuckets, sh.OnDemandWarms, sh.SweepWarms)
+		fmt.Printf("  records:      %d suffix, %d replayed, %d pending, %d invalidated\n",
+			sh.SuffixRecords, sh.ReplayedRecords, sh.PendingRecords, sh.InvalidatedRecords)
+		fmt.Printf("  blocked ops:  %d\n", sh.BlockedOps)
+		if sh.TimeToWarmNanos > 0 {
+			fmt.Printf("  time-to-warm: %v\n", time.Duration(sh.TimeToWarmNanos))
+		}
+	}
+}

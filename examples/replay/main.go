@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"log"
+	"time"
 
 	cpr "repro"
 	"repro/internal/inlog"
@@ -100,11 +101,17 @@ func main() {
 	// and restarting the pump replays the suffix above the recovered
 	// watermark. The replay extent is derived, not guessed: recovered CPR
 	// point -> watermark anchor -> feed offset.
+	t0 := time.Now()
 	recovered, err := cpr.RecoverStore(cpr.StoreConfig{Device: device, Checkpoints: checkpoints})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer recovered.Close()
+	mode := "full replay"
+	if rst := recovered.RestoreStatus(); rst != nil {
+		mode = "instant restore" // StoreConfig.InstantRestore was set
+	}
+	fmt.Printf("recovery mode %s: serving after %v\n", mode, time.Since(t0))
 	refeed, err := inlog.Open(inlog.Config{Segments: segments})
 	if err != nil {
 		log.Fatal(err)

@@ -36,6 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 		"tailtrace",
 		"netscale",
 		"ingest",
+		"recoveryttfo",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

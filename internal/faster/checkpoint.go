@@ -120,6 +120,12 @@ var ErrCommitInProgress = fmt.Errorf("faster: a CPR commit is already in progres
 // the commit completes — manifest written, OnDone fired — only when every
 // shard is durable at that version. Use WaitForCommit to block.
 func (s *Store) Commit(opts CommitOptions) (string, error) {
+	// An instant restore must finish warming first: a checkpoint taken over
+	// cold buckets would capture an index missing their suffix records, and
+	// recovering from it would lose them.
+	if s.Restoring() {
+		return "", ErrRestoring
+	}
 	if len(s.shards) == 1 {
 		return s.shards[0].commit(opts, "")
 	}
@@ -273,6 +279,11 @@ func (sh *shard) commit(opts CommitOptions, token string) (string, error) {
 	coordinated := token != ""
 	sh.sessionMu.Lock()
 	sh.ckptMu.Lock()
+	if sh.restore.Load() != nil {
+		sh.ckptMu.Unlock()
+		sh.sessionMu.Unlock()
+		return "", ErrRestoring
+	}
 	if sh.ckpt != nil {
 		sh.ckptMu.Unlock()
 		sh.sessionMu.Unlock()

@@ -37,6 +37,10 @@ type RecoveryReport struct {
 	Token   string          `json:"token"`
 	Version uint32          `json:"version"`
 	Skipped []SkippedCommit `json:"skipped,omitempty"`
+	// Instant reports that the store came up in instant-restore mode
+	// (Config.InstantRestore): serving began before the log suffix was
+	// replayed, with buckets warming lazily. See Store.RestoreStatus.
+	Instant bool `json:"instant,omitempty"`
 }
 
 // Recover rebuilds a Store from its most recent fully-verifiable CPR commit
@@ -208,6 +212,15 @@ func (s *Store) finishRecovery(cands []string, report *RecoveryReport) {
 	s.report = report
 	s.registerStoreGauges()
 	s.registerLagGauges()
+	// Instant restore: only now — with every shard of the accepted candidate
+	// open for good (rejected candidates' shards were closed) — start each
+	// shard's analysis + sweep goroutine.
+	for _, sh := range s.shards {
+		if rs := sh.restore.Load(); rs != nil {
+			report.Instant = true
+			rs.start()
+		}
+	}
 	// arg1 = number of skipped newer commits: zero means the newest commit on
 	// disk verified end to end.
 	s.cfg.Flight.Emit(obs.FlightRecoverVerdict, -1, uint64(report.Version), report.Token, "",
@@ -312,14 +325,22 @@ func recoverShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, 
 
 	// Verify the device's log pages against the commit's per-page checksums
 	// (seeding the recovered log's checksum table with the pages that pass).
-	// Commits predating page checksums carry no table and skip this.
+	// Commits predating page checksums carry no table and skip this. Instant
+	// restore only seeds the table here: pages are verified lazily as the
+	// analysis pass reads them, so startup cost stays independent of the
+	// suffix size — the trade-off is that a corrupt log page discovered
+	// during analysis can no longer fall back to an older commit (the store
+	// is already serving this one); the restore fails and operations error.
+	instant := cfg.InstantRestore && !cfg.Replica
 	if crcBuf, cerr := storage.ReadArtifactChecked(cfg.Checkpoints, "pagecrc-"+meta.Token); cerr == nil {
 		var crcs []hlog.PageCRC
 		if err := json.Unmarshal(crcBuf, &crcs); err != nil {
 			sh.close()
 			return nil, nil, fmt.Errorf("faster: page checksums: %w", err)
 		}
-		if err := sh.log.VerifyPages(crcs, end); err != nil {
+		if instant {
+			sh.log.SeedPageCRCs(crcs, end)
+		} else if err := sh.log.VerifyPages(crcs, end); err != nil {
 			sh.close()
 			return nil, nil, fmt.Errorf("faster: log page verification: %w", err)
 		}
@@ -353,6 +374,12 @@ func recoverShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, 
 		// A replica must not rewrite shipped log bytes: records ahead of the
 		// recovered commit become live at the next installed commit.
 		err = sh.replayReplica(scanStart, end, meta.Version)
+	} else if instant {
+		// Defer the suffix replay: the shard serves on the recovered index
+		// with every bucket cold. The analysis + warm machinery (started by
+		// finishRecovery) reproduces replayLog's effects incrementally.
+		sh.restore.Store(newRestoreState(sh, token, meta.Version, scanStart, end))
+		sh.recoveredScanStart = scanStart
 	} else {
 		err = sh.replayLog(scanStart, end, meta.Version)
 		sh.recoveredScanStart = scanStart
@@ -364,7 +391,12 @@ func recoverShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, 
 
 	// Clamp any index entry still pointing at or beyond the recovered end
 	// (fuzzy capture of addresses whose records were lost in the crash).
-	sh.clampIndex(end)
+	// Instant restore clamps after its analysis pass instead: the v+1 unwind
+	// conditions must be evaluated against the unclamped index, exactly as
+	// the interleaved full replay evaluates them.
+	if !instant {
+		sh.clampIndex(end)
+	}
 
 	sh.state.Store(packState(Rest, meta.Version+1))
 	sh.lastIndexToken, sh.lastLis, sh.lastLie = meta.IndexToken, meta.Lis, meta.Lie

@@ -1,0 +1,188 @@
+package faster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Instant-restore torture: crash the store AGAIN while it is still warming up
+// — mid-lazy-replay (on-demand warms in flight, some post-prefix records
+// already invalidated on the device) and mid-sweep — and require every such
+// image to converge, under both full replay and instant restore, to the
+// identical CPR prefix. The warm-up mutates the device (invalidation of v+1
+// records is eager), so these images are genuinely different from the
+// original crash image; convergence proves the mutation is idempotent and
+// prefix-preserving. Counter determinism is part of the contract: two instant
+// recoveries of the same image must report exactly the same suffix, replayed
+// and invalidated record counts.
+
+func TestInstantRestoreTortureCrashMidWarm(t *testing.T) {
+	for _, seed := range []uint64{3, 71} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			instantRestoreTorture(t, seed)
+		})
+	}
+}
+
+// restoreCounters is the deterministic part of a finished restore's stats.
+type restoreCounters struct {
+	suffix, replayed, invalidated uint64
+}
+
+// recoverInstantWarm recovers an image in instant mode, waits for full warm,
+// and returns the store plus its deterministic counters.
+func recoverInstantWarm(t *testing.T, label string, dev *storage.MemDevice,
+	ckpts *storage.MemCheckpointStore) (*Store, restoreCounters) {
+	t.Helper()
+	r, report, err := RecoverWithReport(Config{IndexBuckets: 1 << 8, PageBits: 13,
+		MemPages: 8, Device: dev, Checkpoints: ckpts, InstantRestore: true})
+	if err != nil {
+		t.Fatalf("%s: instant recovery: %v", label, err)
+	}
+	if !report.Instant {
+		t.Fatalf("%s: recovery not flagged instant", label)
+	}
+	if err := r.WaitRestored(); err != nil {
+		t.Fatalf("%s: WaitRestored: %v", label, err)
+	}
+	st := r.RestoreStatus()
+	if st == nil || st.Restoring || len(st.Shards) != 1 {
+		t.Fatalf("%s: RestoreStatus = %+v", label, st)
+	}
+	sh := st.Shards[0]
+	if sh.ReplayedRecords != sh.SuffixRecords || sh.ColdBuckets != 0 {
+		t.Fatalf("%s: warm incomplete: %+v", label, sh)
+	}
+	return r, restoreCounters{sh.SuffixRecords, sh.ReplayedRecords, sh.InvalidatedRecords}
+}
+
+func instantRestoreTorture(t *testing.T, seed uint64) {
+	// Phase 1: a crash image whose fuzzy window is live — the workload keeps
+	// writing while two commits complete, so the recovered (log-only) commit
+	// has both a real suffix and durable post-prefix (v+1) records to
+	// invalidate. The crash instant is mid-workload right after the commit.
+	memDev := storage.NewMemDevice()
+	memCk := storage.NewMemCheckpointStore()
+	cfg := Config{IndexBuckets: 1 << 8, PageBits: 13, MemPages: 8,
+		Device: memDev, Checkpoints: memCk}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, stop := tortureWorkload(t, s)
+	for c, withIndex := range []bool{true, false} {
+		tok, err := s.Commit(CommitOptions{WithIndex: withIndex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if res, ok := s.TryResult(tok); ok {
+				if res.Err != nil {
+					t.Fatalf("commit %d: %v", c, res.Err)
+				}
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	time.Sleep(time.Duration(1+seed%4) * time.Millisecond)
+	baseDev, baseCk := memDev.Clone(), memCk.Clone()
+	stop()
+	s.Close()
+
+	// Phase 2: instant-restore the crash image and crash it AGAIN mid-warm.
+	// Clones are taken while the restore goroutine is live, so they capture
+	// partially-applied invalidations and a partially-warmed index's device
+	// state — the images a real kill mid-lazy-replay / mid-sweep leaves.
+	dev2, ck2 := baseDev.Clone(), baseCk.Clone()
+	r, report, err := RecoverWithReport(Config{IndexBuckets: 1 << 8, PageBits: 13,
+		MemPages: 8, Device: dev2, Checkpoints: ck2, InstantRestore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Instant {
+		t.Fatal("phase-2 recovery not flagged instant")
+	}
+	// Mid-lazy-replay: a few on-demand warms driven by real reads, then crash.
+	sess := r.StartSession()
+	var kb [8]byte
+	for k := uint64(0); k < 8; k++ {
+		binary.LittleEndian.PutUint64(kb[:], 0<<32|k)
+		if _, st := sess.Read(kb[:], func([]byte, Status) {}); st == Pending {
+			sess.CompletePending(true)
+		}
+	}
+	midLazyDev, midLazyCk := dev2.Clone(), ck2.Clone()
+	// Mid-sweep: wait for the sweeper to have warmed at least one bucket (or
+	// for the restore to finish — on a fast machine the image then simply
+	// degenerates to "after warm-up", which must converge all the same).
+	for {
+		st := r.RestoreStatus()
+		if st == nil || !st.Restoring || st.Shards[0].SweepWarms > 0 {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	midSweepDev, midSweepCk := dev2.Clone(), ck2.Clone()
+	if err := r.WaitRestored(); err != nil {
+		t.Fatal(err)
+	}
+	assertPrefix(t, "phase2-serving", r, ids)
+	sess.StopSession()
+	r.Close()
+
+	// Phase 3: every crash image — including the pristine one — must converge
+	// to the identical store image under full replay and instant restore.
+	images := []struct {
+		label string
+		dev   *storage.MemDevice
+		ckpts *storage.MemCheckpointStore
+	}{
+		{"base", baseDev, baseCk},
+		{"mid-lazy-replay", midLazyDev, midLazyCk},
+		{"mid-sweep", midSweepDev, midSweepCk},
+	}
+	for _, img := range images {
+		full, freport, err := RecoverWithReport(Config{IndexBuckets: 1 << 8,
+			PageBits: 13, MemPages: 8,
+			Device: img.dev.Clone(), Checkpoints: img.ckpts.Clone()})
+		if err != nil {
+			t.Fatalf("%s: full recovery: %v", img.label, err)
+		}
+		inst, icounters := recoverInstantWarm(t, img.label,
+			img.dev.Clone(), img.ckpts.Clone())
+
+		if ir := inst.RecoveryReport(); ir == nil || ir.Token != freport.Token {
+			t.Fatalf("%s: modes recovered different commits", img.label)
+		}
+		assertPrefix(t, img.label+"/full", full, ids)
+		assertPrefix(t, img.label+"/instant", inst, ids)
+		for i := 0; i < tortureSessions; i++ {
+			fs, fpoint := full.ContinueSession(ids[i])
+			is, ipoint := inst.ContinueSession(ids[i])
+			if fpoint != ipoint {
+				t.Fatalf("%s: session %d point diverges: full %d, instant %d",
+					img.label, i, fpoint, ipoint)
+			}
+			fs.StopSession()
+			is.StopSession()
+		}
+		full.Close()
+		inst.Close()
+
+		// Counter determinism: a second instant recovery of the same image
+		// must report exactly the same record accounting.
+		inst2, icounters2 := recoverInstantWarm(t, img.label+"/again",
+			img.dev.Clone(), img.ckpts.Clone())
+		inst2.Close()
+		if icounters != icounters2 {
+			t.Fatalf("%s: restore counters not deterministic: %+v vs %+v",
+				img.label, icounters, icounters2)
+		}
+	}
+}

@@ -551,6 +551,24 @@ const maxPendingSoft = 4096
 // In batch mode, synchronously-completed ops go back to the session freelist
 // (their buffers stay valid until the next operation reuses them).
 func (sess *shardSession) run(op *pendingOp) Status {
+	// Instant restore: a cold bucket must be warmed before any operation in
+	// it executes. One nil pointer load on the post-restore hot path; while
+	// restoring, one atomic bitmap load for warm buckets. The slow path
+	// BLOCKS the session goroutine (never parks the op as Pending): a later
+	// same-session op completing first would break session ordering. Parked
+	// ops retried by completeOnce bypass this gate safely — they passed it
+	// when first issued, and warm is sticky.
+	if rs := sess.store.restore.Load(); rs != nil {
+		if err := rs.ensureWarm(op.hash); err != nil {
+			if op.readCB != nil {
+				op.readCB(nil, Error)
+			}
+			if sess.owner.inBatch {
+				sess.owner.recycle(op)
+			}
+			return Error
+		}
+	}
 	if len(sess.pending) >= maxPendingSoft {
 		sess.completeOnce()
 	}

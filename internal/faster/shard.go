@@ -68,6 +68,13 @@ type shard struct {
 	// access externally.
 	replicaDead map[uint64]bool
 
+	// restore is non-nil while an instant restore is warming this shard's
+	// buckets (Config.InstantRestore); the operation path checks it with a
+	// single pointer load. restoreStats keeps the final restore statistics
+	// after the shard is fully warm (restore-status survives completion).
+	restore      atomic.Pointer[restoreState]
+	restoreStats atomic.Pointer[RestoreShardStatus]
+
 	metrics storeMetrics // shared across shards: store-wide operation counts
 	tracer  *obs.Tracer
 	flight  *obs.FlightRecorder // nil-safe; events tagged with sh.id
@@ -126,8 +133,20 @@ func openShard(cfg Config, id int, traceSuffix string, metrics storeMetrics, seq
 	return sh, nil
 }
 
-// close shuts down the shard's background I/O.
-func (sh *shard) close() { sh.log.Close() }
+// close shuts down the shard's background I/O, cancelling any in-flight
+// instant restore first (blocked operations wake with an error; the restore
+// goroutine exits on its next abort check or when the closed log fails its
+// reads).
+func (sh *shard) close() {
+	rs := sh.restore.Load()
+	if rs != nil {
+		rs.abort()
+	}
+	sh.log.Close()
+	if rs != nil && rs.started {
+		<-rs.finished
+	}
+}
 
 // Phase returns the shard's current CPR phase.
 func (sh *shard) Phase() Phase { p, _ := unpackState(sh.state.Load()); return p }

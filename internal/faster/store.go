@@ -180,6 +180,17 @@ type Config struct {
 	// commit makes them live) and ApplyCommitted may advance the visible
 	// state. See internal/repl and Store.Promote.
 	Replica bool
+	// InstantRestore makes Recover serve traffic before the log suffix is
+	// replayed: the store comes up on the recovered commit's index with every
+	// hash bucket cold, a background pass analyzes the suffix once
+	// (page-granular, invalidating post-prefix records), and each bucket's
+	// records are re-linked lazily on first touch or by a background sweeper.
+	// Time-to-first-served-op becomes independent of the log-suffix size;
+	// operations on cold buckets pay a bounded one-time warm-up, and Commit/
+	// CompactLog return ErrRestoring until the store is warm (WaitRestored).
+	// Ignored for replicas (their staged-suffix replay is not lazy-safe) and
+	// by Open (nothing to restore). See DESIGN "Instant restore".
+	InstantRestore bool
 }
 
 func (c *Config) fill() error {
@@ -233,6 +244,13 @@ type storeMetrics struct {
 	recoverySkips                 *obs.Counter // commits skipped as unverifiable
 	lagOps                        *obs.Histogram
 	lagNs                         *obs.Histogram
+
+	// Instant-restore progress (store-wide; per-shard state lives in gauges).
+	restoreOndemandWarms *obs.Counter // buckets warmed by a blocked operation
+	restoreSweepWarms    *obs.Counter // buckets warmed by the background sweeper
+	restoreReplayed      *obs.Counter // suffix records re-linked into warm buckets
+	restoreInvalidated   *obs.Counter // post-prefix records invalidated by analysis
+	restoreBlockedOps    *obs.Counter // operations that waited on a cold bucket
 }
 
 func newStoreMetrics(reg *obs.Registry) storeMetrics {
@@ -254,6 +272,12 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 		// demarcated.
 		lagOps: reg.Histogram("faster_session_lag_ops"),
 		lagNs:  reg.Histogram("faster_session_lag_ns"),
+
+		restoreOndemandWarms: reg.Counter("faster_restore_ondemand_warms_total"),
+		restoreSweepWarms:    reg.Counter("faster_restore_sweep_warms_total"),
+		restoreReplayed:      reg.Counter("faster_restore_replayed_records_total"),
+		restoreInvalidated:   reg.Counter("faster_restore_invalidated_records_total"),
+		restoreBlockedOps:    reg.Counter("faster_restore_blocked_ops_total"),
 	}
 }
 

@@ -259,6 +259,12 @@ func (p *Pump) loop() {
 // applyOne reads and applies the record at offset through the pump session.
 // Exactly one serial is consumed per record — including on a decode error,
 // which would otherwise silently shear the serial<->offset anchor.
+//
+// Under an instant restore (faster.Config.InstantRestore) these session ops
+// self-gate per key: each blocks until its hash bucket is warm, so the pump
+// resumes from the converted watermark only as fast as its buckets come warm
+// and never applies a record over pre-prefix state. No pump-side coordination
+// is needed.
 func (p *Pump) applyOne(offset uint64) error {
 	payload, err := p.log.Read(offset)
 	if err != nil {

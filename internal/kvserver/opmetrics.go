@@ -21,6 +21,10 @@ type opMetrics struct {
 	batches          *obs.Counter
 	coalescedFlushes *obs.Counter
 	coalescedReplies *obs.Counter
+
+	// idleReaps counts connections closed (and their FASTER sessions
+	// released) for sitting idle past Server.IdleTimeout.
+	idleReaps *obs.Counter
 }
 
 // resolveOpMetrics resolves (creating if absent) the decomposition histograms
@@ -42,6 +46,8 @@ func resolveOpMetrics(reg *obs.Registry) opMetrics {
 		"Per-connection reply-buffer flushes (write syscalls after coalescing), summed across connections.")
 	reg.SetHelp("faster_net_coalesced_replies_total",
 		"Per-op replies that passed through the coalescing buffer, summed across connections; divide by flushes for replies-per-write-syscall.")
+	reg.SetHelp("kvserver_idle_reaps_total",
+		"Connections closed for idling past the server's idle timeout; their FASTER sessions were released.")
 	return opMetrics{
 		queueNs:          reg.Histogram("faster_op_queue_ns"),
 		execNs:           reg.Histogram("faster_op_exec_ns"),
@@ -51,6 +57,7 @@ func resolveOpMetrics(reg *obs.Registry) opMetrics {
 		batches:          reg.Counter("faster_net_batches_total"),
 		coalescedFlushes: reg.Counter("faster_net_coalesced_flushes_total"),
 		coalescedReplies: reg.Counter("faster_net_coalesced_replies_total"),
+		idleReaps:        reg.Counter("kvserver_idle_reaps_total"),
 	}
 }
 

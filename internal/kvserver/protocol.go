@@ -101,6 +101,12 @@ type StatsSnapshot struct {
 	// issued serial runs ahead of its committed CPR point t_i, and for how
 	// long (absent when no sessions exist — additive, StatsVersion stays 1).
 	SessionLags []faster.SessionLag `json:"session_lags,omitempty"`
+	// Restore carries instant-restore progress after a Config.InstantRestore
+	// recovery: warm/cold bucket counts, sweeper progress and per-shard
+	// time-to-warm. Absent when the store was never instant-restored —
+	// additive, StatsVersion stays 1. Final statistics remain available after
+	// the store is fully warm (Restoring=false).
+	Restore *faster.RestoreStatus `json:"restore,omitempty"`
 }
 
 // ReplStats is the StatsSnapshot "repl" block: the server's replication role

@@ -43,6 +43,12 @@ type Server struct {
 
 	// AutoCommit, when positive, triggers a log-only commit at this cadence.
 	AutoCommit time.Duration
+	// IdleTimeout, when positive, reaps connections that go this long without
+	// sending a frame: the connection is closed and its FASTER session
+	// released, so abandoned clients stop pinning epoch entries and session
+	// state. A reaped client reconnects into the same logical session via
+	// Hello with its session ID. Zero disables reaping. Set before Serve.
+	IdleTimeout time.Duration
 	// Logger receives connection errors; defaults to the standard logger.
 	Logger *log.Logger
 	// ReplStats, when set, attaches a replication block to OpStats responses
@@ -430,7 +436,17 @@ func (s *Server) handle(conn net.Conn) {
 			if err := s.flushConn(cs, s.opMetrics()); err != nil {
 				return
 			}
-			if err := s.waitReadable(cs, sess, 0, nil); err != nil {
+			if err := s.waitReadable(cs, sess, s.IdleTimeout, nil); err != nil {
+				var ne net.Error
+				if s.IdleTimeout > 0 && errors.As(err, &ne) && ne.Timeout() && !s.isClosed() {
+					// Idle past the cap: reap the connection. The deferred
+					// close + StopSession release the socket and the session's
+					// epoch entry; the client's session state survives for a
+					// reconnecting Hello.
+					s.opMetrics().idleReaps.Inc()
+					s.Logger.Printf("conn %v: reaped after %v idle (session %s released)",
+						conn.RemoteAddr(), s.IdleTimeout, sess.ID())
+				}
 				return
 			}
 		} else if cs.unflushed >= s.coalesceOps() || cs.bw.Buffered() >= s.coalesceBytes() {
@@ -842,6 +858,7 @@ func (s *Server) writeStats(w io.Writer, store *faster.Store) error {
 		snap.Repl = s.ReplStats()
 	}
 	snap.SessionLags = store.SessionLags()
+	snap.Restore = store.RestoreStatus()
 	buf, err := json.Marshal(snap)
 	if err != nil {
 		return writeFrame(w, OpStats, appendValue([]byte{StatusError}, nil))

@@ -118,6 +118,17 @@ const (
 	// recovered watermark. Arg1 is the replay start offset, Arg2 the records
 	// replayed.
 	FlightInlogReplay
+	// FlightWarmBucket: instant restore warmed one cold hash bucket — its
+	// log-suffix records are re-linked and operations on it may proceed. The
+	// event is emitted BEFORE any blocked operation resumes, so "a request
+	// touched bucket B" ordered after "warm-bucket B" proves the request
+	// never observed pre-prefix state. Arg1 is the bucket number, Arg2 the
+	// suffix records replayed into it.
+	FlightWarmBucket
+	// FlightSweep: instant-restore sweeper progress. Arg1 is the cold
+	// buckets remaining, Arg2 the suffix records still pending; a final
+	// event with Arg1 == 0 marks the shard fully warm.
+	FlightSweep
 
 	numFlightKinds
 )
@@ -153,6 +164,8 @@ var flightKindNames = [numFlightKinds]string{
 	FlightInlogWatermark:  "inlog-watermark",
 	FlightInlogTrim:       "inlog-trim",
 	FlightInlogReplay:     "inlog-replay",
+	FlightWarmBucket:      "warm-bucket",
+	FlightSweep:           "sweep",
 }
 
 var flightKindByName = func() map[string]FlightKind {
