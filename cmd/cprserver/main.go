@@ -34,11 +34,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"syscall"
 	"time"
 
 	cpr "repro"
 	"repro/internal/faster"
+	"repro/internal/health"
 	"repro/internal/kvserver"
 	"repro/internal/obs"
 	"repro/internal/repl"
@@ -64,6 +66,9 @@ func main() {
 		flightCap = flag.Int("flightrec", obs.DefaultFlightCapacity, "flight-recorder ring capacity per CPU (events; 0 = off)")
 		traceCap  = flag.Int("reqtrace", 64, "slow-request trace retention (span trees; 0 = off)")
 
+		healthIvl = flag.Duration("health-interval", time.Second, "health engine sampling interval; detectors fire after ~3 bad samples (0 = off)")
+		sloDurLag = flag.Duration("slo-durlag", 0, "durability-lag SLO objective: windowed p99 session lag above this burns the SLO and degrades health (0 = off)")
+
 		coalesceBytes = flag.Int("coalesce-bytes", kvserver.DefaultCoalesceBytes, "per-connection reply coalescing: flush past this many buffered bytes")
 		coalesceOps   = flag.Int("coalesce-ops", kvserver.DefaultCoalesceOps, "per-connection reply coalescing: flush past this many buffered replies")
 
@@ -80,6 +85,8 @@ func main() {
 	// writes and optional latency spikes exercise the retry and
 	// verified-recovery paths under an otherwise normal workload.
 	metrics := obs.NewRegistry()
+	obs.RegisterBuildInfo(metrics, map[string]string{"shards": strconv.Itoa(*shards)})
+	obs.RegisterRuntimeMetrics(metrics)
 	var flight *obs.FlightRecorder
 	if *flightCap > 0 {
 		flight = obs.NewFlightRecorder(*flightCap)
@@ -149,7 +156,7 @@ func main() {
 
 	if *replicaOf != "" {
 		runReplica(cfg, *replicaOf, *addr, *replAddr, *autocommit, *debugAddr,
-			*coalesceBytes, *coalesceOps)
+			*coalesceBytes, *coalesceOps, *healthIvl, *sloDurLag)
 		return
 	}
 
@@ -197,10 +204,18 @@ func main() {
 		defer stop()
 	}
 
+	eng := startHealth(store, *healthIvl, *sloDurLag)
+	if eng != nil {
+		defer eng.Stop()
+	}
+
 	if *debugAddr != "" {
 		mux := obs.NewDebugMux(store.Metrics(), store.Tracer(), store.Flight(), store.RequestTracer())
+		if eng != nil {
+			mux.Handle("/health", eng.Handler())
+		}
 		go func() {
-			log.Printf("debug endpoints on http://%s/{metrics,metrics.prom,timeline,flight,debug/pprof}", *debugAddr)
+			log.Printf("debug endpoints on http://%s/{metrics,metrics.prom,timeline,flight,health,debug/pprof}", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
 				log.Printf("debug listener: %v", err)
 			}
@@ -208,6 +223,9 @@ func main() {
 	}
 
 	srv := kvserver.NewServer(store)
+	if eng != nil {
+		srv.Health = eng.Verdict
+	}
 	srv.AutoCommit = *autocommit
 	srv.IdleTimeout = *idleTO
 	srv.CoalesceBytes = *coalesceBytes
@@ -237,6 +255,32 @@ func main() {
 	}
 }
 
+// startHealth builds and starts the health engine over a store's
+// observability surfaces: it samples the metrics registry every interval,
+// runs the stall/SLO detector suite, and captures incident bundles through
+// the store's checkpoint store when a detector fires. Returns nil when
+// disabled (interval 0).
+func startHealth(store *faster.Store, interval, sloDurLag time.Duration) *health.Engine {
+	if interval <= 0 {
+		return nil
+	}
+	eng := health.New(health.Config{
+		Registry:  store.Metrics(),
+		Interval:  interval,
+		SLODurLag: sloDurLag,
+		Bundles:   store.Checkpoints(),
+		Flight:    store.Flight(),
+		Traces:    store.RequestTracer(),
+		OnIncident: func(b *health.Bundle) {
+			log.Printf("health: %s fired (%s); incident bundle incident-%s-%d captured (fasterctl incident)",
+				b.Detector, b.Detail, b.Detector, b.Seq)
+		},
+	})
+	eng.Start()
+	log.Printf("health engine sampling every %v (slo-durlag %v)", interval, sloDurLag)
+	return eng
+}
+
 // dumpFlightOnPanic persists the flight recorder's rings as a crash-dump
 // artifact ("flight-panic" in the checkpoint store) before letting the panic
 // continue, so the last moments before the crash survive for
@@ -256,17 +300,25 @@ func dumpFlightOnPanic(store *faster.Store) {
 
 // runReplica serves prefix-consistent reads from a replica of upstream,
 // promoting to primary on SIGHUP.
-func runReplica(cfg faster.Config, upstream, addr, replAddr string, autocommit time.Duration, debugAddr string, coalesceBytes, coalesceOps int) {
+func runReplica(cfg faster.Config, upstream, addr, replAddr string, autocommit time.Duration, debugAddr string, coalesceBytes, coalesceOps int, healthIvl, sloDurLag time.Duration) {
 	rep, err := repl.NewReplica(repl.Config{Upstream: upstream, StoreConfig: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rep.Store().Close()
 
+	eng := startHealth(rep.Store(), healthIvl, sloDurLag)
+	if eng != nil {
+		defer eng.Stop()
+	}
+
 	if debugAddr != "" {
 		mux := obs.NewDebugMux(rep.Store().Metrics(), rep.Store().Tracer(), rep.Store().Flight(), rep.Store().RequestTracer())
+		if eng != nil {
+			mux.Handle("/health", eng.Handler())
+		}
 		go func() {
-			log.Printf("debug endpoints on http://%s/{metrics,metrics.prom,timeline,flight,debug/pprof}", debugAddr)
+			log.Printf("debug endpoints on http://%s/{metrics,metrics.prom,timeline,flight,health,debug/pprof}", debugAddr)
 			if err := http.ListenAndServe(debugAddr, mux); err != nil {
 				log.Printf("debug listener: %v", err)
 			}
@@ -274,6 +326,9 @@ func runReplica(cfg faster.Config, upstream, addr, replAddr string, autocommit t
 	}
 
 	srv := kvserver.NewReplicaServer(rep)
+	if eng != nil {
+		srv.Health = eng.Verdict
+	}
 	srv.AutoCommit = autocommit // takes effect after promotion
 	srv.CoalesceBytes = coalesceBytes
 	srv.CoalesceOps = coalesceOps

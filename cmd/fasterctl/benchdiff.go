@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+// benchdiffCmd implements `fasterctl benchdiff`: compare two BENCH_*.json
+// artifacts metric by metric and fail on regressions.
+//
+//	fasterctl benchdiff old.json new.json
+//	fasterctl benchdiff -threshold 10 -all old.json new.json
+//
+// Directional metrics (throughput up, latency down) that move the wrong way
+// by more than -threshold percent are regressions; exit code 1 when any is
+// found, so CI can gate on committed baseline artifacts.
+func benchdiffCmd(args []string) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 25, "regression threshold in percent")
+	all := fs.Bool("all", false, "print every compared metric, not only regressions")
+	asJSON := fs.Bool("json", false, "print the full diff as JSON")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fasterctl benchdiff [-threshold pct] [-all] [-json] <old.json> <new.json>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldA, err := bench.LoadArtifact(fs.Arg(0))
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	newA, err := bench.LoadArtifact(fs.Arg(1))
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	res, err := bench.DiffArtifacts(oldA, newA, *threshold)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Print(err)
+			return 2
+		}
+	} else {
+		printDiff(res, *threshold, *all)
+	}
+	if res.Regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printDiff renders a diff result: a summary line, then one line per
+// regression (or per metric with -all).
+func printDiff(res *bench.DiffResult, threshold float64, all bool) {
+	fmt.Printf("experiment %s: %d rows compared, %d metrics, %d regression(s) at ±%.0f%%\n",
+		res.Experiment, res.Rows, len(res.Diffs), res.Regressions, threshold)
+	if res.RowMismatch {
+		fmt.Println("warning: artifacts have different row counts; extra rows ignored")
+	}
+	for _, d := range res.Diffs {
+		if !d.Regression && !all {
+			continue
+		}
+		mark := " "
+		if d.Regression {
+			mark = "!"
+		}
+		fmt.Printf("%s row %d  %-48s %14.4g -> %-14.4g %+7.1f%%  (%s)\n",
+			mark, d.Row, d.Key, d.Old, d.New, d.PctChange, d.Direction)
+	}
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file implements artifact diffing for regression gating: two
+// BENCH_<experiment>.json artifacts (an old baseline and a new run) are
+// flattened to dotted numeric metrics and compared row by row. Metrics with
+// a known goodness direction (throughput up, latency down) become
+// regressions when they move the wrong way past a threshold; everything
+// else is informational. `fasterctl benchdiff` is the CLI face, and CI runs
+// it against the committed results/ artifacts.
+
+// LoadArtifact reads and validates one BENCH_*.json artifact.
+func LoadArtifact(path string) (*Artifact, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(buf, &a); err != nil {
+		return nil, fmt.Errorf("bench: %s: malformed artifact: %w", path, err)
+	}
+	if a.V != ArtifactSchemaV {
+		return nil, fmt.Errorf("bench: %s: artifact schema v%d, want v%d", path, a.V, ArtifactSchemaV)
+	}
+	return &a, nil
+}
+
+// Direction classifies how a metric should move.
+type Direction int
+
+const (
+	// DirInfo metrics have no inherent goodness direction; changes are
+	// reported but never count as regressions.
+	DirInfo Direction = iota
+	// DirHigherBetter marks throughput-shaped metrics.
+	DirHigherBetter
+	// DirLowerBetter marks latency/lag-shaped metrics.
+	DirLowerBetter
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirHigherBetter:
+		return "higher-better"
+	case DirLowerBetter:
+		return "lower-better"
+	}
+	return "info"
+}
+
+// MetricDiff is one compared metric of one row.
+type MetricDiff struct {
+	Row        int       `json:"row"`
+	Key        string    `json:"key"` // dotted path inside the row
+	Old        float64   `json:"old"`
+	New        float64   `json:"new"`
+	PctChange  float64   `json:"pct_change"` // signed, new vs old
+	Direction  Direction `json:"-"`
+	Regression bool      `json:"regression"`
+}
+
+// DiffResult is the full comparison of two artifacts.
+type DiffResult struct {
+	Experiment  string       `json:"experiment"`
+	Rows        int          `json:"rows"` // rows compared (min of the two)
+	RowMismatch bool         `json:"row_mismatch,omitempty"`
+	Diffs       []MetricDiff `json:"diffs"`
+	Regressions int          `json:"regressions"`
+}
+
+// classifyMetric infers a metric's direction from its dotted key. The
+// conventions match the repo's artifact field names: mops/ops/speedup-shaped
+// keys are throughput, *_ns/*_us/latency/lag/behind-shaped keys are
+// latencies or backlogs.
+func classifyMetric(key string) Direction {
+	last := key
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		last = key[i+1:]
+	}
+	lk := strings.ToLower(last)
+	switch {
+	case lk == "mops" || lk == "speedup_vs_depth1" || strings.Contains(lk, "ops_per") ||
+		strings.Contains(lk, "per_sec") || strings.Contains(lk, "throughput") ||
+		strings.Contains(lk, "replies_per_flush"):
+		return DirHigherBetter
+	case strings.HasSuffix(lk, "_ns") || strings.HasSuffix(lk, "_us") ||
+		strings.HasSuffix(lk, "_ms") || strings.Contains(lk, "latency") ||
+		strings.Contains(lk, "lag") || strings.Contains(lk, "behind"):
+		return DirLowerBetter
+	}
+	return DirInfo
+}
+
+// flattenRow walks a row's nested maps into dotted numeric leaves. Arrays
+// (time series) and non-numeric values are skipped: they carry shapes, not
+// single comparable metrics.
+func flattenRow(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flattenRow(key, sub, out)
+		}
+	case map[string]Row: // histogram_deltas before a JSON round-trip
+		for k, sub := range x {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flattenRow(key, map[string]any(sub), out)
+		}
+	case map[string]uint64: // counter_deltas before a JSON round-trip
+		for k, n := range x {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			out[key] = float64(n)
+		}
+	case float64:
+		out[prefix] = x
+	case int:
+		out[prefix] = float64(x)
+	case int64:
+		out[prefix] = float64(x)
+	case uint64:
+		out[prefix] = float64(x)
+	case json.Number:
+		if f, err := x.Float64(); err == nil {
+			out[prefix] = f
+		}
+	}
+}
+
+// DiffArtifacts compares two artifacts of the same experiment row by row.
+// A directional metric that moves the wrong way by more than thresholdPct
+// percent is a regression; a baseline value of zero never regresses (no
+// meaningful relative change exists). Diffs are sorted by (row, key).
+func DiffArtifacts(oldA, newA *Artifact, thresholdPct float64) (*DiffResult, error) {
+	if oldA.Experiment != newA.Experiment {
+		return nil, fmt.Errorf("bench: comparing different experiments: %q vs %q",
+			oldA.Experiment, newA.Experiment)
+	}
+	res := &DiffResult{Experiment: newA.Experiment}
+	res.Rows = len(oldA.Rows)
+	if len(newA.Rows) < res.Rows {
+		res.Rows = len(newA.Rows)
+	}
+	res.RowMismatch = len(oldA.Rows) != len(newA.Rows)
+	for i := 0; i < res.Rows; i++ {
+		oldFlat := map[string]float64{}
+		newFlat := map[string]float64{}
+		flattenRow("", map[string]any(oldA.Rows[i]), oldFlat)
+		flattenRow("", map[string]any(newA.Rows[i]), newFlat)
+		keys := make([]string, 0, len(oldFlat))
+		for k := range oldFlat {
+			if _, ok := newFlat[k]; ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ov, nv := oldFlat[k], newFlat[k]
+			d := MetricDiff{Row: i, Key: k, Old: ov, New: nv, Direction: classifyMetric(k)}
+			if ov != 0 {
+				d.PctChange = (nv - ov) / ov * 100
+			}
+			if ov != 0 && d.Direction != DirInfo {
+				switch d.Direction {
+				case DirHigherBetter:
+					d.Regression = d.PctChange < -thresholdPct
+				case DirLowerBetter:
+					d.Regression = d.PctChange > thresholdPct
+				}
+			}
+			if d.Regression {
+				res.Regressions++
+			}
+			res.Diffs = append(res.Diffs, d)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mkArtifact(experiment string, rows ...Row) *Artifact {
+	return &Artifact{V: ArtifactSchemaV, Experiment: experiment, Rows: rows}
+}
+
+func diffOne(t *testing.T, res *DiffResult, key string) MetricDiff {
+	t.Helper()
+	for _, d := range res.Diffs {
+		if d.Key == key {
+			return d
+		}
+	}
+	t.Fatalf("no diff for key %q in %+v", key, res.Diffs)
+	return MetricDiff{}
+}
+
+func TestDiffArtifactsRegressionDirections(t *testing.T) {
+	oldA := mkArtifact("netscale", Row{
+		"mops":       10.0,
+		"p99_ns":     1000.0,
+		"clients":    8,
+		"elapsed_ns": 500.0,
+	})
+	newA := mkArtifact("netscale", Row{
+		"mops":       6.0,    // throughput down 40%: regression
+		"p99_ns":     1500.0, // latency up 50%: regression
+		"clients":    8,      // info, unchanged
+		"elapsed_ns": 400.0,  // latency down: improvement
+	})
+	res, err := DiffArtifacts(oldA, newA, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 2 {
+		t.Fatalf("regressions = %d, want 2: %+v", res.Regressions, res.Diffs)
+	}
+	if d := diffOne(t, res, "mops"); !d.Regression || d.Direction != DirHigherBetter {
+		t.Fatalf("mops diff: %+v", d)
+	}
+	if d := diffOne(t, res, "p99_ns"); !d.Regression || d.Direction != DirLowerBetter {
+		t.Fatalf("p99_ns diff: %+v", d)
+	}
+	if d := diffOne(t, res, "clients"); d.Regression || d.Direction != DirInfo {
+		t.Fatalf("clients diff: %+v", d)
+	}
+	if d := diffOne(t, res, "elapsed_ns"); d.Regression || d.PctChange >= 0 {
+		t.Fatalf("elapsed_ns improvement misreported: %+v", d)
+	}
+}
+
+func TestDiffArtifactsThresholdAndZeroBaseline(t *testing.T) {
+	oldA := mkArtifact("x", Row{"mops": 10.0, "startup_ns": 0.0})
+	newA := mkArtifact("x", Row{"mops": 9.0, "startup_ns": 5000.0})
+	// -10% throughput is inside a 25% threshold; zero baseline never regresses.
+	res, err := DiffArtifacts(oldA, newA, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 0 {
+		t.Fatalf("regressions = %d, want 0: %+v", res.Regressions, res.Diffs)
+	}
+	// Tighten the threshold: the same -10% now regresses.
+	res, err = DiffArtifacts(oldA, newA, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 1 || !diffOne(t, res, "mops").Regression {
+		t.Fatalf("tight-threshold regressions = %d: %+v", res.Regressions, res.Diffs)
+	}
+	if diffOne(t, res, "startup_ns").Regression {
+		t.Fatal("zero-baseline metric counted as a regression")
+	}
+}
+
+func TestDiffArtifactsNestedAndMismatch(t *testing.T) {
+	oldA := mkArtifact("y",
+		Row{"summary": map[string]any{"lag_p99_ns": 100.0}, "series": []any{1.0, 2.0}},
+		Row{"mops": 5.0})
+	newA := mkArtifact("y",
+		Row{"summary": map[string]any{"lag_p99_ns": 300.0}, "series": []any{9.0}})
+	res, err := DiffArtifacts(oldA, newA, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RowMismatch || res.Rows != 1 {
+		t.Fatalf("rows=%d mismatch=%v, want 1/true", res.Rows, res.RowMismatch)
+	}
+	d := diffOne(t, res, "summary.lag_p99_ns")
+	if !d.Regression || d.Direction != DirLowerBetter {
+		t.Fatalf("nested lag diff: %+v", d)
+	}
+	// Arrays carry shapes, not metrics: never diffed.
+	for _, d := range res.Diffs {
+		if d.Key == "series" {
+			t.Fatal("array leaf was diffed")
+		}
+	}
+
+	if _, err := DiffArtifacts(mkArtifact("a"), mkArtifact("b"), 25); err == nil {
+		t.Fatal("experiment mismatch not rejected")
+	}
+}
+
+func TestLoadArtifactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a := mkArtifact("ingest", Row{"mops": 12.5, "histogram_deltas": map[string]Row{
+		"faster_op_exec_ns": {"p50_ns": 100.0},
+	}})
+	buf, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_ingest.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A self-diff of a loaded artifact is all-quiet: the regression gate's
+	// CI smoke case.
+	res, err := DiffArtifacts(got, got, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 0 || len(res.Diffs) == 0 {
+		t.Fatalf("self-diff: %d regressions over %d diffs", res.Regressions, len(res.Diffs))
+	}
+	if diffOne(t, res, "histogram_deltas.faster_op_exec_ns.p50_ns").PctChange != 0 {
+		t.Fatal("nested histogram delta not flattened through JSON round-trip")
+	}
+
+	// Wrong schema version is rejected.
+	bad := *a
+	bad.V = ArtifactSchemaV + 1
+	buf, _ = json.Marshal(&bad)
+	os.WriteFile(path, buf, 0o644)
+	if _, err := LoadArtifact(path); err == nil {
+		t.Fatal("schema-version mismatch not rejected")
+	}
+}

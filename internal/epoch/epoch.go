@@ -74,8 +74,15 @@ func (m *Manager) Instrument(reg *obs.Registry) {
 	m.drains = reg.Counter("epoch_drains_total")
 	m.drainNs = reg.Histogram("epoch_drain_ns")
 	reg.GaugeFunc("epoch_current", func() int64 { return int64(m.current.Load()) })
+	reg.SetHelp("epoch_current", "Current (most recently bumped) epoch.")
 	reg.GaugeFunc("epoch_safe", func() int64 { return int64(m.safe.Load()) })
+	reg.SetHelp("epoch_safe",
+		"Safe-to-reclaim epoch (every registered thread has refreshed past it).")
 	reg.GaugeFunc("epoch_registered", func() int64 { return int64(m.Registered()) })
+	reg.GaugeFunc("epoch_pending_drains", func() int64 { return int64(m.drainCount.Load()) })
+	reg.SetHelp("epoch_pending_drains",
+		"Trigger actions queued behind an unsafe epoch; nonzero with no drains firing is the health engine's epoch-drain-stuck signal.")
+	reg.SetHelp("epoch_drains_total", "Epoch trigger actions fired (drains executed).")
 }
 
 // InstrumentFlight attaches a flight recorder: every epoch bump emits an

@@ -173,6 +173,8 @@ func (rs *restoreState) start() {
 		}
 		return 0
 	})
+	m.SetHelp("faster_restore_cold_buckets",
+		"Hash buckets still cold during instant restore; cold buckets with no warms progressing is the health engine's restore-sweeper-stalled signal.")
 	m.GaugeFunc("faster_restore_pending_records", func() int64 {
 		if st := sh.restoreSnapshot(); st != nil {
 			return int64(st.PendingRecords)

@@ -1,0 +1,328 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// mkSample builds a Sample from literal metric maps — the detector contract
+// is a pure function over two snapshots, so every stall shape is expressible
+// as data with no running store.
+func mkSample(at int64, gauges map[string]int64, counters map[string]uint64) Sample {
+	return Sample{At: at, Snap: obs.Snapshot{Gauges: gauges, Counters: counters}}
+}
+
+// pair evaluates a detector Check over a (prev, cur) snapshot pair.
+func pair(t *testing.T, check func(prev, cur Sample) (bool, string),
+	prevG, curG map[string]int64, prevC, curC map[string]uint64) (bool, string) {
+	t.Helper()
+	return check(mkSample(0, prevG, prevC), mkSample(1e9, curG, curC))
+}
+
+func TestEpochDrainStuck(t *testing.T) {
+	// Seeded stall: drain actions queued across the window, safe frozen, no
+	// drains fired.
+	bad, detail := pair(t, checkEpochDrainStuck,
+		map[string]int64{"epoch_pending_drains": 2, "epoch_current": 7, "epoch_safe": 4},
+		map[string]int64{"epoch_pending_drains": 2, "epoch_current": 7, "epoch_safe": 4},
+		map[string]uint64{"epoch_drains_total": 10},
+		map[string]uint64{"epoch_drains_total": 10})
+	if !bad {
+		t.Fatal("frozen safe frontier with queued drains not detected")
+	}
+	if !strings.Contains(detail, "current=7 safe=4") {
+		t.Fatalf("detail %q lacks the epoch values", detail)
+	}
+
+	// Healthy: safe advancing.
+	if bad, _ := pair(t, checkEpochDrainStuck,
+		map[string]int64{"epoch_pending_drains": 2, "epoch_safe": 4},
+		map[string]int64{"epoch_pending_drains": 2, "epoch_safe": 6},
+		nil, nil); bad {
+		t.Fatal("advancing safe frontier flagged as stuck")
+	}
+	// Healthy: frozen but drains fired this window (progress by action).
+	if bad, _ := pair(t, checkEpochDrainStuck,
+		map[string]int64{"epoch_pending_drains": 2, "epoch_safe": 4},
+		map[string]int64{"epoch_pending_drains": 2, "epoch_safe": 4},
+		map[string]uint64{"epoch_drains_total": 10},
+		map[string]uint64{"epoch_drains_total": 11}); bad {
+		t.Fatal("window with a drain flagged as stuck")
+	}
+	// Healthy: quiescent table (current is permanently safe+1 after the last
+	// bump, but nothing is queued — no demand, no stall).
+	if bad, _ := pair(t, checkEpochDrainStuck,
+		map[string]int64{"epoch_pending_drains": 0, "epoch_current": 7, "epoch_safe": 6},
+		map[string]int64{"epoch_pending_drains": 0, "epoch_current": 7, "epoch_safe": 6},
+		nil, nil); bad {
+		t.Fatal("quiescent epoch table flagged as stuck")
+	}
+	// Shard-prefixed metrics are scanned too.
+	if bad, _ := pair(t, checkEpochDrainStuck,
+		map[string]int64{"shard2_epoch_pending_drains": 1, "shard2_epoch_current": 9, "shard2_epoch_safe": 3},
+		map[string]int64{"shard2_epoch_pending_drains": 1, "shard2_epoch_current": 9, "shard2_epoch_safe": 3},
+		nil, nil); !bad {
+		t.Fatal("shard-prefixed stall not detected")
+	}
+}
+
+func TestCommitStuck(t *testing.T) {
+	// Seeded stall: parked in PREPARE across the window, nothing completed.
+	bad, detail := pair(t, checkCommitStuck,
+		map[string]int64{"faster_phase": 1, "faster_version": 5},
+		map[string]int64{"faster_phase": 1, "faster_version": 5},
+		map[string]uint64{"faster_commits_total": 3},
+		map[string]uint64{"faster_commits_total": 3})
+	if !bad {
+		t.Fatal("commit parked in prepare not detected")
+	}
+	if !strings.Contains(detail, "prepare") {
+		t.Fatalf("detail %q does not name the phase", detail)
+	}
+
+	// Healthy: at Rest.
+	if bad, _ := pair(t, checkCommitStuck,
+		map[string]int64{"faster_phase": 0},
+		map[string]int64{"faster_phase": 0}, nil, nil); bad {
+		t.Fatal("rest phase flagged as stuck")
+	}
+	// Healthy: phase advancing between samples.
+	if bad, _ := pair(t, checkCommitStuck,
+		map[string]int64{"faster_phase": 1},
+		map[string]int64{"faster_phase": 3}, nil, nil); bad {
+		t.Fatal("advancing phase flagged as stuck")
+	}
+	// Healthy: same phase observed but a commit completed in between (two
+	// back-to-back commits caught mid-flight).
+	if bad, _ := pair(t, checkCommitStuck,
+		map[string]int64{"faster_phase": 2},
+		map[string]int64{"faster_phase": 2},
+		map[string]uint64{"faster_commits_total": 3},
+		map[string]uint64{"faster_commits_total": 4}); bad {
+		t.Fatal("window with a completed commit flagged as stuck")
+	}
+	// Healthy: a commit failed — that is progress (the machine moved on).
+	if bad, _ := pair(t, checkCommitStuck,
+		map[string]int64{"faster_phase": 2},
+		map[string]int64{"faster_phase": 2},
+		map[string]uint64{"faster_commit_failures_total": 1},
+		map[string]uint64{"faster_commit_failures_total": 2}); bad {
+		t.Fatal("window with a failed commit flagged as stuck")
+	}
+}
+
+func TestInlogFsyncStalled(t *testing.T) {
+	bad, detail := pair(t, checkInlogFsyncStalled,
+		map[string]int64{"inlog_tail": 9000, "inlog_durable": 4096},
+		map[string]int64{"inlog_tail": 9500, "inlog_durable": 4096}, nil, nil)
+	if !bad {
+		t.Fatal("frozen durable frontier with queued appends not detected")
+	}
+	if !strings.Contains(detail, "tail=9500 durable=4096") {
+		t.Fatalf("detail %q lacks the frontier values", detail)
+	}
+
+	// Healthy: frontier advancing.
+	if bad, _ := pair(t, checkInlogFsyncStalled,
+		map[string]int64{"inlog_tail": 9000, "inlog_durable": 4096},
+		map[string]int64{"inlog_tail": 9500, "inlog_durable": 9000}, nil, nil); bad {
+		t.Fatal("advancing durable frontier flagged as stalled")
+	}
+	// Healthy: fully synced (no demand).
+	if bad, _ := pair(t, checkInlogFsyncStalled,
+		map[string]int64{"inlog_tail": 9000, "inlog_durable": 9000},
+		map[string]int64{"inlog_tail": 9000, "inlog_durable": 9000}, nil, nil); bad {
+		t.Fatal("synced inlog flagged as stalled")
+	}
+	// No inlog configured: no metrics, no verdict.
+	if bad, _ := pair(t, checkInlogFsyncStalled, nil, nil, nil, nil); bad {
+		t.Fatal("absent inlog metrics flagged as stalled")
+	}
+}
+
+func TestReplLagGrowing(t *testing.T) {
+	// Replica side: bytes behind growing.
+	bad, detail := pair(t, checkReplLagGrowing,
+		map[string]int64{"repl_bytes_behind": 1000},
+		map[string]int64{"repl_bytes_behind": 5000}, nil, nil)
+	if !bad {
+		t.Fatal("growing replica byte lag not detected")
+	}
+	if !strings.Contains(detail, "+4000") {
+		t.Fatalf("detail %q lacks the growth", detail)
+	}
+	// Replica side: versions behind growing.
+	if bad, _ := pair(t, checkReplLagGrowing,
+		map[string]int64{"repl_versions_behind": 1},
+		map[string]int64{"repl_versions_behind": 3}, nil, nil); !bad {
+		t.Fatal("growing replica version lag not detected")
+	}
+	// Primary side: commits completing, none announced.
+	if bad, _ := pair(t, checkReplLagGrowing,
+		map[string]int64{"repl_replicas": 2},
+		map[string]int64{"repl_replicas": 2},
+		map[string]uint64{"faster_commits_total": 5, "repl_commits_announced_total": 5},
+		map[string]uint64{"faster_commits_total": 8, "repl_commits_announced_total": 5}); !bad {
+		t.Fatal("primary committing without announcing not detected")
+	}
+
+	// Healthy: replica catching up.
+	if bad, _ := pair(t, checkReplLagGrowing,
+		map[string]int64{"repl_bytes_behind": 5000},
+		map[string]int64{"repl_bytes_behind": 1000}, nil, nil); bad {
+		t.Fatal("shrinking lag flagged as growing")
+	}
+	// Healthy: primary announcing every commit.
+	if bad, _ := pair(t, checkReplLagGrowing,
+		map[string]int64{"repl_replicas": 2},
+		map[string]int64{"repl_replicas": 2},
+		map[string]uint64{"faster_commits_total": 5, "repl_commits_announced_total": 5},
+		map[string]uint64{"faster_commits_total": 8, "repl_commits_announced_total": 8}); bad {
+		t.Fatal("announcing primary flagged")
+	}
+	// Healthy: primary with no replicas attached owes no announcements.
+	if bad, _ := pair(t, checkReplLagGrowing,
+		map[string]int64{"repl_replicas": 0},
+		map[string]int64{"repl_replicas": 0},
+		map[string]uint64{"faster_commits_total": 5},
+		map[string]uint64{"faster_commits_total": 8}); bad {
+		t.Fatal("replica-less primary flagged")
+	}
+}
+
+func TestRestoreSweeperStalled(t *testing.T) {
+	bad, detail := pair(t, checkRestoreSweeperStalled,
+		map[string]int64{"faster_restore_active": 1, "faster_restore_cold_buckets": 40},
+		map[string]int64{"faster_restore_active": 1, "faster_restore_cold_buckets": 40},
+		nil, nil)
+	if !bad {
+		t.Fatal("frozen cold-bucket count during restore not detected")
+	}
+	if !strings.Contains(detail, "40 cold bucket") {
+		t.Fatalf("detail %q lacks the cold count", detail)
+	}
+
+	// Healthy: sweeper warming buckets (count dropping).
+	if bad, _ := pair(t, checkRestoreSweeperStalled,
+		map[string]int64{"faster_restore_active": 1, "faster_restore_cold_buckets": 40},
+		map[string]int64{"faster_restore_active": 1, "faster_restore_cold_buckets": 25},
+		nil, nil); bad {
+		t.Fatal("progressing sweeper flagged as stalled")
+	}
+	// Healthy: count frozen but on-demand warms landed this window (the
+	// store-level counters prove progress even if the gauge snapshot tied).
+	if bad, _ := pair(t, checkRestoreSweeperStalled,
+		map[string]int64{"faster_restore_active": 1, "faster_restore_cold_buckets": 40},
+		map[string]int64{"faster_restore_active": 1, "faster_restore_cold_buckets": 40},
+		map[string]uint64{"faster_restore_ondemand_warms_total": 3},
+		map[string]uint64{"faster_restore_ondemand_warms_total": 9}); bad {
+		t.Fatal("window with on-demand warms flagged as stalled")
+	}
+	// Healthy: restore finished.
+	if bad, _ := pair(t, checkRestoreSweeperStalled,
+		map[string]int64{"faster_restore_active": 0, "faster_restore_cold_buckets": 0},
+		map[string]int64{"faster_restore_active": 0, "faster_restore_cold_buckets": 0},
+		nil, nil); bad {
+		t.Fatal("finished restore flagged as stalled")
+	}
+}
+
+func TestFlushStarvation(t *testing.T) {
+	hist := func(count uint64) obs.Snapshot {
+		return obs.Snapshot{
+			Histograms: map[string]obs.HistogramSnapshot{"faster_op_exec_ns": {Count: count}},
+			Counters:   map[string]uint64{"faster_net_coalesced_flushes_total": 100},
+		}
+	}
+	prev, cur := Sample{Snap: hist(50)}, Sample{Snap: hist(80)}
+	bad, detail := checkFlushStarvation(prev, cur)
+	if !bad {
+		t.Fatal("ops executing with zero flushes not detected")
+	}
+	if !strings.Contains(detail, "30 op(s)") {
+		t.Fatalf("detail %q lacks the op count", detail)
+	}
+
+	// Healthy: flushes happening.
+	curOK := Sample{Snap: obs.Snapshot{
+		Histograms: map[string]obs.HistogramSnapshot{"faster_op_exec_ns": {Count: 80}},
+		Counters:   map[string]uint64{"faster_net_coalesced_flushes_total": 140},
+	}}
+	if bad, _ := checkFlushStarvation(prev, curOK); bad {
+		t.Fatal("flushing server flagged as starved")
+	}
+	// Healthy: idle server (no ops this window).
+	if bad, _ := checkFlushStarvation(prev, prev); bad {
+		t.Fatal("idle server flagged as starved")
+	}
+	// No net server wired (no flush counter): not this detector's problem.
+	noNet := Sample{Snap: obs.Snapshot{
+		Histograms: map[string]obs.HistogramSnapshot{"faster_op_exec_ns": {Count: 80}},
+	}}
+	if bad, _ := checkFlushStarvation(Sample{Snap: obs.Snapshot{}}, noNet); bad {
+		t.Fatal("store without a net server flagged as starved")
+	}
+}
+
+func TestWindowedP99(t *testing.T) {
+	mk := func(buckets map[int]uint64) obs.HistogramSnapshot {
+		b := make([]uint64, 48)
+		for i, c := range buckets {
+			b[i] = c
+		}
+		return obs.HistogramSnapshot{Buckets: b}
+	}
+	// 100 observations in bucket 10 historically; this window adds 50 in
+	// bucket 20. The windowed p99 must reflect only bucket 20.
+	prev := mk(map[int]uint64{10: 100})
+	cur := mk(map[int]uint64{10: 100, 20: 50})
+	p99, n := windowedP99(prev, cur)
+	if n != 50 {
+		t.Fatalf("window count = %d, want 50", n)
+	}
+	lo, hi := uint64(1)<<19, uint64(1)<<20-1
+	if p99 < lo || p99 > hi {
+		t.Fatalf("windowed p99 %d outside bucket 20's range [%d, %d]", p99, lo, hi)
+	}
+	// Empty window.
+	if _, n := windowedP99(cur, cur); n != 0 {
+		t.Fatalf("empty window reported %d observations", n)
+	}
+	// No buckets at all (histogram never snapshotted with buckets).
+	if _, n := windowedP99(obs.HistogramSnapshot{}, obs.HistogramSnapshot{}); n != 0 {
+		t.Fatal("bucket-less snapshots reported observations")
+	}
+}
+
+func TestSLODetector(t *testing.T) {
+	st := &sloState{objective: 1_000_000} // 1ms
+	det := newSLODetector(st)
+	mkh := func(bucket int, count uint64) obs.Snapshot {
+		b := make([]uint64, 48)
+		b[bucket] = count
+		return obs.Snapshot{Histograms: map[string]obs.HistogramSnapshot{
+			"faster_session_lag_ns": {Buckets: b, Count: count},
+		}}
+	}
+	// Window of 100 lags around 2^30 ns (~1s): far past the 1ms objective.
+	bad, detail := det.Check(Sample{Snap: mkh(30, 0)}, Sample{At: 1, Snap: mkh(30, 100)})
+	if !bad {
+		t.Fatal("1s durability lags did not burn a 1ms objective")
+	}
+	if !strings.Contains(detail, "objective") {
+		t.Fatalf("detail %q lacks the objective", detail)
+	}
+	if s := st.status(); s.WindowObservations != 100 || s.WindowP99Nanos <= s.ObjectiveNanos {
+		t.Fatalf("slo status not updated: %+v", s)
+	}
+	// Window of lags around 2^10 ns (~1µs): well under the objective.
+	if bad, _ := det.Check(Sample{Snap: mkh(10, 0)}, Sample{At: 1, Snap: mkh(10, 100)}); bad {
+		t.Fatal("1µs lags burned a 1ms objective")
+	}
+	// Idle window: no observations, no burn.
+	if bad, _ := det.Check(Sample{Snap: mkh(30, 100)}, Sample{At: 1, Snap: mkh(30, 100)}); bad {
+		t.Fatal("idle window burned the objective")
+	}
+}

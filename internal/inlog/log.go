@@ -202,7 +202,11 @@ func Open(cfg Config) (*Log, error) {
 	l.durable = l.next
 
 	cfg.Metrics.GaugeFunc("inlog_tail", func() int64 { return int64(l.Tail()) })
+	cfg.Metrics.SetHelp("inlog_tail",
+		"Ingestion log append frontier in bytes; tail above inlog_durable means appends await fsync (the health engine's inlog-fsync-stalled signal).")
 	cfg.Metrics.GaugeFunc("inlog_durable", func() int64 { return int64(l.Durable()) })
+	cfg.Metrics.SetHelp("inlog_durable",
+		"Ingestion log fsync frontier in bytes: every record below it survives a crash.")
 	cfg.Metrics.GaugeFunc("inlog_start", func() int64 { return int64(l.Start()) })
 	cfg.Metrics.GaugeFunc("inlog_segments", func() int64 {
 		l.mu.Lock()

@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/obs"
 )
 
@@ -359,4 +360,28 @@ func (c *Client) Flight(token string) (obs.FlightDump, error) {
 		return dump, fmt.Errorf("kvserver: flight payload: %w", err)
 	}
 	return dump, nil
+}
+
+// Health fetches the server's health verdict. Returns an error when the
+// server runs without a health engine.
+func (c *Client) Health() (*health.Verdict, error) {
+	status, resp, err := c.call(OpHealth, nil)
+	if err != nil {
+		return nil, err
+	}
+	v, _, verr := takeValue(resp)
+	if status != StatusOK {
+		if verr == nil && len(v) > 0 {
+			return nil, fmt.Errorf("kvserver: health failed: %s", v)
+		}
+		return nil, fmt.Errorf("kvserver: health failed")
+	}
+	if verr != nil {
+		return nil, verr
+	}
+	var verdict health.Verdict
+	if err := json.Unmarshal(v, &verdict); err != nil {
+		return nil, fmt.Errorf("kvserver: health payload: %w", err)
+	}
+	return &verdict, nil
 }

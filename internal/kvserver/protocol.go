@@ -21,6 +21,7 @@ import (
 	"io"
 
 	"repro/internal/faster"
+	"repro/internal/health"
 	"repro/internal/obs"
 )
 
@@ -51,6 +52,9 @@ const (
 	// across several OpBatch frames (each self-contained with its own count);
 	// the client reads frames until every seq is answered, in issue order.
 	OpBatch byte = 11
+	// OpHealth fetches the server's health verdict — the health engine's
+	// detector-by-detector state. Errors when no engine is wired.
+	OpHealth byte = 12 // payload: none -> resp: health.Verdict JSON
 )
 
 // Protocol versions, negotiated at Hello. A v1 Hello omits the proto byte;
@@ -107,6 +111,9 @@ type StatsSnapshot struct {
 	// additive, StatsVersion stays 1. Final statistics remain available after
 	// the store is fully warm (Restoring=false).
 	Restore *faster.RestoreStatus `json:"restore,omitempty"`
+	// Health carries the health engine's verdict when one is wired (absent
+	// otherwise — additive, StatsVersion stays 1).
+	Health *health.Verdict `json:"health,omitempty"`
 }
 
 // ReplStats is the StatsSnapshot "repl" block: the server's replication role

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/faster"
+	"repro/internal/health"
 	"repro/internal/obs"
 )
 
@@ -55,6 +56,10 @@ type Server struct {
 	// (the replication server's progress on a primary; set automatically by
 	// NewReplicaServer on a replica).
 	ReplStats func() *ReplStats
+	// Health, when set, serves the health engine's verdict for OpHealth and
+	// attaches it to OpStats responses (wired to health.Engine.Verdict by
+	// cprserver when -health-interval is on). Set before Serve.
+	Health func() *health.Verdict
 
 	// CoalesceBytes / CoalesceOps bound per-connection write coalescing (the
 	// MaxSyncLag idiom applied to reply frames): buffered replies are flushed
@@ -656,6 +661,9 @@ func (s *Server) dispatchOp(cs *connState, store *faster.Store, om opMetrics, se
 
 	case OpFlight:
 		return s.writeFlight(cs.bw, store, payload)
+
+	case OpHealth:
+		return s.writeHealth(cs.bw)
 	}
 	return fmt.Errorf("unknown opcode %d", op)
 }
@@ -828,6 +836,20 @@ func (s *Server) writeFlight(w io.Writer, store *faster.Store, payload []byte) e
 	return writeFrame(w, OpFlight, appendValue([]byte{StatusOK}, buf))
 }
 
+// writeHealth serves the health engine's verdict as JSON, or an error frame
+// when no engine is wired.
+func (s *Server) writeHealth(w io.Writer) error {
+	if s.Health == nil {
+		return writeFrame(w, OpHealth, appendValue([]byte{StatusError},
+			[]byte("health engine disabled")))
+	}
+	buf, err := json.Marshal(s.Health())
+	if err != nil {
+		return writeFrame(w, OpHealth, appendValue([]byte{StatusError}, nil))
+	}
+	return writeFrame(w, OpHealth, appendValue([]byte{StatusOK}, buf))
+}
+
 // writeStats marshals and sends the OpStats response for store.
 func (s *Server) writeStats(w io.Writer, store *faster.Store) error {
 	lg := store.Log()
@@ -856,6 +878,9 @@ func (s *Server) writeStats(w io.Writer, store *faster.Store) error {
 	}
 	if s.ReplStats != nil {
 		snap.Repl = s.ReplStats()
+	}
+	if s.Health != nil {
+		snap.Health = s.Health()
 	}
 	snap.SessionLags = store.SessionLags()
 	snap.Restore = store.RestoreStatus()
@@ -931,6 +956,8 @@ func (s *Server) dispatchReplica(conn net.Conn, rb ReplicaBackend, op byte, payl
 		return s.writeFlight(conn, rb.Store(), payload)
 	case OpTrace:
 		return s.writeTraceDump(conn, rb.Store(), payload)
+	case OpHealth:
+		return s.writeHealth(conn)
 	}
 	return fmt.Errorf("unknown opcode %d", op)
 }

@@ -129,6 +129,13 @@ const (
 	// buckets remaining, Arg2 the suffix records still pending; a final
 	// event with Arg1 == 0 marks the shard fully warm.
 	FlightSweep
+	// FlightHealthFire: a health-engine detector crossed its hysteresis bound
+	// and started firing. Token is the detector name, Arg1 the consecutive
+	// bad samples, Arg2 the incident bundle sequence (0 = no bundle written).
+	FlightHealthFire
+	// FlightHealthClear: a firing detector saw enough good samples to clear.
+	// Token is the detector name, Arg1 the samples it had been firing for.
+	FlightHealthClear
 
 	numFlightKinds
 )
@@ -166,6 +173,8 @@ var flightKindNames = [numFlightKinds]string{
 	FlightInlogReplay:     "inlog-replay",
 	FlightWarmBucket:      "warm-bucket",
 	FlightSweep:           "sweep",
+	FlightHealthFire:      "health-fire",
+	FlightHealthClear:     "health-clear",
 }
 
 var flightKindByName = func() map[string]FlightKind {
@@ -679,6 +688,13 @@ func (e FlightEvent) Describe() string {
 		} else {
 			fmt.Fprintf(&b, " after %d skipped commit(s)", e.Arg1)
 		}
+	case FlightHealthFire:
+		fmt.Fprintf(&b, " after %d bad sample(s)", e.Arg1)
+		if e.Arg2 != 0 {
+			fmt.Fprintf(&b, " incident-seq=%d", e.Arg2)
+		}
+	case FlightHealthClear:
+		fmt.Fprintf(&b, " fired-for=%d sample(s)", e.Arg1)
 	}
 	if e.Token != "" {
 		fmt.Fprintf(&b, " token=%s", e.Token)

@@ -265,6 +265,7 @@ type Registry struct {
 	gaugeFns map[string]func() int64
 	hists    map[string]*Histogram
 	help     map[string]string
+	infos    map[string]map[string]string
 }
 
 // NewRegistry returns an empty, enabled registry.
@@ -275,6 +276,7 @@ func NewRegistry() *Registry {
 		gaugeFns: make(map[string]func() int64),
 		hists:    make(map[string]*Histogram),
 		help:     make(map[string]string),
+		infos:    make(map[string]map[string]string),
 	}
 }
 
@@ -370,6 +372,26 @@ func (r *Registry) SetHelp(name, text string) {
 	b.help[name] = text
 }
 
+// Info registers a constant info metric (the Prometheus build-info idiom): a
+// gauge whose value is always 1 and whose payload is its label set. Snapshots
+// carry the labels verbatim; the Prometheus exposition renders
+// `name{k="v",...} 1`. Re-registering a name replaces its labels. The labels
+// map is copied, so the caller may reuse it.
+func (r *Registry) Info(name string, labels map[string]string) {
+	if r == nil || r.nop {
+		return
+	}
+	name = r.prefix + name
+	b := r.base()
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.infos[name] = cp
+}
+
 // GaugeFunc registers a callback evaluated at snapshot time — the natural fit
 // for values the system already maintains (log region offsets, session
 // counts). fn must be safe to call from any goroutine. Re-registering a name
@@ -391,6 +413,10 @@ type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+
+	// Infos carries constant info metrics (see Registry.Info): metric name to
+	// label set; the metric's value is always 1.
+	Infos map[string]map[string]string `json:"infos,omitempty"`
 
 	// Help carries metric descriptions for the Prometheus exposition.
 	// Excluded from JSON so the /metrics document and bench metric deltas
@@ -427,6 +453,12 @@ func (r *Registry) Snapshot() Snapshot {
 	for n, h := range r.help {
 		s.Help[n] = h
 	}
+	if len(r.infos) > 0 {
+		s.Infos = make(map[string]map[string]string, len(r.infos))
+		for n, labels := range r.infos {
+			s.Infos[n] = labels
+		}
+	}
 	r.mu.Unlock()
 
 	s.Counters = make(map[string]uint64, len(counters))
@@ -456,6 +488,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Counters:   make(map[string]uint64, len(s.Counters)),
 		Gauges:     make(map[string]int64, len(s.Gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+		Infos:      s.Infos,
 		Help:       s.Help,
 	}
 	for k, v := range s.Counters {

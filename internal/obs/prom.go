@@ -98,6 +98,34 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	}
 
 	names = names[:0]
+	for n := range s.Infos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if err := writePromHeader(w, pn, s.Help[n], "gauge"); err != nil {
+			return err
+		}
+		labels := s.Infos[n]
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=\"%s\"", promName(k), escapeLabelValue(labels[k]))
+		}
+		if _, err := fmt.Fprintf(w, "%s{%s} 1\n", pn, b.String()); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
 	for n := range s.Histograms {
 		names = append(names, n)
 	}

@@ -140,7 +140,11 @@ func NewReplica(cfg Config) (*Replica, error) {
 	r.installs = reg.Counter("repl_installs_total")
 	reg.GaugeFunc("repl_applied_version", func() int64 { return int64(r.applied.Load()) })
 	reg.GaugeFunc("repl_versions_behind", func() int64 { return int64(r.versionsBehind()) })
+	reg.SetHelp("repl_versions_behind",
+		"Committed CPR versions the replica trails its primary by; sustained growth fires the health engine's repl-lag-growing detector.")
 	reg.GaugeFunc("repl_bytes_behind", func() int64 { return int64(r.bytesBehind()) })
+	reg.SetHelp("repl_bytes_behind",
+		"HybridLog bytes the replica trails the primary's durable frontier by.")
 	go r.run()
 	return r, nil
 }

@@ -63,6 +63,9 @@ func NewServer(store *faster.Store) *Server {
 		// durable commit waited to be announced to a replica.
 		replwaitNs: reg.Histogram("faster_op_replwait_ns"),
 	}
+	reg.SetHelp("repl_replicas", "Replica connections currently attached to this primary.")
+	reg.SetHelp("repl_commits_announced_total",
+		"Commit announcements shipped to replicas; commits completing without announcements fires the health engine's repl-lag-growing detector.")
 	store.OnCommit(func(res faster.CommitResult) { s.broadcast(res.Token) })
 	return s
 }
